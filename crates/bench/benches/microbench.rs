@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks for the hot operations of every subsystem:
+//! hashing, signing, Merkle commitment, UFL solving at evaluation sizes,
+//! PoS round execution, PoW mining steps, Gini computation, and the
+//! end-to-end per-block allocation path.
+//!
+//! `cargo bench -p edgechain-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use edgechain_core::alloc::{select_storers, Placement};
+use edgechain_core::pos::{run_round, Candidate};
+use edgechain_core::pow::{mine, Difficulty};
+use edgechain_core::storage::NodeStorage;
+use edgechain_core::Identity;
+use edgechain_crypto::{sha256, KeyPair, MerkleTree};
+use edgechain_facility::{solve, solve_greedy, UflInstance};
+use edgechain_sim::{gini, Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(1);
+    let msg = b"metadata payload for signing benchmarks";
+    let sig = kp.sign(msg);
+    c.bench_function("crypto/sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
+    c.bench_function("crypto/verify", |b| {
+        b.iter(|| kp.public_key().verify(std::hint::black_box(msg), &sig))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("crypto/merkle_256_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(std::hint::black_box(&leaves)))
+    });
+}
+
+fn random_instance(n: usize, seed: u64) -> UflInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fdcs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.05).collect();
+    let costs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { 1.0 + rng.gen_range(0..5) as f64 })
+                .collect()
+        })
+        .collect();
+    UflInstance::from_costs(&fdcs, |i, j| costs[i][j])
+}
+
+fn bench_ufl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("facility/solve");
+    for n in [10usize, 25, 50] {
+        let inst = random_instance(n, n as u64);
+        group.bench_function(format!("greedy_n{n}"), |b| {
+            b.iter(|| solve_greedy(std::hint::black_box(&inst)))
+        });
+        group.bench_function(format!("greedy+ls_n{n}"), |b| {
+            b.iter(|| solve(std::hint::black_box(&inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pos_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/pos_round");
+    for n in [10usize, 50] {
+        let candidates: Vec<Candidate> = (0..n)
+            .map(|i| Candidate {
+                account: Identity::from_seed(i as u64).account(),
+                tokens: 1 + (i as u64 % 7),
+                stored_items: 1 + (i as u64 % 30),
+            })
+            .collect();
+        let prev = sha256(b"bench");
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| run_round(std::hint::black_box(&prev), &candidates, 60))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    // One expected block at difficulty 2 ≈ 256 hashes.
+    c.bench_function("core/pow_block_difficulty2", |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                round
+            },
+            |r| mine(&r.to_be_bytes(), Difficulty::new(2), 0, 1 << 20),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_allocation_path(c: &mut Criterion) {
+    // The per-item allocation a miner runs: build + solve on live state.
+    let mut group = c.benchmark_group("core/select_storers");
+    for n in [10usize, 25, 50] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo =
+            Topology::random_connected(n, TopologyConfig::default(), &mut rng).unwrap();
+        let mut storage = vec![NodeStorage::paper_default(); n];
+        // Partially filled stores, as mid-simulation.
+        for (i, s) in storage.iter_mut().enumerate() {
+            for k in 0..(i % 40) as u64 {
+                s.store_data(edgechain_core::DataId(i as u64 * 1000 + k));
+            }
+        }
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                select_storers(
+                    Placement::Optimal,
+                    std::hint::black_box(&topo),
+                    &storage,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gini(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 250.0).collect();
+    c.bench_function("sim/gini_10k", |b| {
+        b.iter(|| gini(std::hint::black_box(&values)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_signatures,
+    bench_merkle,
+    bench_ufl,
+    bench_pos_round,
+    bench_pow,
+    bench_allocation_path,
+    bench_gini,
+);
+criterion_main!(benches);

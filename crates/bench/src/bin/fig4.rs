@@ -1,0 +1,98 @@
+//! Reproduces **Fig. 4** — overall performance under different data
+//! amounts and node counts.
+//!
+//! Paper setting: 300 m × 300 m field, 70 m range, 30 m mobility, 250-slot
+//! stores, 1 MB data items, t0 = 60 s, 500-minute runs; node count swept
+//! over 10–50 and network-wide data rate over 1–3 items/minute; data
+//! requested by 10 % of nodes; results averaged over seeds.
+//!
+//! Prints three tables matching the figure's three panels:
+//! (a) average per-node transmission overhead in MB,
+//! (b) Gini coefficient of storage usage,
+//! (c) average data delivery time in seconds.
+//!
+//! `cargo run --release -p edgechain-bench --bin fig4` (add `--full` for
+//! the 500-minute paper-scale runs; default is 120 minutes).
+
+use edgechain_bench::{mean, parse_options, print_table, write_csv};
+use edgechain_core::network::{EdgeNetwork, NetworkConfig};
+
+fn main() {
+    let opts = parse_options(120, 2);
+    let node_counts = [10usize, 20, 30, 40, 50];
+    let rates = [1.0f64, 2.0, 3.0];
+    println!(
+        "Fig. 4 reproduction — {} min simulated, {} seeds per cell",
+        opts.minutes, opts.seeds
+    );
+
+    let mut overhead = Vec::new();
+    let mut gini = Vec::new();
+    let mut delivery = Vec::new();
+    for &n in &node_counts {
+        let mut row_o = Vec::new();
+        let mut row_g = Vec::new();
+        let mut row_d = Vec::new();
+        for &rate in &rates {
+            let mut o = Vec::new();
+            let mut g = Vec::new();
+            let mut d = Vec::new();
+            for seed in 0..opts.seeds {
+                let cfg = NetworkConfig {
+                    nodes: n,
+                    data_items_per_min: rate,
+                    sim_minutes: opts.minutes,
+                    seed: 0xF160_0000 + seed * 1000 + n as u64,
+                    ..NetworkConfig::default()
+                };
+                let r = EdgeNetwork::new(cfg).expect("connected topology").run();
+                o.push(r.mean_node_overhead_mb);
+                g.push(r.storage_gini);
+                d.push(r.delivery.mean());
+            }
+            row_o.push(mean(&o));
+            row_g.push(mean(&g));
+            row_d.push(mean(&d));
+        }
+        overhead.push(row_o);
+        gini.push(row_g);
+        delivery.push(row_d);
+        eprintln!("  … {n} nodes done");
+    }
+
+    let cols = ["1 item/min", "2 items/min", "3 items/min"];
+    print_table(
+        "Fig. 4(a) — average transmission overhead per node [MB]",
+        "nodes",
+        &node_counts,
+        &cols,
+        &overhead,
+        1,
+    );
+    print_table(
+        "Fig. 4(b) — Gini coefficient of storage usage (paper: < 0.15)",
+        "nodes",
+        &node_counts,
+        &cols,
+        &gini,
+        4,
+    );
+    print_table(
+        "Fig. 4(c) — average data delivery time [s] (paper: ≤ ~4 s)",
+        "nodes",
+        &node_counts,
+        &cols,
+        &delivery,
+        3,
+    );
+
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig4a_overhead_mb", "nodes", &node_counts, &cols, &overhead);
+        write_csv(dir, "fig4b_gini", "nodes", &node_counts, &cols, &gini);
+        write_csv(dir, "fig4c_delivery_s", "nodes", &node_counts, &cols, &delivery);
+        eprintln!("csv written to {dir}/");
+    }
+    let max_gini = gini.iter().flatten().cloned().fold(0.0, f64::max);
+    let max_delivery = delivery.iter().flatten().cloned().fold(0.0, f64::max);
+    println!("\nsummary: max gini {max_gini:.4} (paper bound 0.15), max delivery {max_delivery:.2} s (paper ≈4 s)");
+}

@@ -1,0 +1,174 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every table and figure in the paper's evaluation (§VI) has a dedicated
+//! binary in `src/bin`:
+//!
+//! | Binary | Reproduces | Series |
+//! |---|---|---|
+//! | `fig4` | Fig. 4(a)(b)(c) | overhead / Gini / delivery vs node count × data rate |
+//! | `fig5` | Fig. 5(a)(b) | delivery / overhead vs node count × placement strategy |
+//! | `fig6` | Fig. 6 | remaining battery vs blocks mined, PoW vs PoS |
+//! | `ablation` | design-choice ablations | FDC weight `A`, solver variants, recent-cache, PoS `Q` term |
+//!
+//! Binaries accept `--full` for the paper-scale 500-minute runs and
+//! default to shorter, shape-preserving runs (see each binary's header).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureOptions {
+    /// Simulated minutes per run.
+    pub minutes: u64,
+    /// Seeds averaged per cell (the paper averages 2 simulations).
+    pub seeds: u64,
+    /// Directory to also write each table as a CSV file (`--csv DIR`).
+    pub csv_dir: Option<String>,
+}
+
+/// Parses command-line options: `--full` selects the paper-scale 500-minute
+/// runs; `--minutes N` and `--seeds N` override individually.
+pub fn parse_options(default_minutes: u64, default_seeds: u64) -> FigureOptions {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = FigureOptions {
+        minutes: default_minutes,
+        seeds: default_seeds,
+        csv_dir: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => {
+                opts.minutes = 500;
+                opts.seeds = default_seeds.max(2);
+            }
+            "--minutes" => {
+                i += 1;
+                opts.minutes = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.minutes);
+            }
+            "--seeds" => {
+                i += 1;
+                opts.seeds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.seeds);
+            }
+            "--csv" => {
+                i += 1;
+                opts.csv_dir = args.get(i).cloned();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Prints a table: one row per `row_labels` entry, one column per
+/// `col_labels` entry.
+pub fn print_table<R: Display, C: Display>(
+    title: &str,
+    row_header: &str,
+    row_labels: &[R],
+    col_labels: &[C],
+    cells: &[Vec<f64>],
+    precision: usize,
+) {
+    println!("\n{title}");
+    print!("{:<14}", row_header);
+    for c in col_labels {
+        print!("{:>18}", format!("{c}"));
+    }
+    println!();
+    for (r, row) in row_labels.iter().zip(cells) {
+        print!("{:<14}", format!("{r}"));
+        for v in row {
+            print!("{:>18}", format!("{v:.precision$}"));
+        }
+        println!();
+    }
+}
+
+/// Writes a table as `dir/name.csv` (row label in the first column).
+/// Errors are reported to stderr and swallowed — a failed CSV write must
+/// not abort a long figure run.
+pub fn write_csv<R: Display, C: Display>(
+    dir: &str,
+    name: &str,
+    row_header: &str,
+    row_labels: &[R],
+    col_labels: &[C],
+    cells: &[Vec<f64>],
+) {
+    let mut out = String::new();
+    out.push_str(row_header);
+    for c in col_labels {
+        out.push(',');
+        out.push_str(&format!("{c}"));
+    }
+    out.push('\n');
+    for (r, row) in row_labels.iter().zip(cells) {
+        out.push_str(&format!("{r}"));
+        for v in row {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|_| std::fs::write(&path, out))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn default_options() {
+        let opts = parse_options(100, 2);
+        assert_eq!(opts.minutes, 100);
+        assert_eq!(opts.seeds, 2);
+        assert_eq!(opts.csv_dir, None);
+    }
+
+    #[test]
+    fn csv_writer_roundtrip() {
+        let dir = std::env::temp_dir().join("edgechain-bench-csv-test");
+        let dir = dir.to_str().unwrap();
+        write_csv(
+            dir,
+            "unit",
+            "nodes",
+            &[10, 20],
+            &["a", "b"],
+            &[vec![1.5, 2.5], vec![3.0, 4.0]],
+        );
+        let content =
+            std::fs::read_to_string(format!("{dir}/unit.csv")).unwrap();
+        assert_eq!(content, "nodes,a,b\n10,1.5,2.5\n20,3,4\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,269 @@
+//! The allocation engine: choosing storing nodes for data items, blocks,
+//! and recent-block caching (paper §IV).
+//!
+//! For every item the engine builds a UFL instance from the live network
+//! state — facility cost `A·f_i` from each node's [`NodeStorage::fdc`] and
+//! connection cost from [`Topology::rdc`] — and solves it with
+//! [`edgechain_facility::solve`]. The open facilities are the storing
+//! nodes. A [`Placement::Random`] baseline stores the *same number* of
+//! replicas at uniformly random non-full nodes, which is exactly the
+//! comparison of Fig. 5 ("For a fair comparison, the total number of data
+//! and blocks stored is the same as the optimal placement").
+
+use crate::storage::NodeStorage;
+use edgechain_facility::{solve, SolveError, UflInstance};
+use edgechain_sim::{NodeId, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Placement strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Placement {
+    /// The paper's UFL-based fair & efficient allocation.
+    #[default]
+    Optimal,
+    /// Random placement with the same replica count (the comparison the
+    /// Fig. 5 *text* describes: "the total number of data and blocks
+    /// stored is the same as the optimal placement").
+    Random,
+    /// No proactive data storage at all — consumers always fetch from the
+    /// producer (the baseline the Fig. 5 *caption* names: "no proactive
+    /// store solution").
+    NoProactive,
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Optimal => write!(f, "optimal"),
+            Placement::Random => write!(f, "random"),
+            Placement::NoProactive => write!(f, "no-proactive"),
+        }
+    }
+}
+
+/// Builds the per-item UFL instance from live state. Exposed separately so
+/// benches can time instance construction and solving independently.
+pub fn build_instance(topology: &Topology, storage: &[NodeStorage]) -> UflInstance {
+    build_instance_scaled(topology, storage, edgechain_facility::FDC_SCALE)
+}
+
+/// [`build_instance`] with an explicit FDC weight `A` (the paper fixes
+/// `A = 1000` after feature scaling; the ablation bench sweeps it).
+pub fn build_instance_scaled(
+    topology: &Topology,
+    storage: &[NodeStorage],
+    fdc_scale: f64,
+) -> UflInstance {
+    assert_eq!(
+        topology.len(),
+        storage.len(),
+        "one storage manager per topology node"
+    );
+    let scaled: Vec<f64> = storage
+        .iter()
+        .map(|s| s.fdc() * fdc_scale / edgechain_facility::FDC_SCALE)
+        .collect();
+    UflInstance::from_costs(&scaled, |i, j| topology.rdc(NodeId(i), NodeId(j)))
+}
+
+/// Selects the storing nodes for one item under `placement`.
+///
+/// Both strategies solve the UFL instance first — [`Placement::Random`]
+/// only uses it to learn the fair replica count, then forgets the
+/// optimized locations.
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_core::{select_storers, NodeStorage, Placement};
+/// use edgechain_sim::{Point, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let topo = Topology::from_positions(
+///     (0..4).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
+/// );
+/// let storage = vec![NodeStorage::paper_default(); 4];
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let storers = select_storers(Placement::Optimal, &topo, &storage, &mut rng)?;
+/// assert!(!storers.is_empty());
+/// # Ok::<(), edgechain_facility::SolveError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SolveError::NoFeasibleFacility`] when every node is full.
+pub fn select_storers<R: Rng + ?Sized>(
+    placement: Placement,
+    topology: &Topology,
+    storage: &[NodeStorage],
+    rng: &mut R,
+) -> Result<Vec<NodeId>, SolveError> {
+    select_storers_scaled(
+        placement,
+        topology,
+        storage,
+        edgechain_facility::FDC_SCALE,
+        rng,
+    )
+}
+
+/// [`select_storers`] with an explicit FDC weight `A` (ablation support).
+///
+/// # Errors
+///
+/// Returns [`SolveError::NoFeasibleFacility`] when every node is full.
+pub fn select_storers_scaled<R: Rng + ?Sized>(
+    placement: Placement,
+    topology: &Topology,
+    storage: &[NodeStorage],
+    fdc_scale: f64,
+    rng: &mut R,
+) -> Result<Vec<NodeId>, SolveError> {
+    if placement == Placement::NoProactive {
+        return Ok(Vec::new());
+    }
+    let instance = build_instance_scaled(topology, storage, fdc_scale);
+    let solution = solve(&instance)?;
+    let optimal: Vec<NodeId> = solution
+        .open_facilities()
+        .into_iter()
+        .map(NodeId)
+        .collect();
+    match placement {
+        Placement::NoProactive => unreachable!("handled above"),
+        Placement::Optimal => Ok(optimal),
+        Placement::Random => {
+            let candidates: Vec<NodeId> = (0..storage.len())
+                .filter(|&i| !storage[i].is_full())
+                .map(NodeId)
+                .collect();
+            if candidates.is_empty() {
+                return Err(SolveError::NoFeasibleFacility);
+            }
+            let k = optimal.len().min(candidates.len());
+            let mut picked = candidates;
+            picked.shuffle(rng);
+            picked.truncate(k);
+            picked.sort();
+            Ok(picked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::DataId;
+    use edgechain_sim::{Point, TopologyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_topology(n: usize) -> Topology {
+        Topology::from_positions(
+            (0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn optimal_avoids_full_nodes() {
+        let topo = line_topology(4);
+        let mut storage = vec![NodeStorage::new(10); 4];
+        for i in 0..10 {
+            storage[1].store_data(DataId(i));
+        }
+        storage[1].cache_recent(0);
+        assert!(storage[1].is_full());
+        let mut rng = StdRng::seed_from_u64(1);
+        let nodes =
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        assert!(!nodes.is_empty());
+        assert!(!nodes.contains(&NodeId(1)), "full node selected: {nodes:?}");
+    }
+
+    #[test]
+    fn optimal_prefers_emptier_nodes() {
+        let topo = line_topology(3);
+        let mut storage = vec![NodeStorage::new(100); 3];
+        // Node 0 heavily used; nodes 1,2 empty.
+        for i in 0..90 {
+            storage[0].store_data(DataId(i));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let nodes =
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        assert!(!nodes.contains(&NodeId(0)), "loaded node selected: {nodes:?}");
+    }
+
+    #[test]
+    fn random_matches_optimal_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo =
+            Topology::random_connected(20, TopologyConfig::default(), &mut rng)
+                .unwrap();
+        let storage = vec![NodeStorage::paper_default(); 20];
+        let optimal =
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        let random =
+            select_storers(Placement::Random, &topo, &storage, &mut rng).unwrap();
+        assert_eq!(optimal.len(), random.len());
+    }
+
+    #[test]
+    fn random_only_picks_non_full() {
+        let topo = line_topology(4);
+        let mut storage = vec![NodeStorage::new(5); 4];
+        for i in 0..5 {
+            storage[2].store_data(DataId(i));
+        }
+        storage[2].cache_recent(0);
+        assert!(storage[2].is_full());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let nodes =
+                select_storers(Placement::Random, &topo, &storage, &mut rng)
+                    .unwrap();
+            assert!(!nodes.contains(&NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn all_full_is_error() {
+        let topo = line_topology(2);
+        let mut storage = vec![NodeStorage::new(1); 2];
+        for s in &mut storage {
+            s.cache_recent(0); // the single slot holds the newest block
+            assert!(s.is_full());
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng),
+            Err(SolveError::NoFeasibleFacility)
+        );
+        assert_eq!(
+            select_storers(Placement::Random, &topo, &storage, &mut rng),
+            Err(SolveError::NoFeasibleFacility)
+        );
+    }
+
+    #[test]
+    fn spread_out_network_gets_multiple_replicas() {
+        // A long line: one replica cannot serve everyone cheaply, so the
+        // solver opens several facilities.
+        let topo = line_topology(12);
+        let storage = vec![NodeStorage::paper_default(); 12];
+        let mut rng = StdRng::seed_from_u64(6);
+        let nodes =
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        assert!(nodes.len() >= 2, "expected multiple replicas, got {nodes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one storage manager per topology node")]
+    fn mismatched_sizes_rejected() {
+        let topo = line_topology(3);
+        let storage = vec![NodeStorage::paper_default(); 2];
+        let _ = build_instance(&topo, &storage);
+    }
+}

@@ -1,0 +1,394 @@
+//! Blocks and the block chain structure (paper Fig. 2).
+//!
+//! A block carries the usual linkage fields (index, previous hash,
+//! timestamp, own hash) plus the edge-specific ones: the metadata items it
+//! packs (committed via a Merkle root), **where this block is stored**,
+//! **where the previous block is stored** (so a bootstrapping node can walk
+//! the chain backwards, §IV-D), the nodes told to cache one more recent
+//! block (§IV-C), and the PoS credentials — `POSHash`, the miner, its
+//! claimed delay `t`, and the amendment `B` ("Get B from current block",
+//! §V-C).
+
+use crate::account::AccountId;
+use crate::metadata::MetadataItem;
+use crate::pos::Amendment;
+use edgechain_crypto::{Digest, MerkleTree, Sha256};
+use edgechain_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A block in the edge blockchain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height of the block (genesis = 0).
+    pub index: u64,
+    /// Hash of the previous block ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// Seconds since simulation start at which the block was mined.
+    pub timestamp_secs: u64,
+    /// The chained PoS hash for this round (Eq. 7).
+    pub pos_hash: Digest,
+    /// Account of the miner.
+    pub miner: AccountId,
+    /// The miner's claimed delay `t` since the previous block (seconds).
+    pub delay_secs: u64,
+    /// The amendment `B` in force for this round.
+    pub amendment: Amendment,
+    /// Metadata items packed into this block.
+    pub metadata: Vec<MetadataItem>,
+    /// Merkle root over the metadata items.
+    pub merkle_root: Digest,
+    /// Nodes assigned to store **this** block.
+    pub storing_nodes: Vec<NodeId>,
+    /// Nodes storing the **previous** block (backward pointer for chain
+    /// bootstrap).
+    pub prev_storing_nodes: Vec<NodeId>,
+    /// Nodes instructed to grow their recent-block cache by one.
+    pub recent_cache_nodes: Vec<NodeId>,
+    /// Hash of this block (over every field above).
+    pub hash: Digest,
+}
+
+impl Block {
+    /// The deterministic genesis block: stored by everyone, mined by nobody.
+    pub fn genesis() -> Self {
+        let mut b = Block {
+            index: 0,
+            prev_hash: Digest::ZERO,
+            timestamp_secs: 0,
+            pos_hash: edgechain_crypto::sha256(b"edgechain-genesis-pos"),
+            miner: AccountId(Digest::ZERO),
+            delay_secs: 0,
+            amendment: Amendment::from_fraction(1, 1),
+            metadata: Vec::new(),
+            merkle_root: MerkleTree::from_leaves(Vec::<&[u8]>::new()).root(),
+            storing_nodes: Vec::new(),
+            prev_storing_nodes: Vec::new(),
+            recent_cache_nodes: Vec::new(),
+            hash: Digest::ZERO,
+        };
+        b.hash = b.compute_hash();
+        b
+    }
+
+    /// Assembles and seals a block: fills in the Merkle root and hash.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: u64,
+        prev_hash: Digest,
+        timestamp_secs: u64,
+        pos_hash: Digest,
+        miner: AccountId,
+        delay_secs: u64,
+        amendment: Amendment,
+        metadata: Vec<MetadataItem>,
+        storing_nodes: Vec<NodeId>,
+        prev_storing_nodes: Vec<NodeId>,
+        recent_cache_nodes: Vec<NodeId>,
+    ) -> Self {
+        let merkle_root =
+            MerkleTree::from_leaves(metadata.iter().map(|m| m.canonical_bytes()))
+                .root();
+        let mut block = Block {
+            index,
+            prev_hash,
+            timestamp_secs,
+            pos_hash,
+            miner,
+            delay_secs,
+            amendment,
+            metadata,
+            merkle_root,
+            storing_nodes,
+            prev_storing_nodes,
+            recent_cache_nodes,
+            hash: Digest::ZERO,
+        };
+        block.hash = block.compute_hash();
+        block
+    }
+
+    /// Hash of all fields except `hash` itself.
+    pub fn compute_hash(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"edgechain-block-v1");
+        h.update(self.index.to_be_bytes());
+        h.update(self.prev_hash.as_bytes());
+        h.update(self.timestamp_secs.to_be_bytes());
+        h.update(self.pos_hash.as_bytes());
+        h.update(self.miner.as_bytes());
+        h.update(self.delay_secs.to_be_bytes());
+        h.update(self.amendment.numerator().to_be_bytes());
+        h.update(self.amendment.denominator().to_be_bytes());
+        h.update(self.merkle_root.as_bytes());
+        for set in [&self.storing_nodes, &self.prev_storing_nodes, &self.recent_cache_nodes] {
+            h.update((set.len() as u64).to_be_bytes());
+            for n in set.iter() {
+                h.update((n.0 as u64).to_be_bytes());
+            }
+        }
+        h.finalize()
+    }
+
+    /// Recomputes the Merkle root over the metadata items.
+    pub fn compute_merkle_root(&self) -> Digest {
+        MerkleTree::from_leaves(self.metadata.iter().map(|m| m.canonical_bytes()))
+            .root()
+    }
+
+    /// Structural self-check: hash and Merkle root match the contents.
+    pub fn is_well_formed(&self) -> bool {
+        self.hash == self.compute_hash() && self.merkle_root == self.compute_merkle_root()
+    }
+
+    /// Validates the linkage to the previous block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`BlockError`] for a broken index, hash link,
+    /// timestamp regression, or malformed contents.
+    pub fn validate_against(&self, prev: &Block) -> Result<(), BlockError> {
+        if self.index != prev.index + 1 {
+            return Err(BlockError::BadIndex { expected: prev.index + 1, got: self.index });
+        }
+        if self.prev_hash != prev.hash {
+            return Err(BlockError::BrokenHashLink { index: self.index });
+        }
+        if self.timestamp_secs < prev.timestamp_secs {
+            return Err(BlockError::TimestampRegression { index: self.index });
+        }
+        if !self.is_well_formed() {
+            return Err(BlockError::Malformed { index: self.index });
+        }
+        Ok(())
+    }
+
+    /// Exact wire size in bytes (the length of
+    /// [`crate::codec::encode_block`]'s output). Blocks stay well under
+    /// the paper's "average block size is less than 10 KB".
+    pub fn wire_size(&self) -> u64 {
+        crate::codec::encode_block(self).len() as u64
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block #{} [{} items, miner {}, t={}s]",
+            self.index,
+            self.metadata.len(),
+            self.miner,
+            self.delay_secs
+        )
+    }
+}
+
+/// Block validation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// Index is not `prev.index + 1`.
+    BadIndex {
+        /// Expected index.
+        expected: u64,
+        /// Index found in the block.
+        got: u64,
+    },
+    /// `prev_hash` does not match the previous block's hash.
+    BrokenHashLink {
+        /// Index of the offending block.
+        index: u64,
+    },
+    /// Timestamp is earlier than the previous block's.
+    TimestampRegression {
+        /// Index of the offending block.
+        index: u64,
+    },
+    /// Hash or Merkle root does not match the contents.
+    Malformed {
+        /// Index of the offending block.
+        index: u64,
+    },
+    /// A metadata item carries an invalid producer signature.
+    BadMetadataSignature {
+        /// Index of the offending block.
+        index: u64,
+        /// Position of the bad item within the block.
+        item: usize,
+    },
+    /// The PoS mining claim does not verify.
+    BadPosClaim {
+        /// Index of the offending block.
+        index: u64,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::BadIndex { expected, got } => {
+                write!(f, "bad block index: expected {expected}, got {got}")
+            }
+            BlockError::BrokenHashLink { index } => {
+                write!(f, "block {index} does not link to its predecessor")
+            }
+            BlockError::TimestampRegression { index } => {
+                write!(f, "block {index} timestamp precedes its predecessor")
+            }
+            BlockError::Malformed { index } => {
+                write!(f, "block {index} hash or merkle root mismatch")
+            }
+            BlockError::BadMetadataSignature { index, item } => {
+                write!(f, "block {index} metadata item {item} signature invalid")
+            }
+            BlockError::BadPosClaim { index } => {
+                write!(f, "block {index} proof-of-stake claim invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Identity;
+    use crate::metadata::{DataId, DataType, Location};
+
+    fn meta(seed: u64, id: u64) -> MetadataItem {
+        MetadataItem::new_signed(
+            Identity::from_seed(seed).keys(),
+            DataId(id),
+            DataType::Sensing("PM2.5".into()),
+            60,
+            Location::default(),
+            1440,
+            None,
+            1_000_000,
+        )
+    }
+
+    fn child_of(prev: &Block, ts: u64) -> Block {
+        Block::new(
+            prev.index + 1,
+            prev.hash,
+            ts,
+            edgechain_crypto::sha256(b"pos"),
+            Identity::from_seed(1).account(),
+            30,
+            Amendment::from_fraction(1, 100),
+            vec![meta(2, 7)],
+            vec![NodeId(0), NodeId(3)],
+            prev.storing_nodes.clone(),
+            vec![NodeId(5)],
+        )
+    }
+
+    #[test]
+    fn genesis_is_well_formed() {
+        let g = Block::genesis();
+        assert!(g.is_well_formed());
+        assert_eq!(g.index, 0);
+        assert_eq!(g.prev_hash, Digest::ZERO);
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        assert_eq!(Block::genesis(), Block::genesis());
+    }
+
+    #[test]
+    fn valid_child_links() {
+        let g = Block::genesis();
+        let b = child_of(&g, 60);
+        assert!(b.is_well_formed());
+        assert_eq!(b.validate_against(&g), Ok(()));
+    }
+
+    #[test]
+    fn bad_index_detected() {
+        let g = Block::genesis();
+        let mut b = child_of(&g, 60);
+        b.index = 5;
+        b.hash = b.compute_hash();
+        assert_eq!(
+            b.validate_against(&g),
+            Err(BlockError::BadIndex { expected: 1, got: 5 })
+        );
+    }
+
+    #[test]
+    fn broken_hash_link_detected() {
+        let g = Block::genesis();
+        let mut b = child_of(&g, 60);
+        b.prev_hash = edgechain_crypto::sha256(b"not the genesis");
+        b.hash = b.compute_hash();
+        assert_eq!(
+            b.validate_against(&g),
+            Err(BlockError::BrokenHashLink { index: 1 })
+        );
+    }
+
+    #[test]
+    fn timestamp_regression_detected() {
+        let g = Block::genesis();
+        let b1 = child_of(&g, 120);
+        let mut b2 = child_of(&b1, 60);
+        b2.prev_hash = b1.hash;
+        b2.index = 2;
+        b2.hash = b2.compute_hash();
+        assert_eq!(
+            b2.validate_against(&b1),
+            Err(BlockError::TimestampRegression { index: 2 })
+        );
+    }
+
+    #[test]
+    fn tampered_metadata_detected() {
+        let g = Block::genesis();
+        let mut b = child_of(&g, 60);
+        // Change a metadata item without re-sealing: merkle root mismatch.
+        b.metadata[0].data_size = 5;
+        assert!(!b.is_well_formed());
+        assert_eq!(b.validate_against(&g), Err(BlockError::Malformed { index: 1 }));
+    }
+
+    #[test]
+    fn tampered_storing_nodes_detected() {
+        let g = Block::genesis();
+        let mut b = child_of(&g, 60);
+        b.storing_nodes.push(NodeId(9));
+        assert!(!b.is_well_formed());
+    }
+
+    #[test]
+    fn wire_size_below_10kb_for_typical_blocks() {
+        let g = Block::genesis();
+        let mut items = Vec::new();
+        for i in 0..3 {
+            items.push(meta(10 + i, i));
+        }
+        let b = Block::new(
+            1,
+            g.hash,
+            60,
+            edgechain_crypto::sha256(b"pos"),
+            Identity::from_seed(1).account(),
+            60,
+            Amendment::from_fraction(1, 100),
+            items,
+            vec![NodeId(0)],
+            vec![],
+            vec![],
+        );
+        assert!(b.wire_size() < 10_000, "block size {}", b.wire_size());
+        assert!(b.wire_size() > 200);
+    }
+
+    #[test]
+    fn display_mentions_index() {
+        let g = Block::genesis();
+        assert!(format!("{g}").contains("block #0"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The blockchain container: validation, fork choice, and derived state.
+//!
+//! Every node keeps (a view of) the chain. Validation checks linkage
+//! (index, hash, timestamp), structural integrity (block hash + Merkle
+//! root), and optionally every metadata producer signature. Fork choice is
+//! the paper's longest-chain rule: a node that receives a strictly longer
+//! valid chain adopts it. Token balances are always *derived* from chain
+//! history (one token per mined block), so any node can audit any `S_i`.
+
+use crate::account::{AccountId, Ledger};
+use crate::block::{Block, BlockError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated chain of blocks starting at genesis.
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_core::{Blockchain, Block};
+///
+/// let mut chain = Blockchain::new();
+/// assert_eq!(chain.height(), 0);
+/// assert_eq!(chain.tip(), &Block::genesis());
+/// // Chains rebuilt from raw blocks are re-validated link by link.
+/// let same = Blockchain::from_blocks(chain.as_slice().to_vec())?;
+/// assert_eq!(same, chain);
+/// # Ok::<(), edgechain_core::ChainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+}
+
+impl Default for Blockchain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blockchain {
+    /// A chain containing only the genesis block.
+    pub fn new() -> Self {
+        Blockchain { blocks: vec![Block::genesis()] }
+    }
+
+    /// Reconstructs a chain from blocks, validating linkage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] when the sequence is empty, does not start at
+    /// the canonical genesis, or fails linkage validation anywhere.
+    pub fn from_blocks(blocks: Vec<Block>) -> Result<Self, ChainError> {
+        if blocks.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        if blocks[0] != Block::genesis() {
+            return Err(ChainError::BadGenesis);
+        }
+        for i in 1..blocks.len() {
+            blocks[i]
+                .validate_against(&blocks[i - 1])
+                .map_err(|e| ChainError::Invalid { index: blocks[i].index, source: e })?;
+        }
+        Ok(Blockchain { blocks })
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A chain is never empty (genesis is always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the newest block.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64 - 1
+    }
+
+    /// The newest block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("chain always has genesis")
+    }
+
+    /// Block at `index`, if present.
+    pub fn get(&self, index: u64) -> Option<&Block> {
+        self.blocks.get(index as usize)
+    }
+
+    /// Iterates blocks from genesis to tip.
+    pub fn iter(&self) -> std::slice::Iter<'_, Block> {
+        self.blocks.iter()
+    }
+
+    /// All blocks as a slice.
+    pub fn as_slice(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Appends a block after validating linkage against the tip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BlockError`] from [`Block::validate_against`].
+    pub fn push(&mut self, block: Block) -> Result<(), BlockError> {
+        block.validate_against(self.tip())?;
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Verifies every metadata producer signature in `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::BadMetadataSignature`] naming the first bad
+    /// item.
+    pub fn verify_block_signatures(block: &Block) -> Result<(), BlockError> {
+        for (i, item) in block.metadata.iter().enumerate() {
+            if !item.verify() {
+                return Err(BlockError::BadMetadataSignature {
+                    index: block.index,
+                    item: i,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Longest-chain fork choice: adopts `candidate` iff it is strictly
+    /// longer and fully valid. Returns whether adoption happened.
+    ///
+    /// (Receiving "a blockchain longer than its previous received
+    /// blockchain" is also how a node detects that it missed blocks,
+    /// §IV-D.)
+    pub fn try_adopt(&mut self, candidate: &[Block]) -> bool {
+        if candidate.len() <= self.blocks.len() {
+            return false;
+        }
+        match Self::from_blocks(candidate.to_vec()) {
+            Ok(chain) => {
+                *self = chain;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Checkpointed fork choice (paper §V-D): because PoS makes working on
+    /// multiple branches cheap, "solutions about inserting checkpoint
+    /// block are proposed to force nodes working on the chain that has
+    /// checkpoint blocks". A candidate chain is adopted only if it is
+    /// strictly longer, fully valid, **and agrees with this chain's
+    /// checkpoint blocks** — every block at a height that is a multiple of
+    /// `policy.interval` (and within both chains) must be identical, so no
+    /// reorganisation can cross a checkpoint.
+    pub fn try_adopt_checkpointed(
+        &mut self,
+        candidate: &[Block],
+        policy: CheckpointPolicy,
+    ) -> bool {
+        if candidate.len() <= self.blocks.len() {
+            return false;
+        }
+        let shared = self.blocks.len().min(candidate.len());
+        let interval = policy.interval.max(1) as usize;
+        for idx in (interval..shared).step_by(interval) {
+            if self.blocks[idx] != candidate[idx] {
+                return false;
+            }
+        }
+        self.try_adopt(candidate)
+    }
+
+    /// Height of the newest checkpoint block under `policy` (0 when the
+    /// chain has not reached the first checkpoint yet). Blocks at or below
+    /// this height are final: [`Blockchain::try_adopt_checkpointed`] never
+    /// reorganises them away.
+    pub fn latest_checkpoint(&self, policy: CheckpointPolicy) -> u64 {
+        let interval = policy.interval.max(1);
+        (self.height() / interval) * interval
+    }
+
+    /// Derives token balances from history: each block credits its miner
+    /// one token (the paper's mining incentive), on top of the one-token
+    /// initial grant.
+    pub fn derive_ledger(&self) -> Ledger {
+        let mut ledger = Ledger::new();
+        for block in self.blocks.iter().skip(1) {
+            ledger.credit(block.miner, 1);
+        }
+        ledger
+    }
+
+    /// Number of blocks mined by `account`.
+    pub fn blocks_mined_by(&self, account: &AccountId) -> u64 {
+        self.blocks
+            .iter()
+            .skip(1)
+            .filter(|b| &b.miner == account)
+            .count() as u64
+    }
+
+    /// Total count of metadata items recorded on-chain.
+    pub fn total_metadata_items(&self) -> usize {
+        self.blocks.iter().map(|b| b.metadata.len()).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Blockchain {
+    type Item = &'a Block;
+    type IntoIter = std::slice::Iter<'a, Block>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+/// Checkpointing policy for [`Blockchain::try_adopt_checkpointed`]: every
+/// block whose height is a multiple of `interval` is a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Checkpoint spacing in blocks (clamped to ≥ 1).
+    pub interval: u64,
+}
+
+impl Default for CheckpointPolicy {
+    /// One checkpoint every 10 blocks.
+    fn default() -> Self {
+        CheckpointPolicy { interval: 10 }
+    }
+}
+
+/// Whole-chain validation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// No blocks at all.
+    Empty,
+    /// First block is not the canonical genesis.
+    BadGenesis,
+    /// A block failed linkage validation.
+    Invalid {
+        /// Index of the offending block.
+        index: u64,
+        /// The underlying block error.
+        source: BlockError,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Empty => write!(f, "chain has no blocks"),
+            ChainError::BadGenesis => write!(f, "chain does not start at genesis"),
+            ChainError::Invalid { index, source } => {
+                write!(f, "invalid block {index}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChainError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Identity;
+    use crate::metadata::{DataId, DataType, Location, MetadataItem};
+    use crate::pos::Amendment;
+    use edgechain_sim::NodeId;
+
+    fn mined_block(prev: &Block, miner_seed: u64, ts: u64) -> Block {
+        Block::new(
+            prev.index + 1,
+            prev.hash,
+            ts,
+            crate::pos::next_pos_hash(&prev.pos_hash, &Identity::from_seed(miner_seed).account()),
+            Identity::from_seed(miner_seed).account(),
+            60,
+            Amendment::from_fraction(1, 1000),
+            Vec::new(),
+            vec![NodeId(0)],
+            prev.storing_nodes.clone(),
+            Vec::new(),
+        )
+    }
+
+    fn chain_of(n: u64) -> Blockchain {
+        let mut chain = Blockchain::new();
+        for i in 0..n {
+            let b = mined_block(chain.tip(), i % 3, (i + 1) * 60);
+            chain.push(b).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn new_chain_has_genesis() {
+        let chain = Blockchain::new();
+        assert_eq!(chain.height(), 0);
+        assert_eq!(chain.len(), 1);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.tip().index, 0);
+    }
+
+    #[test]
+    fn push_and_get() {
+        let chain = chain_of(5);
+        assert_eq!(chain.height(), 5);
+        assert_eq!(chain.get(3).unwrap().index, 3);
+        assert!(chain.get(9).is_none());
+    }
+
+    #[test]
+    fn push_rejects_bad_link() {
+        let mut chain = chain_of(2);
+        let orphan = mined_block(chain.get(0).unwrap(), 1, 300);
+        assert!(chain.push(orphan).is_err());
+        assert_eq!(chain.height(), 2);
+    }
+
+    #[test]
+    fn from_blocks_roundtrip() {
+        let chain = chain_of(4);
+        let rebuilt = Blockchain::from_blocks(chain.as_slice().to_vec()).unwrap();
+        assert_eq!(rebuilt, chain);
+    }
+
+    #[test]
+    fn from_blocks_rejects_tampering() {
+        let chain = chain_of(4);
+        let mut blocks = chain.as_slice().to_vec();
+        blocks[2].timestamp_secs += 1; // breaks its own hash
+        assert!(matches!(
+            Blockchain::from_blocks(blocks),
+            Err(ChainError::Invalid { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn from_blocks_rejects_fake_genesis() {
+        let chain = chain_of(2);
+        let mut blocks = chain.as_slice().to_vec();
+        blocks.remove(0);
+        assert_eq!(
+            Blockchain::from_blocks(blocks),
+            Err(ChainError::BadGenesis)
+        );
+        assert_eq!(Blockchain::from_blocks(vec![]), Err(ChainError::Empty));
+    }
+
+    #[test]
+    fn fork_choice_adopts_longer_only() {
+        let mut short = chain_of(2);
+        let long = chain_of(5);
+        let snapshot = short.clone();
+        assert!(!short.try_adopt(&long.as_slice()[..2])); // shorter
+        assert!(!short.try_adopt(short.clone().as_slice())); // equal
+        assert_eq!(short, snapshot);
+        assert!(short.try_adopt(long.as_slice()));
+        assert_eq!(short, long);
+    }
+
+    #[test]
+    fn fork_choice_rejects_longer_but_invalid() {
+        let mut chain = chain_of(2);
+        let long = chain_of(5);
+        let mut tampered = long.as_slice().to_vec();
+        tampered[4].delay_secs = 999; // breaks block 4's hash
+        assert!(!chain.try_adopt(&tampered));
+        assert_eq!(chain.height(), 2);
+    }
+
+    /// Extends `base` with `n` extra blocks mined by `seed_offset`-shifted
+    /// miners, producing a fork when two calls use different offsets.
+    fn extend(base: &Blockchain, n: u64, seed_offset: u64) -> Blockchain {
+        let mut chain = base.clone();
+        for i in 0..n {
+            let ts = chain.tip().timestamp_secs + 60;
+            let b = mined_block(chain.tip(), seed_offset + i, ts);
+            chain.push(b).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn checkpointed_adoption_refuses_deep_reorg() {
+        let trunk = chain_of(4);
+        // Our chain: trunk + 8 blocks (height 12; checkpoint at 10).
+        let ours = extend(&trunk, 8, 100);
+        // Attacker: longer fork diverging from the trunk below our
+        // checkpoint.
+        let attacker = extend(&trunk, 12, 200);
+        let policy = CheckpointPolicy { interval: 10 };
+        let mut chain = ours.clone();
+        assert_eq!(chain.latest_checkpoint(policy), 10);
+        assert!(!chain.try_adopt_checkpointed(attacker.as_slice(), policy));
+        assert_eq!(chain, ours, "checkpointed chain must not reorg");
+        // Plain longest-chain *would* have adopted it (the §V-D hazard).
+        let mut plain = ours.clone();
+        assert!(plain.try_adopt(attacker.as_slice()));
+    }
+
+    #[test]
+    fn checkpointed_adoption_allows_shallow_extension() {
+        let trunk = chain_of(11); // height 11; checkpoint at 10
+        // A longer chain that shares everything through the checkpoint.
+        let longer = extend(&trunk, 4, 300);
+        let mut chain = trunk.clone();
+        let policy = CheckpointPolicy { interval: 10 };
+        assert!(chain.try_adopt_checkpointed(longer.as_slice(), policy));
+        assert_eq!(chain.height(), 15);
+    }
+
+    #[test]
+    fn checkpointed_adoption_before_first_checkpoint_is_plain() {
+        let trunk = chain_of(2);
+        let a = extend(&trunk, 3, 400);
+        let b = extend(&trunk, 5, 500);
+        let mut chain = a.clone();
+        let policy = CheckpointPolicy { interval: 10 };
+        assert_eq!(chain.latest_checkpoint(policy), 0);
+        // No checkpoint reached yet: longest chain wins as usual.
+        assert!(chain.try_adopt_checkpointed(b.as_slice(), policy));
+        assert_eq!(chain.height(), 7);
+    }
+
+    #[test]
+    fn ledger_credits_miners() {
+        let chain = chain_of(6); // miners cycle over seeds 0,1,2
+        let ledger = chain.derive_ledger();
+        for seed in 0..3u64 {
+            let acct = Identity::from_seed(seed).account();
+            // initial 1 + 2 mined each
+            assert_eq!(ledger.balance(&acct), 3);
+            assert_eq!(chain.blocks_mined_by(&acct), 2);
+        }
+    }
+
+    #[test]
+    fn signature_verification_catches_forged_item() {
+        let mut item = MetadataItem::new_signed(
+            Identity::from_seed(1).keys(),
+            DataId(1),
+            DataType::KeyExchange,
+            0,
+            Location::default(),
+            60,
+            None,
+            100,
+        );
+        item.data_size = 999; // invalidates signature
+        let prev = Block::genesis();
+        let block = Block::new(
+            1,
+            prev.hash,
+            60,
+            prev.pos_hash,
+            Identity::from_seed(1).account(),
+            60,
+            Amendment::from_fraction(1, 1),
+            vec![item],
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert_eq!(
+            Blockchain::verify_block_signatures(&block),
+            Err(BlockError::BadMetadataSignature { index: 1, item: 0 })
+        );
+    }
+
+    #[test]
+    fn metadata_counting() {
+        let chain = chain_of(3);
+        assert_eq!(chain.total_metadata_items(), 0);
+    }
+
+    #[test]
+    fn iteration_orders_by_index() {
+        let chain = chain_of(4);
+        let indices: Vec<u64> = (&chain).into_iter().map(|b| b.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+}

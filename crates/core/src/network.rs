@@ -1,0 +1,1325 @@
+//! The end-to-end edge blockchain network simulation (paper §VI).
+//!
+//! [`EdgeNetwork`] wires every subsystem together over the discrete-event
+//! simulator: nodes generate data and broadcast metadata; the PoS round
+//! picks the next miner; the miner packs metadata, runs the allocation
+//! engine for data items, the block itself, and the recent-block cache,
+//! then broadcasts the block; storing nodes proactively fetch data from
+//! producers; requester nodes fetch data items via the metadata they find
+//! in blocks; nodes that miss blocks (mobility partitions) recover them
+//! from neighbors' recent-block caches. Every byte rides the transport
+//! layer and lands in the overhead metrics.
+//!
+//! ## Fidelity notes (vs. the paper's Docker prototype)
+//!
+//! * The PoS winner is computed from the global round state (every node
+//!   would reach the same verdict by Eq. 7–9), so competing forks never
+//!   arise; what the paper's prototype experienced as "branches" appears
+//!   here as nodes with *missing blocks*, handled by the §IV-D recovery
+//!   protocol. Fork-choice itself is implemented and tested in
+//!   [`crate::chain`].
+//! * Candidates with stale chain views still participate in mining; the
+//!   paper's prototype behaves the same way (a stale miner's block simply
+//!   loses the longest-chain race).
+
+use crate::account::{AccountId, Identity, Ledger};
+use crate::alloc::{select_storers_scaled, Placement};
+use crate::block::Block;
+use crate::chain::Blockchain;
+use crate::metadata::{DataId, DataType, Location, MetadataItem};
+use crate::pos::{run_round, Candidate};
+use crate::storage::NodeStorage;
+use edgechain_energy::{Battery, DeviceProfile, EnergyCategory, EnergyMeter};
+use edgechain_sim::{
+    gini_counts, EventQueue, NodeId, RunningStats, SimTime, Topology,
+    TopologyConfig, TopologyError, Transport, TransportConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Wire size of a data request message.
+const DATA_REQUEST_BYTES: u64 = 256;
+/// Wire size of a missing-block request message.
+const BLOCK_REQUEST_BYTES: u64 = 128;
+/// How long a requester waits before concluding a storer denied service.
+const DENIAL_TIMEOUT: SimTime = SimTime::from_secs(1);
+
+/// Full configuration of a simulation run. Defaults reproduce the paper's
+/// §VI setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Number of edge nodes (paper sweeps 10–50).
+    pub nodes: usize,
+    /// Network-wide data generation rate, items per minute (paper: 1–3).
+    pub data_items_per_min: f64,
+    /// Simulated duration in minutes (paper: 500).
+    pub sim_minutes: u64,
+    /// Expected PoS block interval `t0` in seconds (paper: 60).
+    pub block_interval_secs: u64,
+    /// Per-node storage capacity in slots (paper: 250).
+    pub storage_slots: u64,
+    /// Size of each data item in bytes (paper: 1 MB).
+    pub data_item_bytes: u64,
+    /// Fraction of nodes acting as data requesters (paper: 10 %).
+    pub requester_fraction: f64,
+    /// How often each requester asks for a random known item (seconds).
+    pub request_interval_secs: u64,
+    /// Mobility re-randomization period (seconds).
+    pub mobility_interval_secs: u64,
+    /// Validity period stamped on generated data items (minutes).
+    pub data_valid_minutes: u64,
+    /// How often expired data items are swept from stores (seconds);
+    /// 0 disables sweeping (the paper's §VII notes expiration is needed
+    /// for long-running deployments).
+    pub expiration_sweep_secs: u64,
+    /// Halve all token balances every this many blocks (paper §V-B's
+    /// rescaling that keeps `B` numerically tame); `None` disables.
+    pub token_rescale_blocks: Option<u64>,
+    /// Run the §VII data-migration pass every this many seconds, moving
+    /// the worst-placed items toward the current optimum; `None` disables.
+    pub migration_interval_secs: Option<u64>,
+    /// Migration decision knobs (threshold, FDC weight).
+    pub migration: crate::migration::MigrationConfig,
+    /// Fraction of nodes that accept storage assignments but silently
+    /// deny serving data and blocks (paper §III-B.2's malicious model).
+    pub malicious_fraction: f64,
+    /// Run a raft instance on every node for "general information
+    /// consensus" (paper §VI), replicating mobility events; its traffic —
+    /// heartbeats above all — is charged to the overhead metrics like any
+    /// other bytes. Off by default so Figs. 4–5 isolate the blockchain
+    /// protocols, matching the paper's accounting.
+    pub raft_consensus: bool,
+    /// Raft timer poll period in milliseconds (when `raft_consensus`).
+    pub raft_tick_ms: u64,
+    /// Placement strategy (Fig. 5 compares Optimal vs Random).
+    pub placement: Placement,
+    /// Geometric network parameters.
+    pub topology: TopologyConfig,
+    /// Transport parameters.
+    pub transport: TransportConfig,
+    /// Device energy profile.
+    pub device: DeviceProfile,
+    /// Verify metadata signatures at every receiving node (slower;
+    /// enabled in integration tests, off for parameter sweeps).
+    pub verify_signatures: bool,
+    /// FDC weight `A` in the allocation objective (paper: 1000).
+    pub fdc_scale: f64,
+    /// Whether miners run the §IV-C recent-block allocation (growing
+    /// chosen nodes' caches). Disabling it is an ablation: every node then
+    /// keeps only the single newest block.
+    pub recent_block_allocation: bool,
+    /// Master RNG seed; identical configs+seeds give identical runs.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nodes: 20,
+            data_items_per_min: 1.0,
+            sim_minutes: 500,
+            block_interval_secs: 60,
+            storage_slots: 250,
+            data_item_bytes: 1_000_000,
+            requester_fraction: 0.10,
+            request_interval_secs: 300,
+            mobility_interval_secs: 60,
+            data_valid_minutes: 1440,
+            expiration_sweep_secs: 300,
+            token_rescale_blocks: None,
+            migration_interval_secs: None,
+            migration: crate::migration::MigrationConfig::default(),
+            malicious_fraction: 0.0,
+            raft_consensus: false,
+            raft_tick_ms: 100,
+            placement: Placement::Optimal,
+            topology: TopologyConfig::default(),
+            transport: TransportConfig::default(),
+            device: DeviceProfile::galaxy_s8(),
+            verify_signatures: false,
+            fdc_scale: edgechain_facility::FDC_SCALE,
+            recent_block_allocation: true,
+            seed: 0xED6E,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    GenerateData,
+    MineBlock,
+    IssueRequest { requester: NodeId },
+    MobilityStep,
+    ExpireSweep,
+    MigrateData,
+    RaftTick,
+    RaftDeliver {
+        from: edgechain_raft::PeerId,
+        envelope: edgechain_raft::Envelope<GeneralEvent>,
+    },
+}
+
+/// A "general information" record replicated through raft when
+/// [`NetworkConfig::raft_consensus`] is on — the paper's example payloads
+/// are membership and mobility updates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum GeneralEvent {
+    /// A node re-randomized its position inside its mobility disc.
+    MobilityUpdate {
+        /// The node that moved.
+        node: NodeId,
+        /// New x coordinate (meters).
+        x: f64,
+        /// New y coordinate (meters).
+        y: f64,
+    },
+}
+
+impl GeneralEvent {
+    fn wire_size(&self) -> u64 {
+        24 // node id + two f64 coordinates
+    }
+}
+
+/// Aggregated results of one simulation run — the raw material of
+/// Figs. 4 and 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Node count of the run.
+    pub nodes: usize,
+    /// Blocks mined (excluding genesis).
+    pub blocks_mined: u64,
+    /// Data items generated.
+    pub data_generated: u64,
+    /// Data items that could not be stored anywhere (all nodes full).
+    pub data_unstored: u64,
+    /// Mean per-node transferred volume (sent + received) in MB — Fig. 4(a).
+    pub mean_node_overhead_mb: f64,
+    /// Total bytes transmitted network-wide, MB.
+    pub total_sent_mb: f64,
+    /// Gini coefficient of per-node used storage slots — Fig. 4(b).
+    pub storage_gini: f64,
+    /// Data delivery time statistics (seconds) — Fig. 4(c)/5(a).
+    pub delivery: RunningStats,
+    /// 95th-percentile data delivery time (seconds), when any completed.
+    pub delivery_p95: Option<f64>,
+    /// Requests that found no reachable storer (retried next round).
+    pub failed_requests: u64,
+    /// Completed data requests.
+    pub completed_requests: u64,
+    /// Missing-block recoveries performed.
+    pub recoveries: u64,
+    /// Recovery latency statistics (seconds).
+    pub recovery: RunningStats,
+    /// Hop distance to the node that served each recovered block.
+    pub recovery_hops: RunningStats,
+    /// Observed mean block interval (seconds).
+    pub mean_block_interval_secs: f64,
+    /// Mean remaining battery across nodes, percent.
+    pub mean_battery_percent: f64,
+    /// Average replicas per stored data item.
+    pub mean_replicas: f64,
+    /// Expired data items evicted from stores.
+    pub data_expired: u64,
+    /// Service denials observed from malicious storers (requests that got
+    /// no answer and were retried elsewhere, §III-B.2).
+    pub denials: u64,
+    /// Replica copies performed by the §VII data-migration pass.
+    pub migrations: u64,
+    /// Raft messages transmitted for general information consensus.
+    pub raft_messages: u64,
+    /// Raft heartbeats among those (the paper's §VII overhead complaint).
+    pub raft_heartbeats: u64,
+    /// Bytes of raft traffic (already included in the overhead numbers).
+    pub raft_bytes: u64,
+    /// General events committed by every live raft replica.
+    pub raft_committed: u64,
+    /// Mean per-node radio energy (joules) implied by the traffic volume
+    /// and the device profile's per-byte TX/RX costs.
+    pub mean_radio_energy_j: f64,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {} nodes, {} blocks, {} items ({} unstored)",
+            self.nodes, self.blocks_mined, self.data_generated, self.data_unstored)?;
+        writeln!(f, "  overhead: {:.1} MB/node ({:.1} MB sent total)",
+            self.mean_node_overhead_mb, self.total_sent_mb)?;
+        writeln!(f, "  storage gini: {:.4}", self.storage_gini)?;
+        writeln!(f, "  delivery: {} ({} failed)", self.delivery, self.failed_requests)?;
+        writeln!(f, "  recoveries: {} ({})", self.recoveries, self.recovery)?;
+        if self.data_expired > 0 || self.denials > 0 {
+            writeln!(f, "  expired: {} items, denials: {}", self.data_expired, self.denials)?;
+        }
+        write!(f, "  block interval: {:.1} s, battery: {:.1} %",
+            self.mean_block_interval_secs, self.mean_battery_percent)
+    }
+}
+
+/// The running simulation.
+pub struct EdgeNetwork {
+    config: NetworkConfig,
+    topo: Topology,
+    transport: Transport,
+    queue: EventQueue<Event>,
+    rng: StdRng,
+
+    identities: Vec<Identity>,
+    account_of: Vec<AccountId>,
+    node_of_account: HashMap<AccountId, NodeId>,
+    storage: Vec<NodeStorage>,
+    batteries: Vec<Battery>,
+    meters: Vec<EnergyMeter>,
+
+    chain: Blockchain,
+    ledger: Ledger,
+    /// Highest contiguous block index each node holds a view of.
+    node_height: Vec<u64>,
+    /// All block indices each node has seen (contiguous or not).
+    node_known: Vec<BTreeSet<u64>>,
+
+    pending_metadata: Vec<MetadataItem>,
+    /// `data_id → (metadata, index of the packing block)`.
+    data_registry: HashMap<DataId, (MetadataItem, u64)>,
+    next_data_id: u64,
+    requesters: Vec<NodeId>,
+    malicious: Vec<bool>,
+    /// Globally-known invalidated (data, storer) pairs ("everyone will be
+    /// informed of this information", §III-B.2).
+    invalid_storers: std::collections::HashSet<(DataId, NodeId)>,
+    raft_nodes: Vec<edgechain_raft::RaftNode<GeneralEvent>>,
+    raft_messages: u64,
+    raft_heartbeats: u64,
+    raft_bytes: u64,
+
+    // metrics
+    delivery: RunningStats,
+    delivery_samples: edgechain_sim::SampleSet,
+    recovery: RunningStats,
+    failed_requests: u64,
+    completed_requests: u64,
+    recoveries: u64,
+    recovery_hops: RunningStats,
+    data_unstored: u64,
+    data_expired: u64,
+    denials: u64,
+    migrations: u64,
+    replica_total: u64,
+    replica_items: u64,
+    block_timestamps: Vec<u64>,
+}
+
+impl EdgeNetwork {
+    /// Builds the network: places nodes, keys them, elects requester roles,
+    /// and schedules the initial events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when no connected placement exists for the
+    /// requested node count.
+    pub fn new(config: NetworkConfig) -> Result<Self, TopologyError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let topo =
+            Topology::random_connected(config.nodes, config.topology.clone(), &mut rng)?;
+        let identities: Vec<Identity> = (0..config.nodes)
+            .map(|i| Identity::from_seed(config.seed.wrapping_add(i as u64)))
+            .collect();
+        let account_of: Vec<AccountId> =
+            identities.iter().map(|id| id.account()).collect();
+        let node_of_account: HashMap<AccountId, NodeId> = account_of
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, NodeId(i)))
+            .collect();
+        let n_requesters =
+            ((config.nodes as f64 * config.requester_fraction).ceil() as usize).max(1);
+        let mut ids: Vec<NodeId> = (0..config.nodes).map(NodeId).collect();
+        // Deterministic shuffle for requester roles.
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        let requesters: Vec<NodeId> = ids.iter().copied().take(n_requesters).collect();
+        // Malicious nodes are drawn from the non-requester tail so every
+        // request exercises the denial path from the outside.
+        let n_malicious = (config.nodes as f64 * config.malicious_fraction).round() as usize;
+        let mut malicious = vec![false; config.nodes];
+        for v in ids.iter().rev().take(n_malicious) {
+            malicious[v.0] = true;
+        }
+
+        let mut network = EdgeNetwork {
+            topo,
+            transport: Transport::new(config.transport),
+            queue: EventQueue::new(),
+            identities,
+            account_of,
+            node_of_account,
+            storage: vec![NodeStorage::new(config.storage_slots); config.nodes],
+            batteries: vec![Battery::full(&config.device); config.nodes],
+            meters: vec![EnergyMeter::new(); config.nodes],
+            chain: Blockchain::new(),
+            ledger: Ledger::new(),
+            node_height: vec![0; config.nodes],
+            node_known: vec![BTreeSet::from([0u64]); config.nodes],
+            pending_metadata: Vec::new(),
+            data_registry: HashMap::new(),
+            next_data_id: 0,
+            requesters,
+            malicious,
+            invalid_storers: std::collections::HashSet::new(),
+            raft_nodes: Vec::new(),
+            delivery: RunningStats::new(),
+            delivery_samples: edgechain_sim::SampleSet::new(),
+            recovery: RunningStats::new(),
+            failed_requests: 0,
+            completed_requests: 0,
+            recoveries: 0,
+            recovery_hops: RunningStats::new(),
+            data_unstored: 0,
+            data_expired: 0,
+            denials: 0,
+            migrations: 0,
+            raft_messages: 0,
+            raft_heartbeats: 0,
+            raft_bytes: 0,
+            replica_total: 0,
+            replica_items: 0,
+            block_timestamps: vec![0],
+            rng,
+            config,
+        };
+        network.bootstrap_events();
+        Ok(network)
+    }
+
+    fn bootstrap_events(&mut self) {
+        // Everyone stores the genesis block in their recent cache.
+        for s in &mut self.storage {
+            s.cache_recent(0);
+        }
+        let first_gen = self.sample_generation_gap();
+        self.queue.schedule(first_gen, Event::GenerateData);
+        self.schedule_next_block();
+        for r in self.requesters.clone() {
+            let jitter = SimTime::from_secs(self.rng.gen_range(
+                1..=self.config.request_interval_secs.max(2),
+            ));
+            self.queue.schedule(jitter, Event::IssueRequest { requester: r });
+        }
+        self.queue.schedule(
+            SimTime::from_secs(self.config.mobility_interval_secs),
+            Event::MobilityStep,
+        );
+        if self.config.expiration_sweep_secs > 0 {
+            self.queue.schedule(
+                SimTime::from_secs(self.config.expiration_sweep_secs),
+                Event::ExpireSweep,
+            );
+        }
+        if let Some(every) = self.config.migration_interval_secs {
+            if every > 0 {
+                self.queue
+                    .schedule(SimTime::from_secs(every), Event::MigrateData);
+            }
+        }
+        if self.config.raft_consensus {
+            let peers: Vec<edgechain_raft::PeerId> =
+                (0..self.config.nodes).map(edgechain_raft::PeerId).collect();
+            self.raft_nodes = peers
+                .iter()
+                .map(|&p| {
+                    edgechain_raft::RaftNode::new(
+                        p,
+                        peers.clone(),
+                        edgechain_raft::RaftConfig::default(),
+                        self.config.seed ^ (p.0 as u64).rotate_left(17),
+                    )
+                })
+                .collect();
+            self.queue.schedule(
+                SimTime::from_millis(self.config.raft_tick_ms.max(1)),
+                Event::RaftTick,
+            );
+        }
+    }
+
+    fn sample_generation_gap(&mut self) -> SimTime {
+        // Exponential inter-arrivals with mean 60/rate seconds.
+        let rate_per_sec = self.config.data_items_per_min / 60.0;
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let gap = -u.ln() / rate_per_sec;
+        self.queue.now() + SimTime::from_secs_f64(gap.clamp(0.5, 3600.0))
+    }
+
+    /// Runs one PoS round from the live state and schedules the mining
+    /// event at the winner's earliest time.
+    fn schedule_next_block(&mut self) {
+        let candidates: Vec<Candidate> = (0..self.config.nodes)
+            .map(|i| Candidate {
+                account: self.account_of[i],
+                tokens: self.ledger.balance(&self.account_of[i]),
+                stored_items: self.storage[i].q_value(),
+            })
+            .collect();
+        let outcome = run_round(
+            &self.chain.tip().pos_hash,
+            &candidates,
+            self.config.block_interval_secs,
+        );
+        // Every node runs the per-second check loop until the round ends:
+        // charge PoS checking energy (Fig. 6's PoS cost model).
+        for i in 0..self.config.nodes {
+            let joules = self.config.device.pos_check_energy * outcome.delay_secs as f64;
+            self.meters[i].record(EnergyCategory::PosChecking, joules);
+            self.batteries[i].consume(joules);
+        }
+        let prev_ts = SimTime::from_secs(self.chain.tip().timestamp_secs);
+        let fire_at = (prev_ts + SimTime::from_secs(outcome.delay_secs))
+            .max(self.queue.now());
+        self.queue.schedule(fire_at, Event::MineBlock);
+    }
+
+    /// Executes the whole run and returns the report.
+    pub fn run(self) -> RunReport {
+        self.run_with_chain().0
+    }
+
+    /// Executes the run and also hands back the final canonical chain,
+    /// letting callers audit it (validation, ledger derivation, …).
+    pub fn run_with_chain(mut self) -> (RunReport, Blockchain) {
+        let horizon = SimTime::from_secs(self.config.sim_minutes * 60);
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event exists");
+            match event {
+                Event::GenerateData => self.on_generate_data(now),
+                Event::MineBlock => self.on_mine_block(now),
+                Event::IssueRequest { requester } => self.on_issue_request(requester, now),
+                Event::MobilityStep => self.on_mobility(now),
+                Event::ExpireSweep => self.on_expire_sweep(now),
+                Event::MigrateData => self.on_migrate(now),
+                Event::RaftTick => self.on_raft_tick(now),
+                Event::RaftDeliver { from, envelope } => {
+                    self.on_raft_deliver(from, envelope, now)
+                }
+            }
+        }
+        let chain = self.chain.clone();
+        (self.into_report(), chain)
+    }
+
+    fn on_generate_data(&mut self, now: SimTime) {
+        let producer = NodeId(self.rng.gen_range(0..self.config.nodes));
+        let id = DataId(self.next_data_id);
+        self.next_data_id += 1;
+        let pos = self.topo.position(producer);
+        let kinds = ["PM2.5", "Traffic", "Noise", "Temperature"];
+        let kind = kinds[self.rng.gen_range(0..kinds.len())];
+        let item = MetadataItem::new_signed(
+            self.identities[producer.0].keys(),
+            id,
+            DataType::Sensing(kind.into()),
+            now.as_secs(),
+            Location { label: format!("field/{producer}"), x: pos.x, y: pos.y },
+            self.config.data_valid_minutes,
+            None,
+            self.config.data_item_bytes,
+        );
+        // Producer always keeps its own data (it is the origin copy).
+        // Broadcast the metadata item so miners can pack it.
+        let announce_bytes = item.wire_size();
+        self.transport
+            .broadcast(&self.topo, producer, announce_bytes, now);
+        self.pending_metadata.push(item);
+        let next = self.sample_generation_gap();
+        self.queue.schedule(next, Event::GenerateData);
+    }
+
+    fn on_mine_block(&mut self, now: SimTime) {
+        // Re-run the round to identify the winner (deterministic).
+        let candidates: Vec<Candidate> = (0..self.config.nodes)
+            .map(|i| Candidate {
+                account: self.account_of[i],
+                tokens: self.ledger.balance(&self.account_of[i]),
+                stored_items: self.storage[i].q_value(),
+            })
+            .collect();
+        let outcome = run_round(
+            &self.chain.tip().pos_hash,
+            &candidates,
+            self.config.block_interval_secs,
+        );
+        let miner = NodeId(outcome.winner);
+
+        // The miner packs pending metadata and allocates storers per item.
+        let mut packed = std::mem::take(&mut self.pending_metadata);
+        for item in &mut packed {
+            match select_storers_scaled(
+                self.config.placement,
+                &self.topo,
+                &self.storage,
+                self.config.fdc_scale,
+                &mut self.rng,
+            ) {
+                Ok(storers) => {
+                    item.storing_nodes = storers;
+                }
+                Err(_) => {
+                    self.data_unstored += 1;
+                    item.storing_nodes = Vec::new();
+                }
+            }
+        }
+
+        // Allocation for the block itself and for the recent-block growth.
+        // The placement strategy under study (Fig. 5) varies only *data*
+        // placement; block storage always uses the paper's allocation so
+        // the chain itself stays retrievable.
+        let block_storers = select_storers_scaled(
+            Placement::Optimal,
+            &self.topo,
+            &self.storage,
+            self.config.fdc_scale,
+            &mut self.rng,
+        )
+        .unwrap_or_default();
+        let recent_growers = if self.config.recent_block_allocation {
+            select_storers_scaled(
+                Placement::Optimal,
+                &self.topo,
+                &self.storage,
+                self.config.fdc_scale,
+                &mut self.rng,
+            )
+            .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
+        let amendment = crate::pos::Amendment::compute(&us, self.config.block_interval_secs);
+        let block = Block::new(
+            self.chain.height() + 1,
+            self.chain.tip().hash,
+            now.as_secs(),
+            outcome.new_pos_hash,
+            self.account_of[miner.0],
+            outcome.delay_secs.max(1),
+            amendment,
+            packed,
+            block_storers.clone(),
+            self.chain.tip().storing_nodes.clone(),
+            recent_growers.clone(),
+        );
+        let block_index = block.index;
+        let block_size = block.wire_size();
+        let metadata_of_block = block.metadata.clone();
+        self.chain.push(block).expect("self-mined block extends the tip");
+        self.ledger.credit(self.account_of[miner.0], 1);
+        if let Some(every) = self.config.token_rescale_blocks {
+            if every > 0 && block_index.is_multiple_of(every) {
+                self.ledger.rescale_halve();
+            }
+        }
+        self.block_timestamps.push(now.as_secs());
+
+        // Broadcast the block; deliveries reveal who is currently connected.
+        let deliveries = self.transport.broadcast(&self.topo, miner, block_size, now);
+        let mut received: Vec<NodeId> = vec![miner];
+        received.extend(deliveries.iter().map(|(v, _)| *v));
+
+        // Verify-on-receive (optional, costs CPU not network).
+        if self.config.verify_signatures {
+            for item in &metadata_of_block {
+                assert!(item.verify(), "self-packed metadata must verify");
+            }
+        }
+
+        // Receivers update their views; detect and recover missing blocks.
+        for &v in &received {
+            let was_height = self.node_height[v.0];
+            self.node_known[v.0].insert(block_index);
+            if block_index > was_height + 1 {
+                self.recover_missing(v, block_index, now);
+            }
+            self.advance_height(v);
+            // Everyone caches the newest block in its recent-cache FIFO.
+            self.storage[v.0].cache_recent(block_index);
+        }
+
+        // Recent-block allocation: chosen nodes grow their cache quota.
+        for &v in &recent_growers {
+            if received.contains(&v) {
+                self.storage[v.0].grow_recent_quota();
+            }
+        }
+        // Block storage allocation: chosen nodes keep the block for good.
+        for &v in &block_storers {
+            if received.contains(&v) {
+                self.storage[v.0].store_block(block_index);
+            }
+        }
+
+        // Data dissemination: each storing node proactively fetches the
+        // data item from its producer.
+        for item in &metadata_of_block {
+            let Some(&producer) = self.node_of_account.get(&item.producer) else {
+                continue;
+            };
+            let mut stored = 0u64;
+            for &storer in &item.storing_nodes {
+                if storer != producer && self.storage[storer.0].is_full() {
+                    continue;
+                }
+                // An unreachable storer simply stays unstored for now.
+                if self
+                    .transport
+                    .unicast(&self.topo, producer, storer, item.data_size, now)
+                    .is_ok()
+                    && (self.storage[storer.0].store_data(item.data_id)
+                        || storer == producer)
+                {
+                    stored += 1;
+                }
+            }
+            if !item.storing_nodes.is_empty() {
+                self.replica_total += stored;
+                self.replica_items += 1;
+            }
+            self.data_registry
+                .insert(item.data_id, (item.clone(), block_index));
+        }
+
+        self.schedule_next_block();
+    }
+
+    /// §IV-D recovery: fetch every missing block below `upto` from the
+    /// nearest node that can serve it (recent cache or permanent storage).
+    fn recover_missing(&mut self, v: NodeId, upto: u64, now: SimTime) {
+        let missing: Vec<u64> = (self.node_height[v.0] + 1..upto)
+            .filter(|i| !self.node_known[v.0].contains(i))
+            .collect();
+        for idx in missing {
+            let holder = (0..self.config.nodes)
+                .map(NodeId)
+                .filter(|&h| h != v && self.storage[h.0].has_block(idx))
+                .filter(|&h| !self.malicious[h.0])
+                .filter(|&h| self.topo.reachable(v, h))
+                .min_by_key(|&h| self.topo.hops(v, h));
+            let Some(holder) = holder else {
+                continue; // retry on the next received block
+            };
+            let req = self
+                .transport
+                .unicast(&self.topo, v, holder, BLOCK_REQUEST_BYTES, now);
+            let Ok(req) = req else { continue };
+            let block_size = self.chain.get(idx).map_or(1000, |b| b.wire_size());
+            if let Ok(resp) =
+                self.transport
+                    .unicast(&self.topo, holder, v, block_size, req.arrival)
+            {
+                self.node_known[v.0].insert(idx);
+                self.recoveries += 1;
+                self.recovery
+                    .record(resp.arrival.saturating_since(now).as_secs_f64());
+                self.recovery_hops.record(self.topo.hops(v, holder) as f64);
+            }
+        }
+    }
+
+    fn advance_height(&mut self, v: NodeId) {
+        while self.node_known[v.0].contains(&(self.node_height[v.0] + 1)) {
+            self.node_height[v.0] += 1;
+        }
+    }
+
+    fn on_issue_request(&mut self, requester: NodeId, now: SimTime) {
+        // Pick a random data item whose metadata this node has seen (i.e.
+        // whose block is within its view) and which is still valid.
+        let mut known: Vec<&MetadataItem> = self
+            .data_registry
+            .values()
+            .filter(|(m, _)| m.is_valid_at(now.as_secs()))
+            // The requester knows the item if it has the packing block.
+            .filter(|(_, idx)| self.node_known[requester.0].contains(idx))
+            .map(|(m, _)| m)
+            .collect();
+        known.sort_by_key(|m| m.data_id);
+        if !known.is_empty() {
+            let pick = known[self.rng.gen_range(0..known.len())].clone();
+            self.fetch_data(requester, &pick, now);
+        }
+        let next = now + SimTime::from_secs(self.config.request_interval_secs.max(1));
+        self.queue.schedule(next, Event::IssueRequest { requester });
+    }
+
+    /// §IV-D data access: request from the nearest node that actually holds
+    /// the data. Malicious storers silently deny; the requester waits out a
+    /// timeout, the `(data, storer)` pair is marked invalid network-wide
+    /// ("everyone will be informed", §III-B.2), and the next-nearest holder
+    /// is tried. The producer's origin copy is the final fallback.
+    fn fetch_data(&mut self, requester: NodeId, item: &MetadataItem, now: SimTime) {
+        let producer = self.node_of_account.get(&item.producer).copied();
+        if self.storage[requester.0].has_data(item.data_id)
+            || producer == Some(requester)
+        {
+            // Local hit: free and instantaneous.
+            self.completed_requests += 1;
+            self.delivery.record(0.0);
+            self.delivery_samples.record(0.0);
+            return;
+        }
+        let mut holders: Vec<NodeId> = item
+            .storing_nodes
+            .iter()
+            .copied()
+            .filter(|&h| self.storage[h.0].has_data(item.data_id))
+            .filter(|&h| !self.invalid_storers.contains(&(item.data_id, h)))
+            .collect();
+        if holders.is_empty() {
+            // Paper Fig. 3: consumers fetch from the caching nodes; the
+            // producer's origin copy is only the fallback when no assigned
+            // storer can serve the item.
+            holders.extend(producer);
+        } else if let Some(p) = producer {
+            // Producer stays as the last resort behind all storers.
+            if !holders.contains(&p) {
+                holders.push(p);
+            }
+        }
+        holders.retain(|&h| h != requester && self.topo.reachable(requester, h));
+        holders.sort_by_key(|&h| (self.topo.hops(requester, h), h.0));
+        let mut t = now;
+        for holder in holders {
+            let Ok(req) = self.transport.unicast(
+                &self.topo,
+                requester,
+                holder,
+                DATA_REQUEST_BYTES,
+                t,
+            ) else {
+                continue;
+            };
+            if self.malicious[holder.0] && producer != Some(holder) {
+                // No response: wait out the timeout, publish the denial.
+                self.denials += 1;
+                self.invalid_storers.insert((item.data_id, holder));
+                t = req.arrival + DENIAL_TIMEOUT;
+                continue;
+            }
+            match self
+                .transport
+                .unicast(&self.topo, holder, requester, item.data_size, req.arrival)
+            {
+                Ok(resp) => {
+                    self.completed_requests += 1;
+                    let secs = resp.arrival.saturating_since(now).as_secs_f64();
+                    self.delivery.record(secs);
+                    self.delivery_samples.record(secs);
+                    return;
+                }
+                Err(_) => continue,
+            }
+        }
+        self.failed_requests += 1;
+    }
+
+    /// Evicts expired data items from every store and from the registry,
+    /// freeing slots for fresh content (§VII: "data items may become
+    /// obsolete").
+    fn on_expire_sweep(&mut self, now: SimTime) {
+        let expired: Vec<DataId> = self
+            .data_registry
+            .iter()
+            .filter(|(_, (m, _))| !m.is_valid_at(now.as_secs()))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            for s in &mut self.storage {
+                if s.evict_data(id) {
+                    self.data_expired += 1;
+                }
+            }
+            self.data_registry.remove(&id);
+        }
+        self.queue.schedule(
+            now + SimTime::from_secs(self.config.expiration_sweep_secs),
+            Event::ExpireSweep,
+        );
+    }
+
+    /// Ships a batch of raft envelopes over the radio transport, charging
+    /// bytes and scheduling deliveries at their computed arrival times.
+    fn raft_dispatch(
+        &mut self,
+        from: edgechain_raft::PeerId,
+        envelopes: Vec<edgechain_raft::Envelope<GeneralEvent>>,
+        now: SimTime,
+    ) {
+        for env in envelopes {
+            let bytes = env.message.wire_size(GeneralEvent::wire_size);
+            self.raft_messages += 1;
+            if env.message.is_heartbeat() {
+                self.raft_heartbeats += 1;
+            }
+            let src = NodeId(from.0);
+            let dst = NodeId(env.to.0);
+            // A partitioned destination simply loses the message, as in
+            // a real radio network.
+            if let Ok(delivery) =
+                self.transport.unicast(&self.topo, src, dst, bytes, now)
+            {
+                self.raft_bytes += bytes;
+                self.queue.schedule(
+                    delivery.arrival.max(now),
+                    Event::RaftDeliver { from, envelope: env },
+                );
+            }
+        }
+    }
+
+    fn on_raft_tick(&mut self, now: SimTime) {
+        for i in 0..self.raft_nodes.len() {
+            let outs = self.raft_nodes[i].tick(now);
+            self.raft_dispatch(edgechain_raft::PeerId(i), outs, now);
+        }
+        self.queue.schedule(
+            now + SimTime::from_millis(self.config.raft_tick_ms.max(1)),
+            Event::RaftTick,
+        );
+    }
+
+    fn on_raft_deliver(
+        &mut self,
+        from: edgechain_raft::PeerId,
+        envelope: edgechain_raft::Envelope<GeneralEvent>,
+        now: SimTime,
+    ) {
+        let to = envelope.to;
+        let outs = self.raft_nodes[to.0].handle(from, envelope.message, now);
+        self.raft_dispatch(to, outs, now);
+    }
+
+    /// §VII data migration: periodically re-evaluate every item's placement
+    /// against the *current* topology and storage state and move the worst
+    /// offenders toward the optimum. Only items whose improvement clears
+    /// the configured threshold are touched ("Calculating the optimal
+    /// storage problem is not necessary if the change over the network is
+    /// small"). Replica copies ride the transport and count as overhead.
+    fn on_migrate(&mut self, now: SimTime) {
+        let ids: Vec<DataId> = {
+            let mut v: Vec<DataId> = self.data_registry.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for id in ids {
+            let Some((item, _)) = self.data_registry.get(&id) else { continue };
+            let holders: Vec<NodeId> = item
+                .storing_nodes
+                .iter()
+                .copied()
+                .filter(|&h| self.storage[h.0].has_data(id))
+                .collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let data_size = item.data_size;
+            let plan = match crate::migration::plan_migration(
+                id,
+                &self.topo,
+                &self.storage,
+                &holders,
+                self.config.migration,
+            ) {
+                Ok(Some(plan)) => plan,
+                _ => continue,
+            };
+            let copied = crate::migration::apply_migration(
+                &plan,
+                &self.topo,
+                &mut self.storage,
+                &mut self.transport,
+                data_size,
+                now,
+            );
+            self.migrations += copied as u64;
+            // Update the operational view of where the item now lives.
+            if copied > 0 || !plan.drops.is_empty() {
+                let mut new_holders: Vec<NodeId> = holders
+                    .iter()
+                    .copied()
+                    .filter(|h| !plan.drops.contains(h))
+                    .collect();
+                new_holders.extend(plan.moves.iter().map(|m| m.to));
+                new_holders.sort_unstable();
+                new_holders.dedup();
+                if let Some((item, _)) = self.data_registry.get_mut(&id) {
+                    item.storing_nodes = new_holders;
+                }
+            }
+        }
+        if let Some(every) = self.config.migration_interval_secs {
+            self.queue
+                .schedule(now + SimTime::from_secs(every.max(1)), Event::MigrateData);
+        }
+    }
+
+    fn on_mobility(&mut self, now: SimTime) {
+        self.topo.mobility_step(&mut self.rng);
+        if self.config.raft_consensus {
+            // The paper's "general information consensus": replicate a
+            // mobility update through raft. A random mover reports; the
+            // proposal lands at the current leader if one is known.
+            let mover = NodeId(self.rng.gen_range(0..self.config.nodes));
+            let pos = self.topo.position(mover);
+            let event =
+                GeneralEvent::MobilityUpdate { node: mover, x: pos.x, y: pos.y };
+            if let Some(leader) = self
+                .raft_nodes
+                .iter()
+                .find_map(|n| n.leader_hint())
+            {
+                let _ = self.raft_nodes[leader.0].propose(event);
+            }
+        }
+        self.queue.schedule(
+            now + SimTime::from_secs(self.config.mobility_interval_secs),
+            Event::MobilityStep,
+        );
+    }
+
+    fn into_report(mut self) -> RunReport {
+        let raft_committed_total: u64 = self
+            .raft_nodes
+            .iter_mut()
+            .map(|n| n.take_committed().len() as u64)
+            .sum();
+        let delivery_p95 = self.delivery_samples.p95();
+        // Radio energy implied by the byte counters (802.11 per-byte costs
+        // from the device profile).
+        let radio_total: f64 = (0..self.config.nodes)
+            .map(|i| {
+                let v = NodeId(i);
+                self.transport.stats().sent_bytes(v) as f64
+                    * self.config.device.tx_energy_per_byte
+                    + self.transport.stats().received_bytes(v) as f64
+                        * self.config.device.rx_energy_per_byte
+            })
+            .sum();
+        let used: Vec<u64> = self.storage.iter().map(NodeStorage::used_slots).collect();
+        let stats = self.transport.stats();
+        let intervals: Vec<f64> = self
+            .block_timestamps
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64)
+            .collect();
+        let mean_interval = if intervals.is_empty() {
+            0.0
+        } else {
+            intervals.iter().sum::<f64>() / intervals.len() as f64
+        };
+        RunReport {
+            nodes: self.config.nodes,
+            blocks_mined: self.chain.height(),
+            data_generated: self.next_data_id,
+            data_unstored: self.data_unstored,
+            mean_node_overhead_mb: stats.mean_node_overhead() / 1e6,
+            total_sent_mb: stats.total_sent() as f64 / 1e6,
+            storage_gini: gini_counts(&used),
+            delivery: self.delivery,
+            delivery_p95,
+            failed_requests: self.failed_requests,
+            completed_requests: self.completed_requests,
+            recoveries: self.recoveries,
+            recovery: self.recovery,
+            recovery_hops: self.recovery_hops,
+            mean_block_interval_secs: mean_interval,
+            mean_battery_percent: self.batteries.iter().map(Battery::percent).sum::<f64>()
+                / self.config.nodes as f64,
+            mean_replicas: if self.replica_items == 0 {
+                0.0
+            } else {
+                self.replica_total as f64 / self.replica_items as f64
+            },
+            data_expired: self.data_expired,
+            denials: self.denials,
+            migrations: self.migrations,
+            raft_messages: self.raft_messages,
+            raft_heartbeats: self.raft_heartbeats,
+            raft_bytes: self.raft_bytes,
+            raft_committed: raft_committed_total,
+            mean_radio_energy_j: radio_total / self.config.nodes as f64,
+        }
+    }
+
+    /// The canonical chain (primarily for tests and examples).
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The current topology snapshot.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Designated requester nodes.
+    pub fn requesters(&self) -> &[NodeId] {
+        &self.requesters
+    }
+}
+
+impl fmt::Debug for EdgeNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeNetwork")
+            .field("nodes", &self.config.nodes)
+            .field("height", &self.chain.height())
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> NetworkConfig {
+        NetworkConfig {
+            nodes: 12,
+            data_items_per_min: 2.0,
+            sim_minutes: 30,
+            seed: 11,
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_blocks_at_roughly_t0() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert!(report.blocks_mined >= 10, "mined {}", report.blocks_mined);
+        assert!(
+            (report.mean_block_interval_secs - 60.0).abs() < 40.0,
+            "interval {}",
+            report.mean_block_interval_secs
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = EdgeNetwork::new(small_config()).unwrap().run();
+        let b = EdgeNetwork::new(small_config()).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_config();
+        let a = EdgeNetwork::new(cfg.clone()).unwrap().run();
+        cfg.seed = 12;
+        let b = EdgeNetwork::new(cfg).unwrap().run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn storage_is_fair() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert!(
+            report.storage_gini < 0.35,
+            "gini {} too high",
+            report.storage_gini
+        );
+    }
+
+    #[test]
+    fn requests_get_served() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert!(report.completed_requests > 0);
+        assert!(report.delivery.mean() < 10.0, "delivery {}", report.delivery);
+    }
+
+    #[test]
+    fn battery_drains_with_pos_checks() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert!(report.mean_battery_percent < 100.0);
+        assert!(report.mean_battery_percent > 50.0);
+    }
+
+    #[test]
+    fn random_placement_also_runs() {
+        let cfg = NetworkConfig {
+            placement: Placement::Random,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.blocks_mined > 0);
+        assert!(report.completed_requests > 0);
+    }
+
+    #[test]
+    fn report_has_percentiles_and_radio_energy() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        if report.completed_requests > 0 {
+            let p95 = report.delivery_p95.expect("samples exist");
+            assert!(p95 >= 0.0);
+            assert!(p95 >= report.delivery.mean() * 0.5);
+            assert!(p95 <= report.delivery.max().unwrap() + 1e-9);
+        }
+        assert!(report.mean_radio_energy_j > 0.0);
+        // Radio energy stays a small fraction of the battery (tens of MB
+        // at µJ/byte ≈ tens of joules vs a 41.6 kJ battery).
+        assert!(report.mean_radio_energy_j < 1000.0);
+    }
+
+    #[test]
+    fn expired_data_is_swept() {
+        let cfg = NetworkConfig {
+            data_valid_minutes: 5,
+            expiration_sweep_secs: 60,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.data_expired > 0, "no expirations in 30 min at 5-min validity");
+    }
+
+    #[test]
+    fn expiration_disabled_when_sweep_is_zero() {
+        let cfg = NetworkConfig {
+            data_valid_minutes: 5,
+            expiration_sweep_secs: 0,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert_eq!(report.data_expired, 0);
+    }
+
+    #[test]
+    fn malicious_storers_are_routed_around() {
+        let cfg = NetworkConfig { malicious_fraction: 0.3, ..small_config() };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.denials > 0, "no denials with 30% malicious storers");
+        // Requests still mostly succeed thanks to replicas + the producer
+        // fallback.
+        assert!(report.completed_requests > 0);
+        let total = report.completed_requests + report.failed_requests;
+        assert!(
+            report.completed_requests * 2 > total,
+            "most requests should still succeed: {} of {}",
+            report.completed_requests,
+            total
+        );
+    }
+
+    #[test]
+    fn denied_storers_are_blacklisted_network_wide() {
+        // With every non-requester node malicious, a denial should be
+        // recorded at most once per (data, storer) pair.
+        let cfg = NetworkConfig {
+            malicious_fraction: 0.5,
+            sim_minutes: 60,
+            request_interval_secs: 60,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        // Denials happen but stay bounded by the number of (item, storer)
+        // pairs, not by the number of requests.
+        assert!(report.denials <= report.data_generated * 12);
+    }
+
+    #[test]
+    fn raft_consensus_runs_and_heartbeats_dominate() {
+        let cfg = NetworkConfig {
+            raft_consensus: true,
+            sim_minutes: 15,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.raft_messages > 0, "raft produced no traffic");
+        assert!(report.raft_bytes > 0);
+        // The paper's complaint: heartbeats drive the bulk of raft
+        // traffic. Every heartbeat also triggers a response, so
+        // heartbeat-caused messages are ~2× the heartbeat count; require
+        // that pair to be at least half of everything.
+        assert!(
+            report.raft_heartbeats * 4 > report.raft_messages,
+            "heartbeats {} of {} messages",
+            report.raft_heartbeats,
+            report.raft_messages
+        );
+        // Mobility events replicate to every live replica.
+        assert!(report.raft_committed > 0, "no general event committed");
+        // The blockchain keeps working alongside raft.
+        assert!(report.blocks_mined > 5);
+    }
+
+    #[test]
+    fn raft_disabled_by_default_costs_nothing() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert_eq!(report.raft_messages, 0);
+        assert_eq!(report.raft_bytes, 0);
+        assert_eq!(report.raft_committed, 0);
+    }
+
+    #[test]
+    fn migration_pass_moves_data_under_churn() {
+        let cfg = NetworkConfig {
+            migration_interval_secs: Some(120),
+            sim_minutes: 60,
+            topology: edgechain_sim::TopologyConfig {
+                mobility_range: 60.0,
+                ..Default::default()
+            },
+            mobility_interval_secs: 30,
+            ..small_config()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.migrations > 0, "no migrations under heavy churn");
+        // Migrated items must remain servable.
+        assert!(report.completed_requests > 0);
+    }
+
+    #[test]
+    fn migration_disabled_by_default() {
+        let report = EdgeNetwork::new(small_config()).unwrap().run();
+        assert_eq!(report.migrations, 0);
+    }
+
+    #[test]
+    fn token_rescaling_runs_and_chain_stays_valid() {
+        let cfg = NetworkConfig {
+            token_rescale_blocks: Some(5),
+            sim_minutes: 60,
+            ..small_config()
+        };
+        let (report, chain) = EdgeNetwork::new(cfg).unwrap().run_with_chain();
+        assert!(report.blocks_mined > 20);
+        assert!(crate::chain::Blockchain::from_blocks(chain.as_slice().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn chain_is_internally_valid() {
+        let net = EdgeNetwork::new(small_config()).unwrap();
+        assert_eq!(net.topology().len(), 12);
+        assert!(!net.requesters().is_empty());
+        let (report, chain) = net.run_with_chain();
+        assert!(report.blocks_mined > 0);
+        // Re-validate the final chain from scratch, signatures included.
+        let rebuilt =
+            crate::chain::Blockchain::from_blocks(chain.as_slice().to_vec()).unwrap();
+        for block in rebuilt.iter().skip(1) {
+            crate::chain::Blockchain::verify_block_signatures(block).unwrap();
+        }
+        // Ledger derivation matches the mining history.
+        let ledger = rebuilt.derive_ledger();
+        let total_tokens: u64 = (0..12)
+            .map(|i| {
+                let acct = Identity::from_seed(small_config().seed + i).account();
+                ledger.balance(&acct).saturating_sub(ledger.initial_tokens())
+            })
+            .sum();
+        assert_eq!(total_tokens, report.blocks_mined);
+    }
+}

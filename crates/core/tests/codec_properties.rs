@@ -1,0 +1,133 @@
+//! Property-based tests for the binary codec: structural roundtrips for
+//! arbitrary metadata/blocks and total decoding on corrupted input.
+
+use edgechain_core::account::Identity;
+use edgechain_core::block::Block;
+use edgechain_core::codec::{
+    decode_block, decode_chain, decode_metadata, encode_block, encode_chain,
+    encode_metadata,
+};
+use edgechain_core::metadata::{DataId, DataType, Location, MetadataItem};
+use edgechain_core::pos::Amendment;
+use edgechain_crypto::sha256;
+use edgechain_sim::NodeId;
+use proptest::prelude::*;
+
+fn arb_data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        "[a-zA-Z0-9/]{0,20}".prop_map(DataType::Sensing),
+        "[a-zA-Z0-9/]{0,20}".prop_map(DataType::Media),
+        Just(DataType::KeyExchange),
+        "[a-zA-Z0-9/]{0,20}".prop_map(DataType::Other),
+    ]
+}
+
+prop_compose! {
+    fn arb_metadata()(
+        seed in 0u64..16,
+        data_id in any::<u64>(),
+        data_type in arb_data_type(),
+        produced in any::<u64>(),
+        label in "[\\PC]{0,24}",
+        x in -1e6f64..1e6,
+        y in -1e6f64..1e6,
+        valid in any::<u64>(),
+        props in prop::option::of("[\\PC]{0,24}"),
+        size in any::<u64>(),
+        nodes in prop::collection::vec(0usize..1000, 0..12),
+    ) -> MetadataItem {
+        // A real signature (from a small seed pool, modexp is pricey) over
+        // arbitrary descriptive fields.
+        let mut item = MetadataItem::new_signed(
+            Identity::from_seed(seed).keys(),
+            DataId(data_id),
+            data_type,
+            produced,
+            Location { label, x, y },
+            valid,
+            props,
+            size,
+        );
+        item.storing_nodes = nodes.into_iter().map(NodeId).collect();
+        item
+    }
+}
+
+prop_compose! {
+    fn arb_block()(
+        index in any::<u64>(),
+        ts in any::<u64>(),
+        delay in any::<u64>(),
+        num in 1u128..u128::MAX,
+        den in 1u128..u128::MAX,
+        miner_seed in 0u64..16,
+        items in prop::collection::vec(arb_metadata(), 0..4),
+        storers in prop::collection::vec(0usize..500, 0..8),
+        prev_storers in prop::collection::vec(0usize..500, 0..8),
+        recents in prop::collection::vec(0usize..500, 0..8),
+        seed_bytes in any::<u64>(),
+    ) -> Block {
+        Block::new(
+            index,
+            sha256(seed_bytes.to_be_bytes()),
+            ts,
+            sha256(seed_bytes.to_le_bytes()),
+            Identity::from_seed(miner_seed).account(),
+            delay,
+            Amendment::from_fraction(num, den),
+            items,
+            storers.into_iter().map(NodeId).collect(),
+            prev_storers.into_iter().map(NodeId).collect(),
+            recents.into_iter().map(NodeId).collect(),
+        )
+    }
+}
+
+proptest! {
+    // Each case signs metadata (modexp); keep counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn metadata_roundtrips(item in arb_metadata()) {
+        let enc = encode_metadata(&item);
+        let dec = decode_metadata(&enc).unwrap();
+        prop_assert_eq!(dec, item);
+    }
+
+    #[test]
+    fn block_roundtrips(block in arb_block()) {
+        let enc = encode_block(&block);
+        prop_assert_eq!(block.wire_size(), enc.len() as u64);
+        let dec = decode_block(&enc).unwrap();
+        prop_assert_eq!(&dec, &block);
+        prop_assert!(dec.is_well_formed());
+    }
+
+    #[test]
+    fn chain_roundtrips(blocks in prop::collection::vec(arb_block(), 0..3)) {
+        let enc = encode_chain(&blocks);
+        let dec = decode_chain(&enc).unwrap();
+        prop_assert_eq!(dec, blocks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decoding_never_panics_on_mutations(
+        byte in any::<u8>(),
+        pos in any::<prop::sample::Index>(),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        // Take one fixed valid encoding, then flip a byte and truncate.
+        let block = Block::genesis();
+        let mut enc = encode_block(&block);
+        let p = pos.index(enc.len());
+        enc[p] = byte;
+        let t = truncate.index(enc.len() + 1);
+        let _ = decode_block(&enc[..t]); // must not panic
+        let _ = decode_metadata(&enc[..t]);
+        let _ = decode_chain(&enc[..t]);
+    }
+}

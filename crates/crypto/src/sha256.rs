@@ -1,0 +1,397 @@
+//! SHA-256 (FIPS 180-4) implemented from scratch.
+//!
+//! Provides both an incremental [`Sha256`] hasher and a one-shot
+//! [`sha256`] convenience function. The implementation is validated against
+//! the FIPS 180-4 / NIST test vectors in the unit tests and against a
+//! `incremental == one-shot` property test.
+//!
+//! # Examples
+//!
+//! ```
+//! use edgechain_crypto::sha256;
+//!
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+    0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A 256-bit message digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the genesis "previous hash".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Renders the digest as 64 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push_str(&format!("{:02x}", b));
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDigestError`] when the string is not exactly 64 hex
+    /// characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseDigestError> {
+        if s.len() != 64 {
+            return Err(ParseDigestError { _priv: () });
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char)
+                .to_digit(16)
+                .ok_or(ParseDigestError { _priv: () })?;
+            let lo = (chunk[1] as char)
+                .to_digit(16)
+                .ok_or(ParseDigestError { _priv: () })?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(Digest(out))
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Interprets the first 8 bytes as a big-endian `u64`.
+    ///
+    /// Used by the PoS mechanism to reduce a hash to a *hit* value.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[0..8].try_into().unwrap())
+    }
+
+    /// Number of leading zero bits, used as PoW difficulty measure.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut n = 0;
+        for b in &self.0 {
+            if *b == 0 {
+                n += 8;
+            } else {
+                n += b.leading_zeros();
+                break;
+            }
+        }
+        n
+    }
+
+    /// Whether the digest starts with `n` zero hex digits (PoW criterion,
+    /// matching the paper's "4 zeros at the beginning of the block hash").
+    pub fn has_leading_zero_hex_digits(&self, n: u32) -> bool {
+        self.leading_zero_bits() >= n * 4
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(b: [u8; 32]) -> Self {
+        Digest(b)
+    }
+}
+
+/// Error returned when parsing a [`Digest`] from hex fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDigestError {
+    _priv: (),
+}
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sha-256 digest hex string")
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_crypto::{sha256, Sha256};
+///
+/// let mut h = Sha256::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), sha256(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: impl AsRef<[u8]>) -> &mut Self {
+        let mut data = data.as_ref();
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take]
+                .copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().unwrap();
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+        self
+    }
+
+    /// Completes the hash and returns the digest, consuming buffered input.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zero padding so that length ≡ 56 (mod 64).
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buffer_len < 56 {
+            56 - self.buffer_len
+        } else {
+            120 - self.buffer_len
+        };
+        let mut tail = Vec::with_capacity(pad_len + 8);
+        tail.extend_from_slice(&pad[..pad_len]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+        self.update(&tail);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7)
+                ^ w[i - 15].rotate_right(18)
+                ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17)
+                ^ w[i - 2].rotate_right(19)
+                ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: impl AsRef<[u8]>) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// SHA-256 of the concatenation of two byte strings, a common pattern when
+/// chaining hashes (`Hash(prev ‖ account)` in the PoS mechanism).
+pub fn sha256_pair(a: impl AsRef<[u8]>, b: impl AsRef<[u8]>) -> Digest {
+    let mut h = Sha256::new();
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST CAVS vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exactly_55_56_63_64_65_bytes() {
+        // Padding boundary cases: compare split updates against one-shot.
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let oneshot = sha256(&data);
+            let mut inc = Sha256::new();
+            for chunk in data.chunks(7) {
+                inc.update(chunk);
+            }
+            assert_eq!(inc.finalize(), oneshot, "length {len}");
+        }
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+        assert!(Digest::from_hex("abc").is_err());
+        assert!(Digest::from_hex(&"g".repeat(64)).is_err());
+    }
+
+    #[test]
+    fn leading_zero_bits() {
+        let mut raw = [0xffu8; 32];
+        raw[0] = 0x0f;
+        let d = Digest(raw);
+        assert_eq!(d.leading_zero_bits(), 4);
+        assert!(d.has_leading_zero_hex_digits(1));
+        assert!(!d.has_leading_zero_hex_digits(2));
+        assert_eq!(Digest::ZERO.leading_zero_bits(), 256);
+    }
+
+    #[test]
+    fn to_u64_is_big_endian_prefix() {
+        let mut raw = [0u8; 32];
+        raw[7] = 1;
+        assert_eq!(Digest(raw).to_u64(), 1);
+        raw[0] = 0x80;
+        assert!(Digest(raw).to_u64() >= 1 << 63);
+    }
+
+    #[test]
+    fn sha256_pair_equals_concat() {
+        assert_eq!(sha256_pair(b"foo", b"bar"), sha256(b"foobar"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the crypto primitives.
+
+use edgechain_crypto::{sha256, KeyPair, MerkleTree, Sha256, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+/// A nonzero U256 used as modulus/divisor.
+fn arb_nonzero_u256() -> impl Strategy<Value = U256> {
+    arb_u256().prop_map(|v| if v.is_zero() { U256::ONE } else { v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_add(&b).wrapping_add(&c),
+            a.wrapping_add(&b.wrapping_add(&c))
+        );
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_mul(&b), b.wrapping_mul(&a));
+        let (lo1, hi1) = a.widening_mul(&b);
+        let (lo2, hi2) = b.widening_mul(&a);
+        prop_assert_eq!(lo1, lo2);
+        prop_assert_eq!(hi1, hi2);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_mul(&b.wrapping_add(&c)),
+            a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c))
+        );
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), d in arb_nonzero_u256()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        // a == q*d + r (all in 256-bit space; q*d cannot overflow since q <= a/d)
+        let (qd_lo, qd_hi) = q.widening_mul(&d);
+        prop_assert!(qd_hi.is_zero());
+        prop_assert_eq!(qd_lo.wrapping_add(&r), a);
+    }
+
+    #[test]
+    fn rem_is_idempotent(a in arb_u256(), m in arb_nonzero_u256()) {
+        let r = a.rem(&m);
+        prop_assert_eq!(r.rem(&m), r);
+    }
+
+    #[test]
+    fn mul_mod_matches_naive_for_small(a in 0u64..1 << 32, b in 0u64..1 << 32, m in 1u64..1 << 32) {
+        let got = U256::from_u64(a).mul_mod(&U256::from_u64(b), &U256::from_u64(m));
+        let expect = ((a as u128 * b as u128) % m as u128) as u64;
+        prop_assert_eq!(got, U256::from_u64(expect));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in arb_u256(), n in 0u32..256) {
+        // Mask off the top n bits first so the shift is lossless.
+        let masked = a.shl(n).shr(n);
+        prop_assert_eq!(masked.shl(n).shr(n), masked);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_u256()) {
+        let s = format!("{:x}", a);
+        prop_assert_eq!(U256::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn sha_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        let at = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut h = Sha256::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha_distinct_inputs_distinct_digests(a in prop::collection::vec(any::<u8>(), 0..64), b in prop::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn merkle_proofs_verify(leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 1..24), pick in any::<prop::sample::Index>()) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let i = pick.index(leaves.len());
+        let proof = tree.proof(i).unwrap();
+        prop_assert!(proof.verify(&leaves[i], &tree.root()));
+    }
+
+    #[test]
+    fn merkle_root_is_injective_on_leaf_edits(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..8), 2..12),
+        pick in any::<prop::sample::Index>()
+    ) {
+        let i = pick.index(leaves.len());
+        let mut edited = leaves.clone();
+        edited[i].push(0xAB);
+        let t1 = MerkleTree::from_leaves(&leaves);
+        let t2 = MerkleTree::from_leaves(&edited);
+        prop_assert_ne!(t1.root(), t2.root());
+    }
+}
+
+proptest! {
+    // Signing does modular exponentiation; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn signatures_verify_and_bind(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..64)) {
+        let kp = KeyPair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public_key().verify(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(!kp.public_key().verify(&other, &sig));
+    }
+}

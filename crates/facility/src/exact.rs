@@ -1,0 +1,120 @@
+//! Exact UFL solver by exhaustive facility-subset enumeration.
+//!
+//! Intended as a **test oracle** for the heuristic solvers: with `m`
+//! candidate facilities it enumerates all `2^m − 1` nonempty subsets, so it
+//! is limited to [`MAX_EXACT_FACILITIES`]. For a fixed open set the optimal
+//! assignment is each client's cheapest open facility, so each subset is
+//! evaluated in `O(m·k)`.
+
+use crate::instance::{SolveError, UflInstance, UflSolution};
+
+/// Largest instance the exact solver accepts (2^20 subsets ≈ 1M).
+pub const MAX_EXACT_FACILITIES: usize = 20;
+
+/// Solves `instance` optimally.
+///
+/// # Errors
+///
+/// * [`SolveError::TooLarge`] when `facilities > MAX_EXACT_FACILITIES`.
+/// * [`SolveError::NoFeasibleFacility`] when all opening costs are infinite.
+pub fn solve_exact(instance: &UflInstance) -> Result<UflSolution, SolveError> {
+    let m = instance.facilities();
+    if m > MAX_EXACT_FACILITIES {
+        return Err(SolveError::TooLarge { facilities: m, max: MAX_EXACT_FACILITIES });
+    }
+    if !instance.has_finite_facility() {
+        return Err(SolveError::NoFeasibleFacility);
+    }
+    let k = instance.clients();
+    let mut best_cost = f64::INFINITY;
+    let mut best_mask: u32 = 0;
+    for mask in 1u32..(1 << m) {
+        let mut cost = 0.0;
+        for i in 0..m {
+            if mask & (1 << i) != 0 {
+                cost += instance.open_cost(i);
+            }
+        }
+        if cost >= best_cost {
+            continue;
+        }
+        for j in 0..k {
+            let mut cheapest = f64::INFINITY;
+            for i in 0..m {
+                if mask & (1 << i) != 0 {
+                    cheapest = cheapest.min(instance.connect_cost(i, j));
+                }
+            }
+            cost += cheapest;
+            if cost >= best_cost {
+                break;
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+
+    let open: Vec<bool> = (0..m).map(|i| best_mask & (1 << i) != 0).collect();
+    let mut solution = UflSolution { open, assignment: vec![0; k], cost: 0.0 };
+    solution.reassign_best(instance);
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::UflInstance;
+
+    #[test]
+    fn picks_global_optimum() {
+        // Opening both facilities (cost 2) beats either alone (cost 1+100).
+        let inst = UflInstance::new(
+            vec![1.0, 1.0],
+            vec![vec![0.0, 100.0], vec![100.0, 0.0]],
+        );
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.open_facilities(), vec![0, 1]);
+        assert_eq!(sol.cost, 2.0);
+    }
+
+    #[test]
+    fn single_expensive_facility_still_used() {
+        let inst = UflInstance::new(vec![1000.0], vec![vec![1.0]]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.cost, 1001.0);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let m = MAX_EXACT_FACILITIES + 1;
+        let inst = UflInstance::new(vec![1.0; m], vec![vec![1.0]; m]);
+        assert_eq!(
+            solve_exact(&inst),
+            Err(SolveError::TooLarge { facilities: m, max: MAX_EXACT_FACILITIES })
+        );
+    }
+
+    #[test]
+    fn rejects_all_infinite() {
+        let inst = UflInstance::new(vec![f64::INFINITY], vec![vec![0.0]]);
+        assert_eq!(solve_exact(&inst), Err(SolveError::NoFeasibleFacility));
+    }
+
+    #[test]
+    fn never_worse_than_greedy() {
+        let inst = UflInstance::new(
+            vec![2.0, 3.0, 4.0],
+            vec![
+                vec![0.0, 1.0, 7.0, 3.0],
+                vec![1.0, 0.0, 2.0, 6.0],
+                vec![7.0, 2.0, 0.0, 1.0],
+            ],
+        );
+        let exact = solve_exact(&inst).unwrap();
+        let greedy = crate::greedy::solve_greedy(&inst).unwrap();
+        assert!(exact.cost <= greedy.cost + 1e-12);
+        assert!(exact.validate(&inst).is_ok());
+    }
+}

@@ -1,0 +1,198 @@
+//! Greedy UFL approximation (Hochbaum-style set-cover greedy).
+//!
+//! Repeatedly picks the (facility, client-prefix) pair with the lowest
+//! amortized cost `(f_i + Σ_{j∈S} c_ij) / |S|`, where `S` ranges over
+//! prefixes of the not-yet-covered clients sorted by connection cost to
+//! `i`. Already-open facilities participate with `f_i = 0`, so late
+//! clients can join earlier facilities for free. This is the classic
+//! `O(ln n)`-approximation; combined with the local search in
+//! [`crate::local_search`] it is near-optimal on the paper's n ≤ 50
+//! instances (verified against [`crate::exact`] in tests).
+
+use crate::instance::{SolveError, UflInstance, UflSolution};
+
+/// Solves `instance` greedily.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NoFeasibleFacility`] when every facility has an
+/// infinite opening cost (in the paper's setting: all nodes are full).
+pub fn solve_greedy(instance: &UflInstance) -> Result<UflSolution, SolveError> {
+    if !instance.has_finite_facility() {
+        return Err(SolveError::NoFeasibleFacility);
+    }
+    let m = instance.facilities();
+    let k = instance.clients();
+    let mut open = vec![false; m];
+    let mut assignment = vec![usize::MAX; k];
+    let mut uncovered: Vec<usize> = (0..k).collect();
+
+    while !uncovered.is_empty() {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, facility, take)
+        #[allow(clippy::needless_range_loop)] // i also feeds connect_cost(i, j)
+        for i in 0..m {
+            let f_cost = if open[i] { 0.0 } else { instance.open_cost(i) };
+            if !f_cost.is_finite() {
+                continue;
+            }
+            // Sort uncovered clients by their connection cost to i.
+            let mut costs: Vec<f64> = uncovered
+                .iter()
+                .map(|&j| instance.connect_cost(i, j))
+                .collect();
+            costs.sort_by(|a, b| a.partial_cmp(b).expect("costs are not NaN"));
+            let mut running = f_cost;
+            for (idx, c) in costs.iter().enumerate() {
+                if !c.is_finite() {
+                    break;
+                }
+                running += c;
+                let ratio = running / (idx as f64 + 1.0);
+                let better = match best {
+                    None => true,
+                    Some((r, _, _)) => ratio < r,
+                };
+                if better {
+                    best = Some((ratio, i, idx + 1));
+                }
+            }
+        }
+        let (_, fac, take) = best.ok_or(SolveError::NoFeasibleFacility)?;
+        open[fac] = true;
+        // Claim the `take` cheapest uncovered clients for `fac`.
+        let mut claimed: Vec<usize> = uncovered.clone();
+        claimed.sort_by(|&a, &b| {
+            instance
+                .connect_cost(fac, a)
+                .partial_cmp(&instance.connect_cost(fac, b))
+                .expect("costs are not NaN")
+        });
+        for &j in claimed.iter().take(take) {
+            assignment[j] = fac;
+        }
+        uncovered.retain(|&j| assignment[j] == usize::MAX);
+    }
+
+    let mut solution = UflSolution { open, assignment, cost: 0.0 };
+    // Cleanup: every client to its cheapest open facility, then drop
+    // facilities that no longer pay for themselves.
+    solution.reassign_best(instance);
+    prune_useless(instance, &mut solution);
+    Ok(solution)
+}
+
+/// Closes any open facility whose removal lowers the total cost (keeping at
+/// least one open), reassigning clients optimally after each close.
+fn prune_useless(instance: &UflInstance, solution: &mut UflSolution) {
+    loop {
+        let open_now: Vec<usize> = solution.open_facilities();
+        if open_now.len() <= 1 {
+            return;
+        }
+        let mut improved = false;
+        for &i in &open_now {
+            let mut trial = solution.clone();
+            trial.open[i] = false;
+            if !trial.open.iter().any(|&o| o) {
+                continue;
+            }
+            trial.reassign_best(instance);
+            if trial.cost < solution.cost {
+                *solution = trial;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::UflInstance;
+
+    #[test]
+    fn single_facility_trivial() {
+        let inst = UflInstance::new(vec![5.0], vec![vec![1.0, 2.0, 3.0]]);
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.open, vec![true]);
+        assert_eq!(sol.assignment, vec![0, 0, 0]);
+        assert_eq!(sol.cost, 11.0);
+        assert_eq!(sol.validate(&inst).unwrap(), sol.cost);
+    }
+
+    #[test]
+    fn cheap_facility_preferred() {
+        // Facility 0 is expensive to open, facility 1 cheap and equally close.
+        let inst = UflInstance::new(
+            vec![100.0, 1.0],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.open_facilities(), vec![1]);
+    }
+
+    #[test]
+    fn two_clusters_open_two() {
+        // Two far-apart clusters; serving across costs 100.
+        let inst = UflInstance::new(
+            vec![1.0, 1.0],
+            vec![
+                vec![0.0, 0.0, 100.0, 100.0],
+                vec![100.0, 100.0, 0.0, 0.0],
+            ],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.open_facilities(), vec![0, 1]);
+        assert_eq!(sol.cost, 2.0);
+    }
+
+    #[test]
+    fn infinite_facility_never_opened() {
+        let inst = UflInstance::new(
+            vec![f64::INFINITY, 1.0],
+            vec![vec![0.0, 0.0], vec![2.0, 2.0]],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.open_facilities(), vec![1]);
+    }
+
+    #[test]
+    fn all_infinite_is_error() {
+        let inst = UflInstance::new(
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![vec![0.0], vec![0.0]],
+        );
+        assert_eq!(solve_greedy(&inst), Err(SolveError::NoFeasibleFacility));
+    }
+
+    #[test]
+    fn solution_always_feasible() {
+        // A grid of asymmetric costs.
+        let inst = UflInstance::new(
+            vec![3.0, 7.0, 2.0],
+            vec![
+                vec![0.0, 4.0, 9.0, 2.0],
+                vec![4.0, 0.0, 1.0, 8.0],
+                vec![9.0, 1.0, 0.0, 3.0],
+            ],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        let recomputed = sol.validate(&inst).unwrap();
+        assert!((recomputed - sol.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_removes_redundant_facility() {
+        // Free-to-open facility 1 is dominated once 0 is open.
+        let inst = UflInstance::new(
+            vec![0.5, 10.0],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.open_facilities(), vec![0]);
+    }
+}

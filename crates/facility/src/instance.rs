@@ -1,0 +1,385 @@
+//! Uncapacitated facility location (UFL) problem instances.
+//!
+//! The paper (Eq. 3–6) selects storing nodes for each data item / block by
+//! solving, per item `k`:
+//!
+//! ```text
+//! min  A·Σ_i f_i·y_ik + Σ_i Σ_j c_ij·x_ijk
+//! s.t. Σ_i x_ijk ≥ 1        ∀j   (every node can access the item)
+//!      y_ik ≥ x_ijk          ∀i,j (only open facilities serve)
+//! ```
+//!
+//! where `f_i` is the Fairness Degree Cost (Eq. 1) and `c_ij` the
+//! Range-Distance Cost (Eq. 2), with scaling factor `A = 1000`.
+//! This module holds the instance representation; solvers live in
+//! [`crate::greedy`], [`crate::local_search`], and [`crate::exact`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scaling factor between FDC and RDC from the paper ("we use feature
+/// scaling to set the weight of FDC and RDC as 1000 : 1").
+pub const FDC_SCALE: f64 = 1000.0;
+
+/// Fairness Degree Cost (paper Eq. 1): `f = W / (W_tol − W)`.
+///
+/// Returns `+∞` when the node is full (`used >= total`), which the solvers
+/// treat as "never open".
+///
+/// # Panics
+///
+/// Panics if `total` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_facility::fdc;
+///
+/// assert_eq!(fdc(0, 250), 0.0);
+/// assert!((fdc(125, 250) - 1.0).abs() < 1e-12);
+/// assert!(fdc(250, 250).is_infinite());
+/// ```
+pub fn fdc(used: u64, total: u64) -> f64 {
+    assert!(total > 0, "node storage capacity must be positive");
+    if used >= total {
+        f64::INFINITY
+    } else {
+        used as f64 / (total - used) as f64
+    }
+}
+
+/// A UFL instance: `open_cost[i]` to open facility `i`, and
+/// `connect[i][j]` for client `j` to use facility `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UflInstance {
+    open_cost: Vec<f64>,
+    connect: Vec<Vec<f64>>,
+}
+
+impl UflInstance {
+    /// Builds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no facilities or clients, when the matrix is
+    /// ragged, or when any cost is NaN or negative.
+    pub fn new(open_cost: Vec<f64>, connect: Vec<Vec<f64>>) -> Self {
+        assert!(!open_cost.is_empty(), "instance needs at least one facility");
+        assert_eq!(
+            open_cost.len(),
+            connect.len(),
+            "connect must have one row per facility"
+        );
+        let clients = connect[0].len();
+        assert!(clients > 0, "instance needs at least one client");
+        for (i, row) in connect.iter().enumerate() {
+            assert_eq!(row.len(), clients, "ragged connect row {i}");
+            for (j, &c) in row.iter().enumerate() {
+                assert!(!c.is_nan() && c >= 0.0, "connect[{i}][{j}] invalid: {c}");
+            }
+        }
+        for (i, &f) in open_cost.iter().enumerate() {
+            assert!(!f.is_nan() && f >= 0.0, "open_cost[{i}] invalid: {f}");
+        }
+        UflInstance { open_cost, connect }
+    }
+
+    /// Builds the paper's storage-allocation instance where every node is
+    /// both a candidate facility and a client: `open_cost[i] = A·f_i` and
+    /// `connect[i][j] = c_ij`.
+    ///
+    /// `fdc` and the RDC callback are combined with [`FDC_SCALE`].
+    pub fn from_costs<F>(fdc_values: &[f64], rdc: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64,
+    {
+        let n = fdc_values.len();
+        let open_cost: Vec<f64> =
+            fdc_values.iter().map(|f| FDC_SCALE * f).collect();
+        let connect: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| rdc(i, j)).collect())
+            .collect();
+        Self::new(open_cost, connect)
+    }
+
+    /// Number of candidate facilities.
+    pub fn facilities(&self) -> usize {
+        self.open_cost.len()
+    }
+
+    /// Number of clients.
+    pub fn clients(&self) -> usize {
+        self.connect[0].len()
+    }
+
+    /// Opening cost of facility `i`.
+    pub fn open_cost(&self, i: usize) -> f64 {
+        self.open_cost[i]
+    }
+
+    /// Connection cost of client `j` to facility `i`.
+    pub fn connect_cost(&self, i: usize, j: usize) -> f64 {
+        self.connect[i][j]
+    }
+
+    /// Whether at least one facility has finite opening cost.
+    pub fn has_finite_facility(&self) -> bool {
+        self.open_cost.iter().any(|f| f.is_finite())
+    }
+}
+
+/// A feasible solution: which facilities are open and where each client
+/// connects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UflSolution {
+    /// `open[i]` — facility `i` is open.
+    pub open: Vec<bool>,
+    /// `assignment[j]` — the open facility serving client `j`.
+    pub assignment: Vec<usize>,
+    /// Total cost (opening + connection).
+    pub cost: f64,
+}
+
+impl UflSolution {
+    /// Indices of open facilities, ascending.
+    pub fn open_facilities(&self) -> Vec<usize> {
+        self.open
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| o.then_some(i))
+            .collect()
+    }
+
+    /// Recomputes the cost of this solution against `instance` and checks
+    /// feasibility. Useful as a test oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolutionError`] when a client is assigned to a closed
+    /// facility, dimensions mismatch, or no facility is open.
+    pub fn validate(&self, instance: &UflInstance) -> Result<f64, SolutionError> {
+        if self.open.len() != instance.facilities()
+            || self.assignment.len() != instance.clients()
+        {
+            return Err(SolutionError::DimensionMismatch);
+        }
+        if !self.open.iter().any(|&o| o) {
+            return Err(SolutionError::NoOpenFacility);
+        }
+        let mut cost = 0.0;
+        for (i, &o) in self.open.iter().enumerate() {
+            if o {
+                cost += instance.open_cost(i);
+            }
+        }
+        for (j, &i) in self.assignment.iter().enumerate() {
+            if i >= self.open.len() || !self.open[i] {
+                return Err(SolutionError::ClosedAssignment { client: j, facility: i });
+            }
+            cost += instance.connect_cost(i, j);
+        }
+        Ok(cost)
+    }
+
+    /// Reassigns every client to its cheapest open facility and recomputes
+    /// the cost. Any solver may call this as a cleanup step.
+    pub fn reassign_best(&mut self, instance: &UflInstance) {
+        for j in 0..self.assignment.len() {
+            let best = (0..instance.facilities())
+                .filter(|&i| self.open[i])
+                .min_by(|&a, &b| {
+                    instance
+                        .connect_cost(a, j)
+                        .partial_cmp(&instance.connect_cost(b, j))
+                        .expect("costs are not NaN")
+                })
+                .expect("at least one facility open");
+            self.assignment[j] = best;
+        }
+        self.cost = self
+            .validate(instance)
+            .expect("reassigned solution is feasible");
+    }
+}
+
+/// Errors from [`UflSolution::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolutionError {
+    /// Solution vectors do not match the instance shape.
+    DimensionMismatch,
+    /// No facility is open.
+    NoOpenFacility,
+    /// A client is assigned to a closed facility.
+    ClosedAssignment {
+        /// Offending client.
+        client: usize,
+        /// The closed (or out-of-range) facility.
+        facility: usize,
+    },
+}
+
+impl fmt::Display for SolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolutionError::DimensionMismatch => {
+                write!(f, "solution shape does not match instance")
+            }
+            SolutionError::NoOpenFacility => write!(f, "no facility is open"),
+            SolutionError::ClosedAssignment { client, facility } => {
+                write!(f, "client {client} assigned to closed facility {facility}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolutionError {}
+
+/// Errors from solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Every candidate facility has infinite opening cost (all nodes full).
+    NoFeasibleFacility,
+    /// Instance too large for the exact solver.
+    TooLarge {
+        /// Number of facilities in the instance.
+        facilities: usize,
+        /// Maximum supported by the exact solver.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoFeasibleFacility => {
+                write!(f, "all candidate facilities have infinite opening cost")
+            }
+            SolveError::TooLarge { facilities, max } => write!(
+                f,
+                "exact solver limited to {max} facilities, instance has {facilities}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdc_basics() {
+        assert_eq!(fdc(0, 100), 0.0);
+        assert_eq!(fdc(50, 100), 1.0);
+        assert_eq!(fdc(99, 100), 99.0);
+        assert!(fdc(100, 100).is_infinite());
+        assert!(fdc(150, 100).is_infinite());
+    }
+
+    #[test]
+    fn fdc_monotone_in_usage() {
+        let mut prev = -1.0;
+        for used in 0..100 {
+            let f = fdc(used, 100);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn fdc_zero_capacity_panics() {
+        let _ = fdc(0, 0);
+    }
+
+    #[test]
+    fn instance_accessors() {
+        let inst = UflInstance::new(
+            vec![1.0, 2.0],
+            vec![vec![0.0, 5.0], vec![5.0, 0.0]],
+        );
+        assert_eq!(inst.facilities(), 2);
+        assert_eq!(inst.clients(), 2);
+        assert_eq!(inst.open_cost(1), 2.0);
+        assert_eq!(inst.connect_cost(0, 1), 5.0);
+        assert!(inst.has_finite_facility());
+    }
+
+    #[test]
+    fn from_costs_applies_scale() {
+        let inst = UflInstance::from_costs(&[0.5, 1.0], |i, j| {
+            if i == j { 0.0 } else { 3.0 }
+        });
+        assert_eq!(inst.open_cost(0), 500.0);
+        assert_eq!(inst.open_cost(1), 1000.0);
+        assert_eq!(inst.connect_cost(0, 1), 3.0);
+        assert_eq!(inst.connect_cost(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = UflInstance::new(vec![1.0, 1.0], vec![vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_cost_rejected() {
+        let _ = UflInstance::new(vec![-1.0], vec![vec![0.0]]);
+    }
+
+    #[test]
+    fn validate_catches_closed_assignment() {
+        let inst = UflInstance::new(
+            vec![1.0, 1.0],
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        );
+        let bad = UflSolution {
+            open: vec![true, false],
+            assignment: vec![0, 1],
+            cost: 0.0,
+        };
+        assert_eq!(
+            bad.validate(&inst),
+            Err(SolutionError::ClosedAssignment { client: 1, facility: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_computes_cost() {
+        let inst = UflInstance::new(
+            vec![10.0, 20.0],
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        );
+        let sol = UflSolution {
+            open: vec![true, false],
+            assignment: vec![0, 0],
+            cost: 0.0,
+        };
+        assert_eq!(sol.validate(&inst).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn reassign_best_moves_clients() {
+        let inst = UflInstance::new(
+            vec![1.0, 1.0],
+            vec![vec![0.0, 9.0], vec![9.0, 0.0]],
+        );
+        let mut sol = UflSolution {
+            open: vec![true, true],
+            assignment: vec![1, 0], // deliberately bad
+            cost: 0.0,
+        };
+        sol.reassign_best(&inst);
+        assert_eq!(sol.assignment, vec![0, 1]);
+        assert_eq!(sol.cost, 2.0);
+    }
+
+    #[test]
+    fn no_open_facility_detected() {
+        let inst = UflInstance::new(vec![1.0], vec![vec![0.0]]);
+        let sol = UflSolution { open: vec![false], assignment: vec![0], cost: 0.0 };
+        assert_eq!(sol.validate(&inst), Err(SolutionError::NoOpenFacility));
+    }
+}

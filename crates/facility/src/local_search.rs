@@ -1,0 +1,178 @@
+//! Local-search improvement for UFL solutions.
+//!
+//! Starting from any feasible solution (typically [`crate::solve_greedy`]'s
+//! output), repeatedly applies the classic *open / close / swap* moves
+//! while they improve the cost, reassigning clients optimally after each
+//! move. Open/close/swap local search is a known constant-factor
+//! (3-approximation) algorithm for metric UFL; here it serves as the
+//! practical stand-in for the paper's cited 1.488-approximation
+//! (Li 2013), which requires LP rounding.
+
+use crate::instance::{SolveError, UflInstance, UflSolution};
+
+/// Hard cap on improvement rounds, a backstop against pathological cycling
+/// (cycling cannot happen with strictly improving moves, but floating-point
+/// ties make a cap prudent).
+const MAX_ROUNDS: usize = 10_000;
+
+/// Improves `solution` in place until no open/close/swap move helps.
+///
+/// Returns the number of improving moves applied.
+pub fn improve(instance: &UflInstance, solution: &mut UflSolution) -> usize {
+    let m = instance.facilities();
+    let mut moves = 0;
+    for _ in 0..MAX_ROUNDS {
+        let mut best: Option<UflSolution> = None;
+
+        // Move 1: open a closed (finite-cost) facility.
+        for i in 0..m {
+            if solution.open[i] || !instance.open_cost(i).is_finite() {
+                continue;
+            }
+            let mut trial = solution.clone();
+            trial.open[i] = true;
+            trial.reassign_best(instance);
+            if trial.cost < solution.cost - 1e-12 {
+                replace_if_better(&mut best, trial);
+            }
+        }
+
+        // Move 2: close an open facility (if another stays open).
+        let open_now = solution.open_facilities();
+        if open_now.len() > 1 {
+            for &i in &open_now {
+                let mut trial = solution.clone();
+                trial.open[i] = false;
+                trial.reassign_best(instance);
+                if trial.cost < solution.cost - 1e-12 {
+                    replace_if_better(&mut best, trial);
+                }
+            }
+        }
+
+        // Move 3: swap an open facility for a closed one.
+        for &i in &open_now {
+            for j in 0..m {
+                if solution.open[j] || !instance.open_cost(j).is_finite() {
+                    continue;
+                }
+                let mut trial = solution.clone();
+                trial.open[i] = false;
+                trial.open[j] = true;
+                trial.reassign_best(instance);
+                if trial.cost < solution.cost - 1e-12 {
+                    replace_if_better(&mut best, trial);
+                }
+            }
+        }
+
+        match best {
+            Some(better) => {
+                *solution = better;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    moves
+}
+
+fn replace_if_better(best: &mut Option<UflSolution>, candidate: UflSolution) {
+    match best {
+        Some(b) if b.cost <= candidate.cost => {}
+        _ => *best = Some(candidate),
+    }
+}
+
+/// The workspace's production solver: greedy construction followed by
+/// local-search refinement. This is what the allocation engine calls for
+/// every data item and block.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NoFeasibleFacility`] when every candidate facility
+/// has infinite opening cost.
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_facility::{solve, UflInstance};
+///
+/// let inst = UflInstance::new(
+///     vec![1.0, 1.0],
+///     vec![vec![0.0, 10.0], vec![10.0, 0.0]],
+/// );
+/// let sol = solve(&inst)?;
+/// assert_eq!(sol.open_facilities(), vec![0, 1]);
+/// # Ok::<(), edgechain_facility::SolveError>(())
+/// ```
+pub fn solve(instance: &UflInstance) -> Result<UflSolution, SolveError> {
+    let mut solution = crate::greedy::solve_greedy(instance)?;
+    improve(instance, &mut solution);
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::instance::UflInstance;
+
+    /// Greedy alone can be suboptimal; local search must fix this instance.
+    #[test]
+    fn local_search_improves_greedy() {
+        // Three facilities in a line; middle one is optimal alone.
+        let inst = UflInstance::new(
+            vec![1.0, 1.5, 1.0],
+            vec![
+                vec![0.0, 2.0, 4.0],
+                vec![2.0, 0.0, 2.0],
+                vec![4.0, 2.0, 0.0],
+            ],
+        );
+        let sol = solve(&inst).unwrap();
+        let exact = solve_exact(&inst).unwrap();
+        assert!((sol.cost - exact.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_exact_on_small_instances() {
+        // Deterministic pseudo-random instances.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..30 {
+            let m = 3 + trial % 5;
+            let k = 4 + trial % 4;
+            let open: Vec<f64> = (0..m).map(|_| next() * 10.0).collect();
+            let conn: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..k).map(|_| next() * 5.0).collect())
+                .collect();
+            let inst = UflInstance::new(open, conn);
+            let heur = solve(&inst).unwrap();
+            let exact = solve_exact(&inst).unwrap();
+            assert!(
+                heur.cost <= exact.cost * 1.2 + 1e-9,
+                "trial {trial}: heuristic {} vs exact {}",
+                heur.cost,
+                exact.cost
+            );
+            assert!(heur.validate(&inst).is_ok());
+        }
+    }
+
+    #[test]
+    fn improve_returns_zero_when_optimal() {
+        let inst = UflInstance::new(vec![1.0], vec![vec![0.0, 0.0]]);
+        let mut sol = crate::greedy::solve_greedy(&inst).unwrap();
+        assert_eq!(improve(&inst, &mut sol), 0);
+    }
+
+    #[test]
+    fn solve_propagates_infeasibility() {
+        let inst = UflInstance::new(vec![f64::INFINITY], vec![vec![0.0]]);
+        assert!(solve(&inst).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the UFL solvers: feasibility, optimality
+//! bounds against the exact oracle, and local-search monotonicity.
+
+use edgechain_facility::{
+    fdc, improve, solve, solve_exact, solve_greedy, UflInstance,
+};
+use proptest::prelude::*;
+
+/// Random instances shaped like the paper's: small facility costs (scaled
+/// FDC) and hop-like connection costs with free self-connection.
+fn arb_instance() -> impl Strategy<Value = UflInstance> {
+    (2usize..10).prop_flat_map(|n| {
+        let opens = prop::collection::vec(0.0f64..50.0, n);
+        let conns = prop::collection::vec(prop::collection::vec(0.0f64..10.0, n), n);
+        (opens, conns).prop_map(|(o, c)| UflInstance::new(o, c))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_solution_is_feasible(inst in arb_instance()) {
+        let sol = solve_greedy(&inst).unwrap();
+        let recomputed = sol.validate(&inst).unwrap();
+        prop_assert!((recomputed - sol.cost).abs() < 1e-9);
+        // Every client is served by its cheapest open facility.
+        for j in 0..inst.clients() {
+            let assigned = inst.connect_cost(sol.assignment[j], j);
+            for i in 0..inst.facilities() {
+                if sol.open[i] {
+                    prop_assert!(assigned <= inst.connect_cost(i, j) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact(inst in arb_instance()) {
+        let heur = solve(&inst).unwrap();
+        let exact = solve_exact(&inst).unwrap();
+        prop_assert!(heur.cost >= exact.cost - 1e-9);
+        // And stays within a small constant factor on these instances.
+        prop_assert!(
+            heur.cost <= exact.cost * 1.7 + 1e-9,
+            "heuristic {} vs exact {}", heur.cost, exact.cost
+        );
+    }
+
+    #[test]
+    fn local_search_never_worsens(inst in arb_instance()) {
+        let greedy = solve_greedy(&inst).unwrap();
+        let mut improved = greedy.clone();
+        improve(&inst, &mut improved);
+        prop_assert!(improved.cost <= greedy.cost + 1e-9);
+        prop_assert!(improved.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn exact_beats_every_single_facility_choice(inst in arb_instance()) {
+        let exact = solve_exact(&inst).unwrap();
+        for i in 0..inst.facilities() {
+            let single = inst.open_cost(i)
+                + (0..inst.clients()).map(|j| inst.connect_cost(i, j)).sum::<f64>();
+            prop_assert!(exact.cost <= single + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fdc_monotone_and_diverges(total in 1u64..10_000) {
+        let mut prev = -1.0;
+        for used in (0..total).step_by((total as usize / 17).max(1)) {
+            let f = fdc(used, total);
+            prop_assert!(f.is_finite());
+            prop_assert!(f > prev);
+            prev = f;
+        }
+        prop_assert!(fdc(total, total).is_infinite());
+    }
+
+    #[test]
+    fn scaling_open_costs_reduces_facility_spend(inst in arb_instance()) {
+        // Exchange argument: multiplying all opening costs by λ > 1 can
+        // only reduce (or keep) the *unscaled facility spend* of the exact
+        // optimum — the formal version of "a larger A stores less".
+        let cheap = solve_exact(&inst).unwrap();
+        let scaled = UflInstance::new(
+            (0..inst.facilities()).map(|i| inst.open_cost(i) * 100.0).collect(),
+            (0..inst.facilities())
+                .map(|i| (0..inst.clients()).map(|j| inst.connect_cost(i, j)).collect())
+                .collect(),
+        );
+        let pricey = solve_exact(&scaled).unwrap();
+        let spend = |open: &[bool]| -> f64 {
+            open.iter()
+                .enumerate()
+                .filter(|(_, &o)| o)
+                .map(|(i, _)| inst.open_cost(i))
+                .sum()
+        };
+        prop_assert!(
+            spend(&pricey.open) <= spend(&cheap.open) + 1e-9,
+            "facility spend grew: {} → {}",
+            spend(&cheap.open),
+            spend(&pricey.open)
+        );
+    }
+}

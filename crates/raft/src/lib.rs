@@ -1,0 +1,40 @@
+//! Raft consensus for general information agreement on edge networks.
+//!
+//! The paper's prototype implements "raft algorithm in our blockchain
+//! system" for general information consensus (membership, configuration),
+//! and its conclusion highlights raft's heartbeat overhead as a cost worth
+//! measuring. This crate is a from-scratch raft (Ongaro & Ousterhout 2014):
+//!
+//! * [`RaftNode`] — a sans-I/O replica state machine (elections, log
+//!   replication, commit rules, log compaction/snapshots, optional
+//!   Raft §9.6 pre-vote for flap-prone edge networks), driven by
+//!   `tick`/`handle`.
+//! * [`Cluster`] — a deterministic in-memory harness with message delays,
+//!   loss, and partitions, which checks election safety and log matching
+//!   after every event.
+//! * [`MessageCounts`] — traffic breakdown used by the overhead benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use edgechain_raft::{Cluster, ClusterConfig};
+//!
+//! let mut cluster: Cluster<&'static str> =
+//!     Cluster::new(5, ClusterConfig::default(), 7);
+//! cluster.run_until_leader(30_000)?;
+//! cluster.propose("node-12 joined")?;
+//! cluster.run_millis(5_000);
+//! assert!(cluster.all_committed(&["node-12 joined"]));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod message;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterConfig, MessageCounts, NoLeader, SafetyViolation};
+pub use message::{Envelope, LogEntry, LogIndex, Message, PeerId, Term};
+pub use node::{NotLeader, RaftConfig, RaftNode, Role};

@@ -1,0 +1,129 @@
+//! Planar geometry for the wireless network model.
+//!
+//! Nodes live in a rectangular field (the paper uses 300 m × 300 m) and two
+//! nodes can communicate when their Euclidean distance is at most the radio
+//! range (70 m, typical 802.11n).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the simulation field, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// A rectangular deployment field anchored at the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+impl Field {
+    /// Creates a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
+        Field { width, height }
+    }
+
+    /// The paper's evaluation field: 300 m × 300 m.
+    pub fn paper_default() -> Self {
+        Field::new(300.0, 300.0)
+    }
+
+    /// Clamps a point into the field.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point {
+            x: p.x.clamp(0.0, self.width),
+            y: p.y.clamp(0.0, self.height),
+        }
+    }
+
+    /// Whether the field contains `p`.
+    pub fn contains(&self, p: &Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+impl Default for Field {
+    fn default() -> Self {
+        Field::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = Point::new(1.5, 2.5);
+        let b = Point::new(-4.0, 7.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn field_clamp_and_contains() {
+        let f = Field::paper_default();
+        assert!(f.contains(&Point::new(150.0, 150.0)));
+        assert!(!f.contains(&Point::new(301.0, 0.0)));
+        let clamped = f.clamp(Point::new(-5.0, 500.0));
+        assert_eq!(clamped, Point::new(0.0, 300.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_field_rejected() {
+        let _ = Field::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn point_display() {
+        assert_eq!(format!("{}", Point::new(1.25, 2.0)), "(1.2, 2.0)");
+    }
+}

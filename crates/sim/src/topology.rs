@@ -1,0 +1,472 @@
+//! Wireless multi-hop network topology.
+//!
+//! Nodes are placed uniformly at random in a [`Field`]; two nodes share a
+//! link when within radio range (unit-disk model). Each node additionally
+//! has a *mobility range*: it wanders inside a disc of that radius around
+//! its home position (paper §IV-A.2 — the range enters the Range-Distance
+//! Cost; §VI — mobility is "within 30 meters ranges").
+//!
+//! The topology maintains all-pairs hop counts and next-hop routing tables
+//! (BFS) so the transport layer can forward store-and-forward messages.
+
+use crate::geometry::{Field, Point};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a simulated node (dense, `0..n`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying dense index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// Hop count marker for unreachable node pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Configuration for generating a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Deployment field (default 300 m × 300 m).
+    pub field: Field,
+    /// Radio range in meters (default 70 m, typical 802.11n).
+    pub comm_range: f64,
+    /// Mobility radius in meters for every node (default 30 m).
+    pub mobility_range: f64,
+    /// How many placement attempts to make before giving up on a connected
+    /// topology.
+    pub max_placement_attempts: usize,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            field: Field::paper_default(),
+            comm_range: 70.0,
+            mobility_range: 30.0,
+            max_placement_attempts: 10_000,
+        }
+    }
+}
+
+/// A snapshot of the multi-hop network: positions, links, and routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    config: TopologyConfig,
+    home: Vec<Point>,
+    position: Vec<Point>,
+    mobility: Vec<f64>,
+    adjacency: Vec<Vec<NodeId>>,
+    /// `hops[i][j]` — BFS hop count, [`UNREACHABLE`] when partitioned.
+    hops: Vec<Vec<u32>>,
+    /// `next_hop[i][j]` — first hop on a shortest path from `i` to `j`.
+    next_hop: Vec<Vec<Option<NodeId>>>,
+}
+
+impl Topology {
+    /// Generates a topology whose *home* positions form a connected graph,
+    /// resampling until connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Disconnected`] if no connected placement is
+    /// found within `config.max_placement_attempts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_connected<R: Rng + ?Sized>(
+        n: usize,
+        config: TopologyConfig,
+        rng: &mut R,
+    ) -> Result<Self, TopologyError> {
+        assert!(n > 0, "topology must have at least one node");
+        for _ in 0..config.max_placement_attempts.max(1) {
+            let home: Vec<Point> = (0..n)
+                .map(|_| {
+                    Point::new(
+                        rng.gen::<f64>() * config.field.width,
+                        rng.gen::<f64>() * config.field.height,
+                    )
+                })
+                .collect();
+            let topo = Self::from_positions_with_config(home, config.clone());
+            if topo.is_connected() {
+                return Ok(topo);
+            }
+        }
+        Err(TopologyError::Disconnected {
+            nodes: n,
+            attempts: config.max_placement_attempts,
+        })
+    }
+
+    /// Builds a topology from explicit positions with the default config.
+    pub fn from_positions(positions: Vec<Point>) -> Self {
+        Self::from_positions_with_config(positions, TopologyConfig::default())
+    }
+
+    /// Builds a topology from explicit positions and a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn from_positions_with_config(
+        positions: Vec<Point>,
+        config: TopologyConfig,
+    ) -> Self {
+        assert!(!positions.is_empty(), "topology must have at least one node");
+        let n = positions.len();
+        let mobility = vec![config.mobility_range; n];
+        let mut topo = Topology {
+            config,
+            home: positions.clone(),
+            position: positions,
+            mobility,
+            adjacency: Vec::new(),
+            hops: Vec::new(),
+            next_hop: Vec::new(),
+        };
+        topo.rebuild_routes();
+        topo
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    /// Whether the topology is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.position.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// Current position of `node`.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.position[node.0]
+    }
+
+    /// Home (anchor) position of `node`.
+    pub fn home(&self, node: NodeId) -> Point {
+        self.home[node.0]
+    }
+
+    /// Mobility radius of `node` in meters.
+    pub fn mobility_range(&self, node: NodeId) -> f64 {
+        self.mobility[node.0]
+    }
+
+    /// Overrides the mobility radius of `node`.
+    pub fn set_mobility_range(&mut self, node: NodeId, range: f64) {
+        self.mobility[node.0] = range;
+    }
+
+    /// Direct neighbors of `node` in the current snapshot.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0]
+    }
+
+    /// Hop count between two nodes ([`UNREACHABLE`] when partitioned,
+    /// `0` for `a == b`).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.hops[a.0][b.0]
+    }
+
+    /// Whether `b` is currently reachable from `a`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.hops(a, b) != UNREACHABLE
+    }
+
+    /// Whether the whole snapshot is one connected component.
+    pub fn is_connected(&self) -> bool {
+        let origin = NodeId(0);
+        self.nodes().all(|v| self.reachable(origin, v))
+    }
+
+    /// Shortest path from `a` to `b` (inclusive of both endpoints), or
+    /// `None` when unreachable. `a == b` yields a single-element path.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        if !self.reachable(a, b) {
+            return None;
+        }
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            let next = self.next_hop[cur.0][b.0]
+                .expect("reachable pair must have a next hop");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// Moves every node to a fresh uniform point inside its mobility disc
+    /// (clamped to the field) and rebuilds links and routes. This models the
+    /// paper's "nodes move within such a range in a short period of time".
+    pub fn mobility_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in 0..self.len() {
+            let r = self.mobility[i];
+            if r <= 0.0 {
+                continue;
+            }
+            // Uniform point in a disc via rejection-free polar sampling.
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            let rho = r * rng.gen::<f64>().sqrt();
+            let p = Point::new(
+                self.home[i].x + rho * theta.cos(),
+                self.home[i].y + rho * theta.sin(),
+            );
+            self.position[i] = self.config.field.clamp(p);
+        }
+        self.rebuild_routes();
+    }
+
+    /// Recomputes adjacency, hop counts, and next-hop tables from current
+    /// positions.
+    pub fn rebuild_routes(&mut self) {
+        let n = self.len();
+        let range = self.config.comm_range;
+        self.adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if self.position[i].distance(&self.position[j]) <= range {
+                    self.adjacency[i].push(NodeId(j));
+                    self.adjacency[j].push(NodeId(i));
+                }
+            }
+        }
+        self.hops = vec![vec![UNREACHABLE; n]; n];
+        self.next_hop = vec![vec![None; n]; n];
+        for src in 0..n {
+            self.bfs_from(NodeId(src));
+        }
+    }
+
+    fn bfs_from(&mut self, src: NodeId) {
+        let s = src.0;
+        self.hops[s][s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        // parent[v] = predecessor of v on the BFS tree rooted at src.
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
+        while let Some(u) = queue.pop_front() {
+            let du = self.hops[s][u.0];
+            for &v in &self.adjacency[u.0].clone() {
+                if self.hops[s][v.0] == UNREACHABLE {
+                    self.hops[s][v.0] = du + 1;
+                    parent[v.0] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // next_hop[src][dst]: walk the parent chain from dst back to src.
+        for dst in 0..self.len() {
+            if dst == s || self.hops[s][dst] == UNREACHABLE {
+                continue;
+            }
+            let mut cur = NodeId(dst);
+            let mut prev = cur;
+            while let Some(p) = parent[cur.0] {
+                prev = cur;
+                cur = p;
+                if cur == src {
+                    break;
+                }
+            }
+            self.next_hop[s][dst] = Some(prev);
+        }
+    }
+
+    /// Range-Distance Cost between two nodes (paper Eq. 2):
+    /// `c_ij = d(i,j) + range(i) + range(j)` with hop-count distance and
+    /// mobility ranges normalized to hop-equivalents (`range / comm_range`)
+    /// so the units are commensurate. `c_ii = 0`. Unreachable pairs get a
+    /// large finite penalty (`n` hops) so the facility-location solver can
+    /// still run on temporarily partitioned snapshots.
+    pub fn rdc(&self, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let hop_cost = match self.hops(i, j) {
+            UNREACHABLE => self.len() as f64,
+            h => h as f64,
+        };
+        let norm = self.config.comm_range;
+        hop_cost + self.mobility[i.0] / norm + self.mobility[j.0] / norm
+    }
+}
+
+/// Errors from topology generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No connected placement was found.
+    Disconnected {
+        /// Number of nodes requested.
+        nodes: usize,
+        /// Attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Disconnected { nodes, attempts } => write!(
+                f,
+                "no connected placement for {nodes} nodes after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_topology(n: usize, spacing: f64) -> Topology {
+        let pts: Vec<Point> =
+            (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        Topology::from_positions(pts)
+    }
+
+    #[test]
+    fn line_hop_counts() {
+        let t = line_topology(5, 60.0);
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 4);
+        assert_eq!(t.hops(NodeId(2), NodeId(2)), 0);
+        assert_eq!(t.hops(NodeId(1), NodeId(3)), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn line_paths_follow_chain() {
+        let t = line_topology(4, 60.0);
+        let p = t.path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.path(NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn partition_detected() {
+        // Two clusters 200 m apart with 70 m range.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(250.0, 0.0),
+            Point::new(290.0, 0.0),
+        ];
+        let t = Topology::from_positions(pts);
+        assert!(!t.is_connected());
+        assert_eq!(t.hops(NodeId(0), NodeId(2)), UNREACHABLE);
+        assert!(t.path(NodeId(0), NodeId(3)).is_none());
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        assert!(t.reachable(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [10, 25, 50] {
+            let t = Topology::random_connected(n, TopologyConfig::default(), &mut rng)
+                .unwrap();
+            assert!(t.is_connected(), "n={n}");
+            assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    fn mobility_stays_within_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t =
+            Topology::random_connected(20, TopologyConfig::default(), &mut rng)
+                .unwrap();
+        for _ in 0..10 {
+            t.mobility_step(&mut rng);
+            for v in t.nodes() {
+                let d = t.home(v).distance(&t.position(v));
+                // Clamping to the field can only reduce displacement.
+                assert!(d <= 30.0 + 1e-9, "node {v} moved {d} m");
+            }
+        }
+    }
+
+    #[test]
+    fn rdc_properties() {
+        let t = line_topology(4, 60.0);
+        assert_eq!(t.rdc(NodeId(1), NodeId(1)), 0.0);
+        // Symmetric because hops and ranges are symmetric.
+        assert_eq!(t.rdc(NodeId(0), NodeId(3)), t.rdc(NodeId(3), NodeId(0)));
+        // More hops → strictly larger cost (equal ranges).
+        assert!(t.rdc(NodeId(0), NodeId(3)) > t.rdc(NodeId(0), NodeId(1)));
+        // Default mobility 30 m / 70 m range ⇒ 1 hop + 2*(3/7).
+        let expect = 1.0 + 2.0 * (30.0 / 70.0);
+        assert!((t.rdc(NodeId(0), NodeId(1)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rdc_unreachable_penalty_is_finite() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(299.0, 299.0)];
+        let t = Topology::from_positions(pts);
+        let c = t.rdc(NodeId(0), NodeId(1));
+        assert!(c.is_finite());
+        assert!(c >= t.len() as f64);
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Topology::random_connected(30, TopologyConfig::default(), &mut rng)
+            .unwrap();
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert!(t.neighbors(b).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn set_mobility_range_affects_rdc() {
+        let mut t = line_topology(2, 60.0);
+        let before = t.rdc(NodeId(0), NodeId(1));
+        t.set_mobility_range(NodeId(0), 70.0);
+        let after = t.rdc(NodeId(0), NodeId(1));
+        assert!(after > before);
+        assert_eq!(t.mobility_range(NodeId(0)), 70.0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Store-and-forward message transport over a [`Topology`].
+//!
+//! Models what the paper measured through Docker + sockets: propagation
+//! delay (10 ms per hop over 802.11), transmission delay (`bytes /
+//! bandwidth`), and queueing delay (each node's radio is half-duplex and
+//! serves one outgoing frame at a time, tracked with a per-node
+//! `busy_until` horizon). Every transmission is also charged to per-node
+//! byte counters, which later feed the Fig. 4(a)/5(b) overhead metrics.
+
+use crate::event::SimTime;
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transport parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// One-hop propagation delay (paper: 10 ms, typical 802.11).
+    pub hop_delay: SimTime,
+    /// Effective per-node radio throughput in bytes/second. The default
+    /// (2.5 MB/s ≈ 20 Mbit/s) is a conservative 802.11n figure, giving
+    /// ~0.4 s per hop for a 1 MB data item — in line with the ≤4 s delivery
+    /// times of Fig. 4(c).
+    pub bandwidth: f64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            hop_delay: SimTime::from_millis(10),
+            bandwidth: 2_500_000.0,
+        }
+    }
+}
+
+/// Result of a successful unicast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last byte reaches the destination.
+    pub arrival: SimTime,
+    /// Number of hops traversed (0 for self-delivery).
+    pub hops: u32,
+}
+
+/// Per-node traffic accounting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    messages: u64,
+}
+
+impl TrafficStats {
+    fn ensure(&mut self, n: usize) {
+        if self.sent.len() < n {
+            self.sent.resize(n, 0);
+            self.received.resize(n, 0);
+        }
+    }
+
+    /// Bytes transmitted by `node` (including forwarded traffic).
+    pub fn sent_bytes(&self, node: NodeId) -> u64 {
+        self.sent.get(node.0).copied().unwrap_or(0)
+    }
+
+    /// Bytes received by `node` (including forwarded traffic).
+    pub fn received_bytes(&self, node: NodeId) -> u64 {
+        self.received.get(node.0).copied().unwrap_or(0)
+    }
+
+    /// Total bytes transmitted network-wide.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total transfer volume per node: sent + received. This is the
+    /// "transmission overhead" of Fig. 4(a)/5(b).
+    pub fn node_overhead(&self, node: NodeId) -> u64 {
+        self.sent_bytes(node) + self.received_bytes(node)
+    }
+
+    /// Mean per-node overhead in bytes.
+    pub fn mean_node_overhead(&self) -> f64 {
+        if self.sent.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .sent
+            .iter()
+            .zip(&self.received)
+            .map(|(s, r)| s + r)
+            .sum();
+        total as f64 / self.sent.len() as f64
+    }
+
+    /// Number of point-to-point transmissions performed.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// Errors from the transport layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// Destination is not reachable in the current topology snapshot.
+    Unreachable {
+        /// Message source.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Unreachable { src, dst } => {
+                write!(f, "{dst} unreachable from {src} in current topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The transport layer: queueing state plus traffic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Transport {
+    config: TransportConfig,
+    busy_until: Vec<SimTime>,
+    stats: TrafficStats,
+}
+
+impl Transport {
+    /// Creates a transport with the given configuration.
+    pub fn new(config: TransportConfig) -> Self {
+        Transport {
+            config,
+            busy_until: Vec::new(),
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g., after a warm-up phase) but keeps queue state.
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
+    fn tx_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.config.bandwidth)
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.busy_until.len() < n {
+            self.busy_until.resize(n, SimTime::ZERO);
+        }
+        self.stats.ensure(n);
+    }
+
+    /// Sends `bytes` from `src` to `dst` along the current shortest path,
+    /// charging transmission time and queueing at every forwarding node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Unreachable`] when no path exists.
+    pub fn unicast(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<Delivery, TransportError> {
+        self.ensure(topo.len());
+        if src == dst {
+            return Ok(Delivery { arrival: now, hops: 0 });
+        }
+        let path = topo
+            .path(src, dst)
+            .ok_or(TransportError::Unreachable { src, dst })?;
+        let tx = self.tx_time(bytes);
+        let mut t = now;
+        for pair in path.windows(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let depart = t.max(self.busy_until[u.0]);
+            let done = depart + tx;
+            self.busy_until[u.0] = done;
+            t = done + self.config.hop_delay;
+            self.stats.sent[u.0] += bytes;
+            self.stats.received[v.0] += bytes;
+            self.stats.messages += 1;
+        }
+        Ok(Delivery { arrival: t, hops: (path.len() - 1) as u32 })
+    }
+
+    /// Floods `bytes` from `src` to every reachable node (classic flooding:
+    /// each reached node rebroadcasts once). Returns `(node, arrival)` for
+    /// every node other than `src` that the flood reaches, in BFS order.
+    ///
+    /// Queueing is charged at each rebroadcasting node; a broadcast frame is
+    /// transmitted once per node and received once per reached node, which
+    /// matches single-channel radio flooding.
+    pub fn broadcast(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Vec<(NodeId, SimTime)> {
+        self.ensure(topo.len());
+        let tx = self.tx_time(bytes);
+        let mut arrival: Vec<Option<SimTime>> = vec![None; topo.len()];
+        arrival[src.0] = Some(now);
+        // BFS by arrival time: process nodes in nondecreasing arrival order.
+        let mut order: Vec<NodeId> = vec![src];
+        let mut head = 0;
+        let mut out = Vec::new();
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            let t_u = arrival[u.0].expect("ordered nodes have arrivals");
+            let has_new_neighbor =
+                topo.neighbors(u).iter().any(|v| arrival[v.0].is_none());
+            if !has_new_neighbor {
+                continue;
+            }
+            // One transmission reaches all (new) neighbors.
+            let depart = t_u.max(self.busy_until[u.0]);
+            let done = depart + tx;
+            self.busy_until[u.0] = done;
+            self.stats.sent[u.0] += bytes;
+            self.stats.messages += 1;
+            let reach = done + self.config.hop_delay;
+            for &v in topo.neighbors(u) {
+                if arrival[v.0].is_none() {
+                    arrival[v.0] = Some(reach);
+                    self.stats.received[v.0] += bytes;
+                    order.push(v);
+                    out.push((v, reach));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Transport {
+    /// Probabilistic flooding (gossip-style broadcast-storm mitigation):
+    /// the source always transmits; every other node that receives the
+    /// message rebroadcasts with probability `rebroadcast_prob`. With
+    /// `p = 1` this is exactly [`Transport::broadcast`]; lower `p` trades
+    /// reach for fewer transmissions — the classic remedy for the
+    /// broadcast storm problem in wireless multi-hop networks.
+    ///
+    /// Returns `(node, arrival)` for every node the flood reaches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rebroadcast_prob` is not within `[0, 1]`.
+    pub fn broadcast_probabilistic<R: rand::Rng + ?Sized>(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        bytes: u64,
+        now: SimTime,
+        rebroadcast_prob: f64,
+        rng: &mut R,
+    ) -> Vec<(NodeId, SimTime)> {
+        assert!(
+            (0.0..=1.0).contains(&rebroadcast_prob),
+            "rebroadcast probability must be in [0, 1]"
+        );
+        self.ensure(topo.len());
+        let tx = self.tx_time(bytes);
+        let mut arrival: Vec<Option<SimTime>> = vec![None; topo.len()];
+        arrival[src.0] = Some(now);
+        let mut frontier: Vec<NodeId> = vec![src];
+        let mut head = 0;
+        let mut out = Vec::new();
+        while head < frontier.len() {
+            let u = frontier[head];
+            head += 1;
+            let forwards = u == src || rng.gen::<f64>() < rebroadcast_prob;
+            if !forwards {
+                continue;
+            }
+            let has_new = topo.neighbors(u).iter().any(|v| arrival[v.0].is_none());
+            if !has_new {
+                continue;
+            }
+            let t_u = arrival[u.0].expect("frontier nodes have arrivals");
+            let depart = t_u.max(self.busy_until[u.0]);
+            let done = depart + tx;
+            self.busy_until[u.0] = done;
+            self.stats.sent[u.0] += bytes;
+            self.stats.messages += 1;
+            let reach = done + self.config.hop_delay;
+            for &v in topo.neighbors(u) {
+                if arrival[v.0].is_none() {
+                    arrival[v.0] = Some(reach);
+                    self.stats.received[v.0] += bytes;
+                    frontier.push(v);
+                    out.push((v, reach));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn line(n: usize) -> Topology {
+        Topology::from_positions(
+            (0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn self_delivery_is_free() {
+        let topo = line(3);
+        let mut tr = Transport::new(TransportConfig::default());
+        let d = tr
+            .unicast(&topo, NodeId(1), NodeId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.hops, 0);
+        assert_eq!(d.arrival, SimTime::ZERO);
+        assert_eq!(tr.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn unicast_latency_scales_with_hops() {
+        let topo = line(4);
+        let mut tr = Transport::new(TransportConfig::default());
+        let one = tr
+            .unicast(&topo, NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        let mut tr2 = Transport::new(TransportConfig::default());
+        let three = tr2
+            .unicast(&topo, NodeId(0), NodeId(3), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(one.hops, 1);
+        assert_eq!(three.hops, 3);
+        assert_eq!(three.arrival.as_millis(), 3 * one.arrival.as_millis());
+        // 1 MB at 2.5 MB/s = 400 ms + 10 ms prop.
+        assert_eq!(one.arrival.as_millis(), 410);
+    }
+
+    #[test]
+    fn queueing_serializes_transmissions() {
+        let topo = line(2);
+        let mut tr = Transport::new(TransportConfig::default());
+        let a = tr
+            .unicast(&topo, NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        let b = tr
+            .unicast(&topo, NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        // Second message waits for the first transmission to finish.
+        assert_eq!(b.arrival.as_millis(), a.arrival.as_millis() + 400);
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let topo = Topology::from_positions(vec![
+            Point::new(0.0, 0.0),
+            Point::new(250.0, 250.0),
+        ]);
+        let mut tr = Transport::new(TransportConfig::default());
+        let err = tr
+            .unicast(&topo, NodeId(0), NodeId(1), 10, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Unreachable { src: NodeId(0), dst: NodeId(1) }
+        );
+    }
+
+    #[test]
+    fn byte_accounting_charges_forwarders() {
+        let topo = line(3);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.unicast(&topo, NodeId(0), NodeId(2), 100, SimTime::ZERO)
+            .unwrap();
+        let s = tr.stats();
+        assert_eq!(s.sent_bytes(NodeId(0)), 100);
+        assert_eq!(s.sent_bytes(NodeId(1)), 100); // forwarder transmits too
+        assert_eq!(s.received_bytes(NodeId(1)), 100);
+        assert_eq!(s.received_bytes(NodeId(2)), 100);
+        assert_eq!(s.total_sent(), 200);
+        assert_eq!(s.message_count(), 2);
+        assert_eq!(s.node_overhead(NodeId(1)), 200);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_once() {
+        let topo = line(5);
+        let mut tr = Transport::new(TransportConfig::default());
+        let deliveries = tr.broadcast(&topo, NodeId(0), 1000, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 4);
+        // Arrivals strictly increase along the chain.
+        let mut sorted = deliveries.clone();
+        sorted.sort_by_key(|(n, _)| n.0);
+        for w in sorted.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+        // Each of nodes 0..=3 transmits once (node 4 has no new neighbors).
+        assert_eq!(tr.stats().total_sent(), 4 * 1000);
+        for v in 1..5 {
+            assert_eq!(tr.stats().received_bytes(NodeId(v)), 1000);
+        }
+    }
+
+    #[test]
+    fn broadcast_on_partition_covers_only_component() {
+        let topo = Topology::from_positions(vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(290.0, 290.0),
+        ]);
+        let mut tr = Transport::new(TransportConfig::default());
+        let deliveries = tr.broadcast(&topo, NodeId(0), 10, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, NodeId(1));
+    }
+
+    #[test]
+    fn probabilistic_flood_with_p1_matches_flooding() {
+        use rand::SeedableRng;
+        let topo = line(6);
+        let mut flood = Transport::new(TransportConfig::default());
+        let reach_flood = flood.broadcast(&topo, NodeId(0), 100, SimTime::ZERO);
+        let mut prob = Transport::new(TransportConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let reach_prob = prob.broadcast_probabilistic(
+            &topo, NodeId(0), 100, SimTime::ZERO, 1.0, &mut rng,
+        );
+        assert_eq!(reach_flood, reach_prob);
+        assert_eq!(flood.stats().total_sent(), prob.stats().total_sent());
+    }
+
+    #[test]
+    fn probabilistic_flood_with_p0_reaches_only_neighbors() {
+        use rand::SeedableRng;
+        let topo = line(6);
+        let mut tr = Transport::new(TransportConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let reached = tr.broadcast_probabilistic(
+            &topo, NodeId(2), 100, SimTime::ZERO, 0.0, &mut rng,
+        );
+        let mut nodes: Vec<NodeId> = reached.into_iter().map(|(v, _)| v).collect();
+        nodes.sort();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(tr.stats().total_sent(), 100); // only the source transmits
+    }
+
+    #[test]
+    fn probabilistic_flood_never_costs_more_than_flooding() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let topo = crate::topology::Topology::random_connected(
+            25,
+            crate::topology::TopologyConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut flood = Transport::new(TransportConfig::default());
+        flood.broadcast(&topo, NodeId(0), 1000, SimTime::ZERO);
+        for p in [0.3, 0.6, 0.9] {
+            let mut tr = Transport::new(TransportConfig::default());
+            tr.broadcast_probabilistic(&topo, NodeId(0), 1000, SimTime::ZERO, p, &mut rng);
+            assert!(
+                tr.stats().total_sent() <= flood.stats().total_sent(),
+                "p={p} sent more than flooding"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn probabilistic_flood_rejects_bad_probability() {
+        use rand::SeedableRng;
+        let topo = line(2);
+        let mut tr = Transport::new(TransportConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let _ = tr.broadcast_probabilistic(
+            &topo, NodeId(0), 1, SimTime::ZERO, 1.5, &mut rng,
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_only() {
+        let topo = line(2);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.unicast(&topo, NodeId(0), NodeId(1), 50, SimTime::ZERO)
+            .unwrap();
+        tr.reset_stats();
+        assert_eq!(tr.stats().total_sent(), 0);
+        assert_eq!(tr.stats().mean_node_overhead(), 0.0);
+    }
+
+    #[test]
+    fn mean_node_overhead() {
+        let topo = line(2);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.unicast(&topo, NodeId(0), NodeId(1), 100, SimTime::ZERO)
+            .unwrap();
+        // Node 0 sent 100, node 1 received 100 → mean (100+100)/2.
+        assert_eq!(tr.stats().mean_node_overhead(), 100.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the simulator: topology route invariants,
+//! transport conservation laws, and metric bounds.
+
+use edgechain_sim::{
+    gini, EventQueue, NodeId, Point, SampleSet, SimTime, Topology, Transport,
+    TransportConfig, UNREACHABLE,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..300.0, 0.0f64..300.0), 2..max)
+        .prop_map(|v| v.into_iter().map(Point::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hops_are_symmetric(points in arb_points(20)) {
+        let topo = Topology::from_positions(points);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_satisfy_triangle_inequality(points in arb_points(16)) {
+        let topo = Topology::from_positions(points);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                for c in topo.nodes() {
+                    let ab = topo.hops(a, b);
+                    let bc = topo.hops(b, c);
+                    let ac = topo.hops(a, c);
+                    if ab != UNREACHABLE && bc != UNREACHABLE {
+                        prop_assert!(ac != UNREACHABLE);
+                        prop_assert!(ac <= ab + bc);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_matches_hops(points in arb_points(16)) {
+        let topo = Topology::from_positions(points);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                match topo.path(a, b) {
+                    Some(path) => {
+                        prop_assert_eq!(path.len() as u32 - 1, topo.hops(a, b));
+                        prop_assert_eq!(path[0], a);
+                        prop_assert_eq!(*path.last().unwrap(), b);
+                        // Consecutive path nodes are radio neighbors.
+                        for w in path.windows(2) {
+                            prop_assert!(topo.neighbors(w[0]).contains(&w[1]));
+                        }
+                    }
+                    None => prop_assert_eq!(topo.hops(a, b), UNREACHABLE),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rdc_is_symmetric_and_nonnegative(points in arb_points(12)) {
+        let topo = Topology::from_positions(points);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                let c = topo.rdc(a, b);
+                prop_assert!(c >= 0.0);
+                prop_assert_eq!(c, topo.rdc(b, a));
+                if a == b {
+                    prop_assert_eq!(c, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_conserves_bytes(points in arb_points(12), bytes in 1u64..10_000_000) {
+        let topo = Topology::from_positions(points);
+        let mut tr = Transport::new(TransportConfig::default());
+        let a = NodeId(0);
+        let b = NodeId(topo.len() - 1);
+        if let Ok(delivery) = tr.unicast(&topo, a, b, bytes, SimTime::ZERO) {
+            let hops = topo.hops(a, b) as u64;
+            prop_assert_eq!(delivery.hops as u64, hops);
+            // Every hop transmits and receives the full payload once.
+            prop_assert_eq!(tr.stats().total_sent(), bytes * hops);
+            let total_recv: u64 = topo.nodes()
+                .map(|v| tr.stats().received_bytes(v))
+                .sum();
+            prop_assert_eq!(total_recv, bytes * hops);
+        }
+    }
+
+    #[test]
+    fn unicast_arrival_increases_with_hops(points in arb_points(12)) {
+        let topo = Topology::from_positions(points);
+        let src = NodeId(0);
+        let mut last_by_hops: Vec<(u32, SimTime)> = Vec::new();
+        for dst in topo.nodes() {
+            if dst == src { continue; }
+            let mut tr = Transport::new(TransportConfig::default());
+            if let Ok(d) = tr.unicast(&topo, src, dst, 1000, SimTime::ZERO) {
+                last_by_hops.push((d.hops, d.arrival));
+            }
+        }
+        last_by_hops.sort();
+        for w in last_by_hops.windows(2) {
+            if w[0].0 < w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_exactly_the_component(points in arb_points(16)) {
+        let topo = Topology::from_positions(points);
+        let src = NodeId(0);
+        let mut tr = Transport::new(TransportConfig::default());
+        let reached: Vec<NodeId> =
+            tr.broadcast(&topo, src, 100, SimTime::ZERO).into_iter().map(|(v, _)| v).collect();
+        for v in topo.nodes() {
+            if v == src { continue; }
+            prop_assert_eq!(reached.contains(&v), topo.reachable(src, v));
+        }
+    }
+
+    #[test]
+    fn gini_bounded_and_translation_sensitive(values in prop::collection::vec(0.0f64..1000.0, 2..50)) {
+        let g = gini(&values);
+        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+        // Adding a constant to every value strictly reduces inequality
+        // (unless already equal).
+        let shifted: Vec<f64> = values.iter().map(|v| v + 1000.0).collect();
+        prop_assert!(gini(&shifted) <= g + 1e-12);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_range(
+        values in prop::collection::vec(-1e9f64..1e9, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut s: SampleSet = values.iter().copied().collect();
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let va = s.quantile(lo).unwrap();
+        let vb = s.quantile(hi).unwrap();
+        prop_assert!(va <= vb, "quantiles not monotone: q{lo}={va} > q{hi}={vb}");
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((min..=max).contains(&va));
+        prop_assert!((min..=max).contains(&vb));
+    }
+
+    #[test]
+    fn probabilistic_flood_reach_is_subset_of_flood(
+        points in arb_points(16),
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::from_positions(points);
+        let mut full = Transport::new(TransportConfig::default());
+        let reach_full: std::collections::HashSet<NodeId> = full
+            .broadcast(&topo, NodeId(0), 10, SimTime::ZERO)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        let mut part = Transport::new(TransportConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reach_part: std::collections::HashSet<NodeId> = part
+            .broadcast_probabilistic(&topo, NodeId(0), 10, SimTime::ZERO, p, &mut rng)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        prop_assert!(reach_part.is_subset(&reach_full));
+        prop_assert!(part.stats().total_sent() <= full.stats().total_sent());
+        // Direct neighbors of the source are always reached.
+        for &v in topo.neighbors(NodeId(0)) {
+            prop_assert!(reach_part.contains(&v));
+        }
+    }
+
+    #[test]
+    fn mobility_preserves_node_count_and_field(points in arb_points(16), steps in 1usize..5) {
+        let mut topo = Topology::from_positions(points.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..steps {
+            topo.mobility_step(&mut rng);
+        }
+        prop_assert_eq!(topo.len(), points.len());
+        for v in topo.nodes() {
+            let p = topo.position(v);
+            prop_assert!(topo.config().field.contains(&p));
+            prop_assert!(topo.home(v).distance(&p) <= topo.mobility_range(v) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Vehicles selling road information to peers — placement strategy shootout.
+//!
+//! The paper's intro: "vehicles can sell road information directly to peer
+//! vehicles in edge environments without a trusted cloud backend". Vehicles
+//! move a lot, so the Range-Distance Cost matters: this example runs the
+//! same vehicular workload under the paper's optimal (UFL) placement and
+//! under random placement, and prints the Fig. 5-style comparison.
+//!
+//! Run with: `cargo run --release --example vehicular_network`
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, Placement};
+use edgechain::sim::TopologyConfig;
+
+fn vehicular_config(placement: Placement) -> NetworkConfig {
+    NetworkConfig {
+        nodes: 25,
+        data_items_per_min: 2.0,
+        sim_minutes: 120,
+        // Vehicles: much larger mobility discs than the default handhelds.
+        topology: TopologyConfig {
+            mobility_range: 50.0,
+            ..TopologyConfig::default()
+        },
+        mobility_interval_secs: 30,
+        request_interval_secs: 120,
+        placement,
+        seed: 2024,
+        ..NetworkConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== vehicular road-information network (25 vehicles, 2 h) ===\n");
+
+    let mut rows = Vec::new();
+    for placement in [
+        Placement::Optimal,
+        Placement::Random,
+        Placement::NoProactive,
+    ] {
+        let report = EdgeNetwork::new(vehicular_config(placement))?.run();
+        println!("--- {placement} placement ---");
+        println!("{report}\n");
+        rows.push((placement, report));
+    }
+
+    let (_, opt) = &rows[0];
+    let (_, rnd) = &rows[1];
+    let (_, nop) = &rows[2];
+    println!("=== comparison (Fig. 5 shape) ===");
+    println!(
+        "delivery time : optimal {:.2} s | random {:.2} s | no-proactive {:.2} s",
+        opt.delivery.mean(),
+        rnd.delivery.mean(),
+        nop.delivery.mean(),
+    );
+    println!(
+        "overhead/node : optimal {:.1} MB | random {:.1} MB | no-proactive {:.1} MB",
+        opt.mean_node_overhead_mb, rnd.mean_node_overhead_mb, nop.mean_node_overhead_mb,
+    );
+    println!(
+        "storage gini  : optimal {:.3} | random {:.3}",
+        opt.storage_gini, rnd.storage_gini
+    );
+    println!(
+        "\nvs no-proactive store, proactive optimal placement delivers {:+.0}% \
+         ({}). Optimal vs random is a small effect at the paper's A = 1000 \
+         (the fairness term dominates placement); the fairness win shows in \
+         the gini column.",
+        100.0 * (opt.delivery.mean() - nop.delivery.mean()) / nop.delivery.mean(),
+        if opt.delivery.mean() < nop.delivery.mean() { "faster — the paper's claim" } else { "slower on this seed; fig5 averages more" },
+    );
+    Ok(())
+}

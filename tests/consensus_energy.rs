@@ -1,0 +1,103 @@
+//! Integration test for the Fig. 6 claim: PoS mining consumes far less
+//! energy than PoW for the same number of blocks mined.
+
+use edgechain::core::{mine, run_round, Candidate, Difficulty, Identity};
+use edgechain::crypto::sha256;
+use edgechain::energy::{Battery, DeviceProfile};
+
+/// Simulates mining `blocks` PoW blocks at the paper's difficulty and
+/// returns the battery percentage consumed (counting actual hash attempts).
+fn pow_battery_cost(blocks: u64) -> f64 {
+    let profile = DeviceProfile::galaxy_s8();
+    let mut battery = Battery::full(&profile);
+    let mut prev = sha256(b"pow-genesis");
+    // Difficulty 2 keeps the test fast; scale the per-hash energy so the
+    // per-block expected cost equals difficulty 4's (65536/256 = 256×).
+    let scale = (Difficulty::PAPER.expected_attempts()
+        / Difficulty::new(2).expected_attempts()) as f64;
+    for i in 0..blocks {
+        let header = [prev.as_bytes().as_slice(), &i.to_be_bytes()].concat();
+        let sol = mine(&header, Difficulty::new(2), 0, 1 << 24).expect("found");
+        battery.consume(profile.pow_hash_energy * scale * sol.attempts as f64);
+        prev = sol.hash;
+    }
+    100.0 - battery.percent()
+}
+
+/// Simulates mining `blocks` PoS blocks (25 s pace, as in Fig. 6) and
+/// returns the battery percentage consumed by the per-second checks.
+fn pos_battery_cost(blocks: u64) -> f64 {
+    let profile = DeviceProfile::galaxy_s8();
+    let mut battery = Battery::full(&profile);
+    let candidates: Vec<Candidate> = (0..8)
+        .map(|i| Candidate {
+            account: Identity::from_seed(i).account(),
+            tokens: 2,
+            stored_items: 5,
+        })
+        .collect();
+    let mut prev = sha256(b"pos-genesis");
+    for _ in 0..blocks {
+        let out = run_round(&prev, &candidates, 25);
+        battery.consume(profile.pos_check_energy * out.delay_secs as f64);
+        prev = out.new_pos_hash;
+    }
+    100.0 - battery.percent()
+}
+
+#[test]
+fn pos_uses_far_less_battery_than_pow() {
+    let blocks = 40;
+    let pow = pow_battery_cost(blocks);
+    let pos = pos_battery_cost(blocks);
+    assert!(pos < pow, "PoS ({pos:.2}%) must beat PoW ({pow:.2}%)");
+    // The paper's headline: 64% less energy. Require at least 50% less to
+    // absorb the randomness of actual PoW search lengths.
+    let saving = 1.0 - pos / pow;
+    assert!(
+        saving > 0.5,
+        "expected ≥50% energy saving, got {:.0}% (pow {pow:.2}%, pos {pos:.2}%)",
+        saving * 100.0
+    );
+}
+
+#[test]
+fn pow_four_blocks_per_percent_shape() {
+    // Fig. 6 anchor: ~4 PoW blocks per 1% battery at difficulty 4 pace.
+    let consumed = pow_battery_cost(40);
+    let blocks_per_percent = 40.0 / consumed;
+    assert!(
+        (2.0..8.0).contains(&blocks_per_percent),
+        "PoW blocks/1%: {blocks_per_percent:.1} (expected ≈4)"
+    );
+}
+
+#[test]
+fn pos_eleven_blocks_per_percent_shape() {
+    let consumed = pos_battery_cost(60);
+    let blocks_per_percent = 60.0 / consumed;
+    assert!(
+        (7.0..16.0).contains(&blocks_per_percent),
+        "PoS blocks/1%: {blocks_per_percent:.1} (expected ≈11)"
+    );
+}
+
+#[test]
+fn pow_energy_grows_with_difficulty() {
+    // §VI-C: "The computational complexity grows exponentially in PoW".
+    let mut costs = Vec::new();
+    for d in [1u32, 2] {
+        let mut attempts = 0u64;
+        for i in 0..12u64 {
+            let header = format!("diff{d}-{i}");
+            let sol = mine(header.as_bytes(), Difficulty::new(d), 0, 1 << 24).unwrap();
+            attempts += sol.attempts;
+        }
+        costs.push(attempts as f64 / 12.0);
+    }
+    assert!(
+        costs[1] > costs[0] * 4.0,
+        "mean attempts {:?} should grow ~16× per hex digit",
+        costs
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration tests for the raft substrate: general information consensus
+//! over edge-style lossy networks, with safety checked continuously by the
+//! cluster harness.
+
+use edgechain::raft::{Cluster, ClusterConfig, PeerId, Role};
+
+#[test]
+fn membership_log_replicates_under_loss() {
+    // The paper uses raft for "general information consensus"; replicate a
+    // stream of membership events over a 20%-lossy network.
+    let cfg = ClusterConfig { drop_rate: 0.2, ..ClusterConfig::default() };
+    let mut cluster: Cluster<String> = Cluster::new(5, cfg, 77);
+    cluster.run_until_leader(60_000).expect("leader despite loss");
+    let events = [
+        "node-7 joined at (120.5, 80.2) range 30m",
+        "node-3 moved, new range 50m",
+        "node-7 left",
+    ];
+    for e in events {
+        cluster.propose(e.to_string()).unwrap();
+        cluster.run_millis(5_000);
+    }
+    cluster.run_millis(30_000);
+    let expected: Vec<String> = events.iter().map(|s| s.to_string()).collect();
+    assert!(
+        cluster.all_committed(&expected),
+        "log 0: {:?}",
+        cluster.committed_log(PeerId(0))
+    );
+}
+
+#[test]
+fn leader_failover_preserves_committed_entries() {
+    let mut cluster: Cluster<u64> = Cluster::new(5, ClusterConfig::default(), 5150);
+    let first = cluster.run_until_leader(30_000).unwrap();
+    cluster.propose(1).unwrap();
+    cluster.run_millis(5_000);
+    assert!(cluster.all_committed(&[1]));
+
+    // Isolate the leader; the majority elects a successor.
+    cluster.partition(&[first]);
+    cluster.run_millis(10_000);
+    let second = cluster.leader().expect("new leader on majority side");
+    assert_ne!(first, second);
+    cluster.propose(2).unwrap();
+    cluster.run_millis(5_000);
+
+    // Heal: the old leader catches up; nothing committed is lost.
+    cluster.heal();
+    cluster.run_millis(20_000);
+    assert!(cluster.all_committed(&[1, 2]), "old leader must converge");
+}
+
+#[test]
+fn heartbeat_overhead_is_the_dominant_idle_cost() {
+    // The paper's conclusion singles out raft's heartbeat volume as future
+    // work; quantify it: an idle cluster's traffic must be mostly
+    // heartbeats.
+    let mut cluster: Cluster<u8> = Cluster::new(3, ClusterConfig::default(), 9);
+    cluster.run_until_leader(30_000).unwrap();
+    cluster.run_millis(120_000);
+    let counts = cluster.message_counts();
+    let hb_share = counts.heartbeats as f64 / counts.total() as f64;
+    assert!(
+        hb_share > 0.4,
+        "heartbeats {:.0}% of {} messages",
+        hb_share * 100.0,
+        counts.total()
+    );
+}
+
+#[test]
+fn seven_node_cluster_converges() {
+    let mut cluster: Cluster<u32> = Cluster::new(7, ClusterConfig::default(), 31);
+    cluster.run_until_leader(30_000).unwrap();
+    for i in 0..20 {
+        cluster.propose(i).unwrap();
+        cluster.run_millis(1_000);
+    }
+    cluster.run_millis(20_000);
+    let expected: Vec<u32> = (0..20).collect();
+    assert!(cluster.all_committed(&expected));
+    // Exactly one leader at the end.
+    let leaders = (0..7)
+        .filter(|&i| cluster.node(PeerId(i)).role() == Role::Leader)
+        .count();
+    assert_eq!(leaders, 1);
+}
