@@ -33,7 +33,9 @@ fn bench_signatures(c: &mut Criterion) {
     let kp = KeyPair::from_seed(1);
     let msg = b"metadata payload for signing benchmarks";
     let sig = kp.sign(msg);
-    c.bench_function("crypto/sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
+    c.bench_function("crypto/sign", |b| {
+        b.iter(|| kp.sign(std::hint::black_box(msg)))
+    });
     c.bench_function("crypto/verify", |b| {
         b.iter(|| kp.public_key().verify(std::hint::black_box(msg), &sig))
     });
@@ -52,7 +54,13 @@ fn random_instance(n: usize, seed: u64) -> UflInstance {
     let costs: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             (0..n)
-                .map(|j| if i == j { 0.0 } else { 1.0 + rng.gen_range(0..5) as f64 })
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else {
+                        1.0 + rng.gen_range(0..5) as f64
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -111,8 +119,7 @@ fn bench_allocation_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("core/select_storers");
     for n in [10usize, 25, 50] {
         let mut rng = StdRng::seed_from_u64(7);
-        let topo =
-            Topology::random_connected(n, TopologyConfig::default(), &mut rng).unwrap();
+        let topo = Topology::random_connected(n, TopologyConfig::default(), &mut rng).unwrap();
         let mut storage = vec![NodeStorage::paper_default(); n];
         // Partially filled stores, as mid-simulation.
         for (i, s) in storage.iter_mut().enumerate() {

@@ -10,6 +10,8 @@
 //! 4. **PoS `Q` term** — with vs without the stored-items factor in
 //!    `R_i = S_i·Q_i·t·B`: does storage contribution actually buy mining
 //!    share?
+//! 7. **Fault sweep** — availability and repair traffic vs. node crash
+//!    rate under random churn, with the UFL replica-repair sweep on/off.
 //!
 //! `cargo run --release -p edgechain-bench --bin ablation`
 
@@ -20,7 +22,7 @@ use edgechain_core::Identity;
 use edgechain_crypto::sha256;
 use edgechain_facility::{improve, solve_exact, solve_greedy, UflInstance};
 use edgechain_sim::{
-    NodeId, SimTime, Topology, TopologyConfig, Transport, TransportConfig,
+    ChurnConfig, FaultPlan, NodeId, SimTime, Topology, TopologyConfig, Transport, TransportConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -235,8 +237,7 @@ fn ablate_raft_overhead(minutes: u64) {
     println!(
         "  raft adds {:+.1}% per-node overhead — the cost the paper's \
          conclusion flags",
-        100.0 * (on.mean_node_overhead_mb - off.mean_node_overhead_mb)
-            / off.mean_node_overhead_mb
+        100.0 * (on.mean_node_overhead_mb - off.mean_node_overhead_mb) / off.mean_node_overhead_mb
     );
 }
 
@@ -255,9 +256,7 @@ fn ablate_probabilistic_flooding() {
     let mut flood_tx = 0u64;
     let mut topos = Vec::new();
     for _ in 0..trials {
-        let topo =
-            Topology::random_connected(30, TopologyConfig::default(), &mut rng)
-                .unwrap();
+        let topo = Topology::random_connected(30, TopologyConfig::default(), &mut rng).unwrap();
         let mut tr = Transport::new(TransportConfig::default());
         tr.broadcast(&topo, NodeId(0), 1000, SimTime::ZERO);
         flood_tx += tr.stats().total_sent() / 1000;
@@ -268,14 +267,7 @@ fn ablate_probabilistic_flooding() {
         let mut tx = 0u64;
         for topo in &topos {
             let mut tr = Transport::new(TransportConfig::default());
-            let out = tr.broadcast_probabilistic(
-                topo,
-                NodeId(0),
-                1000,
-                SimTime::ZERO,
-                p,
-                &mut rng,
-            );
+            let out = tr.broadcast_probabilistic(topo, NodeId(0), 1000, SimTime::ZERO, p, &mut rng);
             reached += out.len() as u64;
             tx += tr.stats().total_sent() / 1000;
         }
@@ -285,6 +277,75 @@ fn ablate_probabilistic_flooding() {
             100.0 * reached as f64 / (trials as f64 * 29.0),
             tx,
             100.0 * tx as f64 / flood_tx as f64
+        );
+    }
+}
+
+fn ablate_fault_sweep(minutes: u64, seeds: u64) {
+    // Degradation curve: random node churn at increasing crash rates.
+    // Availability should stay high while the UFL repair sweep keeps
+    // replacing lost replicas; turning repair off shows what it buys.
+    let minutes = minutes.min(30);
+    let rates = [0.0f64, 0.25, 0.5, 1.0];
+    println!("\nAblation 7 — fault sweep: availability & repair traffic vs crash rate");
+    println!(
+        "{:<14}{:>14}{:>16}{:>12}{:>14}{:>16}",
+        "crashes/min", "avail (rep)", "avail (norep)", "repairs", "retries", "under-repl [s]"
+    );
+    for &rate in &rates {
+        let mut avail_rep = Vec::new();
+        let mut avail_norep = Vec::new();
+        let mut repairs = Vec::new();
+        let mut retries = Vec::new();
+        let mut under = Vec::new();
+        for seed in 0..seeds {
+            let plan = |s: u64| {
+                FaultPlan::random_churn(
+                    16,
+                    ChurnConfig {
+                        crashes_per_min: rate,
+                        mean_downtime_secs: 240.0,
+                        max_concurrent_down: 5,
+                        horizon: SimTime::from_secs(minutes * 60),
+                    },
+                    &mut StdRng::seed_from_u64(0xFA17 + s),
+                )
+            };
+            let base = NetworkConfig {
+                nodes: 16,
+                sim_minutes: minutes,
+                data_items_per_min: 2.0,
+                request_interval_secs: 60,
+                fetch_retries: 5,
+                retry_backoff_ms: 4_000,
+                seed: 0xFA17 + seed,
+                ..NetworkConfig::default()
+            };
+            let with_repair = NetworkConfig {
+                fault_plan: plan(seed),
+                ..base.clone()
+            };
+            let without_repair = NetworkConfig {
+                fault_plan: plan(seed),
+                replica_repair: false,
+                ..base
+            };
+            let r = EdgeNetwork::new(with_repair).unwrap().run();
+            let n = EdgeNetwork::new(without_repair).unwrap().run();
+            avail_rep.push(r.availability);
+            avail_norep.push(n.availability);
+            repairs.push(r.repairs_triggered as f64);
+            retries.push(r.retries as f64);
+            under.push(r.under_replicated_item_seconds);
+        }
+        println!(
+            "{:<14.2}{:>14.3}{:>16.3}{:>12.1}{:>14.1}{:>16.1}",
+            rate,
+            mean(&avail_rep),
+            mean(&avail_norep),
+            mean(&repairs),
+            mean(&retries),
+            mean(&under)
         );
     }
 }
@@ -301,4 +362,5 @@ fn main() {
     ablate_pos_q_term();
     ablate_raft_overhead(opts.minutes);
     ablate_probabilistic_flooding();
+    ablate_fault_sweep(opts.minutes, opts.seeds);
 }

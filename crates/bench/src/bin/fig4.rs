@@ -87,9 +87,23 @@ fn main() {
     );
 
     if let Some(dir) = &opts.csv_dir {
-        write_csv(dir, "fig4a_overhead_mb", "nodes", &node_counts, &cols, &overhead);
+        write_csv(
+            dir,
+            "fig4a_overhead_mb",
+            "nodes",
+            &node_counts,
+            &cols,
+            &overhead,
+        );
         write_csv(dir, "fig4b_gini", "nodes", &node_counts, &cols, &gini);
-        write_csv(dir, "fig4c_delivery_s", "nodes", &node_counts, &cols, &delivery);
+        write_csv(
+            dir,
+            "fig4c_delivery_s",
+            "nodes",
+            &node_counts,
+            &cols,
+            &delivery,
+        );
         eprintln!("csv written to {dir}/");
     }
     let max_gini = gini.iter().flatten().cloned().fold(0.0, f64::max);

@@ -24,7 +24,11 @@ use edgechain_core::network::{EdgeNetwork, NetworkConfig};
 fn main() {
     let opts = parse_options(120, 3);
     let node_counts = [10usize, 20, 30, 40, 50];
-    let strategies = [Placement::Optimal, Placement::Random, Placement::NoProactive];
+    let strategies = [
+        Placement::Optimal,
+        Placement::Random,
+        Placement::NoProactive,
+    ];
     println!(
         "Fig. 5 reproduction — {} min simulated, {} seeds per cell, 1 item/min",
         opts.minutes, opts.seeds
@@ -79,8 +83,22 @@ fn main() {
     );
 
     if let Some(dir) = &opts.csv_dir {
-        write_csv(dir, "fig5a_delivery_s", "nodes", &node_counts, &cols, &delivery);
-        write_csv(dir, "fig5b_overhead_mb", "nodes", &node_counts, &cols, &overhead);
+        write_csv(
+            dir,
+            "fig5a_delivery_s",
+            "nodes",
+            &node_counts,
+            &cols,
+            &delivery,
+        );
+        write_csv(
+            dir,
+            "fig5b_overhead_mb",
+            "nodes",
+            &node_counts,
+            &cols,
+            &overhead,
+        );
         eprintln!("csv written to {dir}/");
     }
 

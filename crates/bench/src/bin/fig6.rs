@@ -31,7 +31,10 @@ struct Sample {
 /// 65536 hashes ≈ 25 s of phone hashing), charging per real attempt.
 fn run_pow(minutes: u64, profile: &DeviceProfile) -> Vec<Sample> {
     let mut battery = Battery::full(profile);
-    let mut samples = vec![Sample { blocks: 0, battery_percent: 100.0 }];
+    let mut samples = vec![Sample {
+        blocks: 0,
+        battery_percent: 100.0,
+    }];
     let mut prev = sha256(b"fig6-pow-genesis");
     let mut elapsed_secs = 0.0;
     let mut blocks: u64 = 0;
@@ -41,11 +44,13 @@ fn run_pow(minutes: u64, profile: &DeviceProfile) -> Vec<Sample> {
             .expect("difficulty 4 found within 16M attempts whp");
         battery.consume(profile.pow_hash_energy * sol.attempts as f64);
         // The paper's observed pace: ~25 s per block at this difficulty.
-        elapsed_secs += 25.0 * sol.attempts as f64
-            / Difficulty::PAPER.expected_attempts() as f64;
+        elapsed_secs += 25.0 * sol.attempts as f64 / Difficulty::PAPER.expected_attempts() as f64;
         blocks += 1;
         prev = sol.hash;
-        samples.push(Sample { blocks, battery_percent: battery.percent() });
+        samples.push(Sample {
+            blocks,
+            battery_percent: battery.percent(),
+        });
     }
     samples
 }
@@ -53,7 +58,10 @@ fn run_pow(minutes: u64, profile: &DeviceProfile) -> Vec<Sample> {
 /// PoS run: same 25 s expected block time, one target check per second.
 fn run_pos(minutes: u64, profile: &DeviceProfile) -> Vec<Sample> {
     let mut battery = Battery::full(profile);
-    let mut samples = vec![Sample { blocks: 0, battery_percent: 100.0 }];
+    let mut samples = vec![Sample {
+        blocks: 0,
+        battery_percent: 100.0,
+    }];
     let candidates: Vec<Candidate> = (0..8)
         .map(|i| Candidate {
             account: Identity::from_seed(i).account(),
@@ -70,7 +78,10 @@ fn run_pos(minutes: u64, profile: &DeviceProfile) -> Vec<Sample> {
         elapsed_secs += out.delay_secs;
         blocks += 1;
         prev = out.new_pos_hash;
-        samples.push(Sample { blocks, battery_percent: battery.percent() });
+        samples.push(Sample {
+            blocks,
+            battery_percent: battery.percent(),
+        });
     }
     samples
 }
@@ -81,10 +92,16 @@ fn print_series(name: &str, samples: &[Sample]) {
     let step = (samples.len() / 20).max(1);
     for s in samples.iter().step_by(step) {
         let bar = "#".repeat((s.battery_percent / 2.0) as usize);
-        println!("  {:>4} blocks  {:>6.2}%  {bar}", s.blocks, s.battery_percent);
+        println!(
+            "  {:>4} blocks  {:>6.2}%  {bar}",
+            s.blocks, s.battery_percent
+        );
     }
     let last = samples.last().unwrap();
-    println!("  final: {} blocks, {:.2}% remaining", last.blocks, last.battery_percent);
+    println!(
+        "  final: {} blocks, {:.2}% remaining",
+        last.blocks, last.battery_percent
+    );
 }
 
 fn main() {

@@ -121,9 +121,7 @@ pub fn write_csv<R: Display, C: Display>(
         out.push('\n');
     }
     let path = std::path::Path::new(dir).join(format!("{name}.csv"));
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|_| std::fs::write(&path, out))
-    {
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, out)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
@@ -166,8 +164,7 @@ mod tests {
             &["a", "b"],
             &[vec![1.5, 2.5], vec![3.0, 4.0]],
         );
-        let content =
-            std::fs::read_to_string(format!("{dir}/unit.csv")).unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/unit.csv")).unwrap();
         assert_eq!(content, "nodes,a,b\n10,1.5,2.5\n20,3,4\n");
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A node's account address (SHA-256 of its public key).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AccountId(pub Digest);
 
 impl AccountId {
@@ -77,7 +75,10 @@ impl Identity {
     /// Panics if `zero_bits > 24` (grinding cost doubles per bit; beyond
     /// 24 bits a simulation would stall).
     pub fn from_seed_with_pattern(seed: u64, zero_bits: u32) -> (Self, u64) {
-        assert!(zero_bits <= 24, "address pattern above 24 bits is impractical");
+        assert!(
+            zero_bits <= 24,
+            "address pattern above 24 bits is impractical"
+        );
         let mut attempts = 0u64;
         let mut counter = seed;
         loop {
@@ -144,12 +145,18 @@ impl Ledger {
     /// A ledger where unknown accounts hold one token (the paper's initial
     /// grant).
     pub fn new() -> Self {
-        Ledger { balances: HashMap::new(), initial_tokens: 1 }
+        Ledger {
+            balances: HashMap::new(),
+            initial_tokens: 1,
+        }
     }
 
     /// A ledger with a custom initial grant.
     pub fn with_initial_tokens(initial_tokens: u64) -> Self {
-        Ledger { balances: HashMap::new(), initial_tokens }
+        Ledger {
+            balances: HashMap::new(),
+            initial_tokens,
+        }
     }
 
     /// The initial grant for unseen accounts.

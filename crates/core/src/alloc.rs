@@ -61,11 +61,23 @@ pub fn build_instance_scaled(
         storage.len(),
         "one storage manager per topology node"
     );
-    let scaled: Vec<f64> = storage
+    let live = live_nodes(topology);
+    let scaled: Vec<f64> = live
         .iter()
-        .map(|s| s.fdc() * fdc_scale / edgechain_facility::FDC_SCALE)
+        .map(|&i| storage[i].fdc() * fdc_scale / edgechain_facility::FDC_SCALE)
         .collect();
-    UflInstance::from_costs(&scaled, |i, j| topology.rdc(NodeId(i), NodeId(j)))
+    UflInstance::from_costs(&scaled, |a, b| {
+        topology.rdc(NodeId(live[a]), NodeId(live[b]))
+    })
+}
+
+/// The facility/client universe of an allocation instance: crashed nodes
+/// can neither store nor demand data, so the UFL problem is posed over the
+/// surviving nodes only. With every node up this is the identity map.
+fn live_nodes(topology: &Topology) -> Vec<usize> {
+    (0..topology.len())
+        .filter(|&i| topology.is_active(NodeId(i)))
+        .collect()
 }
 
 /// Selects the storing nodes for one item under `placement`.
@@ -124,18 +136,26 @@ pub fn select_storers_scaled<R: Rng + ?Sized>(
     if placement == Placement::NoProactive {
         return Ok(Vec::new());
     }
+    let live = live_nodes(topology);
+    if live.is_empty() {
+        return Err(SolveError::NoFeasibleFacility);
+    }
     let instance = build_instance_scaled(topology, storage, fdc_scale);
     let solution = solve(&instance)?;
+    // Solver indices address the live-node universe; map them back to
+    // real node ids.
     let optimal: Vec<NodeId> = solution
         .open_facilities()
         .into_iter()
-        .map(NodeId)
+        .map(|f| NodeId(live[f]))
         .collect();
     match placement {
         Placement::NoProactive => unreachable!("handled above"),
         Placement::Optimal => Ok(optimal),
         Placement::Random => {
-            let candidates: Vec<NodeId> = (0..storage.len())
+            let candidates: Vec<NodeId> = live
+                .iter()
+                .copied()
                 .filter(|&i| !storage[i].is_full())
                 .map(NodeId)
                 .collect();
@@ -161,9 +181,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn line_topology(n: usize) -> Topology {
-        Topology::from_positions(
-            (0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
-        )
+        Topology::from_positions((0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect())
     }
 
     #[test]
@@ -176,8 +194,7 @@ mod tests {
         storage[1].cache_recent(0);
         assert!(storage[1].is_full());
         let mut rng = StdRng::seed_from_u64(1);
-        let nodes =
-            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        let nodes = select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
         assert!(!nodes.is_empty());
         assert!(!nodes.contains(&NodeId(1)), "full node selected: {nodes:?}");
     }
@@ -191,22 +208,20 @@ mod tests {
             storage[0].store_data(DataId(i));
         }
         let mut rng = StdRng::seed_from_u64(2);
-        let nodes =
-            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
-        assert!(!nodes.contains(&NodeId(0)), "loaded node selected: {nodes:?}");
+        let nodes = select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        assert!(
+            !nodes.contains(&NodeId(0)),
+            "loaded node selected: {nodes:?}"
+        );
     }
 
     #[test]
     fn random_matches_optimal_count() {
         let mut rng = StdRng::seed_from_u64(3);
-        let topo =
-            Topology::random_connected(20, TopologyConfig::default(), &mut rng)
-                .unwrap();
+        let topo = Topology::random_connected(20, TopologyConfig::default(), &mut rng).unwrap();
         let storage = vec![NodeStorage::paper_default(); 20];
-        let optimal =
-            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
-        let random =
-            select_storers(Placement::Random, &topo, &storage, &mut rng).unwrap();
+        let optimal = select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        let random = select_storers(Placement::Random, &topo, &storage, &mut rng).unwrap();
         assert_eq!(optimal.len(), random.len());
     }
 
@@ -221,9 +236,7 @@ mod tests {
         assert!(storage[2].is_full());
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..20 {
-            let nodes =
-                select_storers(Placement::Random, &topo, &storage, &mut rng)
-                    .unwrap();
+            let nodes = select_storers(Placement::Random, &topo, &storage, &mut rng).unwrap();
             assert!(!nodes.contains(&NodeId(2)));
         }
     }
@@ -254,9 +267,43 @@ mod tests {
         let topo = line_topology(12);
         let storage = vec![NodeStorage::paper_default(); 12];
         let mut rng = StdRng::seed_from_u64(6);
-        let nodes =
-            select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
-        assert!(nodes.len() >= 2, "expected multiple replicas, got {nodes:?}");
+        let nodes = select_storers(Placement::Optimal, &topo, &storage, &mut rng).unwrap();
+        assert!(
+            nodes.len() >= 2,
+            "expected multiple replicas, got {nodes:?}"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_are_never_selected() {
+        let mut topo = line_topology(6);
+        topo.set_active(NodeId(2), false);
+        let storage = vec![NodeStorage::paper_default(); 6];
+        let mut rng = StdRng::seed_from_u64(7);
+        for placement in [Placement::Optimal, Placement::Random] {
+            for _ in 0..10 {
+                let nodes = select_storers(placement, &topo, &storage, &mut rng).unwrap();
+                assert!(!nodes.is_empty());
+                assert!(
+                    !nodes.contains(&NodeId(2)),
+                    "{placement}: dead node selected in {nodes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_nodes_down_is_infeasible() {
+        let mut topo = line_topology(3);
+        for i in 0..3 {
+            topo.set_active(NodeId(i), false);
+        }
+        let storage = vec![NodeStorage::paper_default(); 3];
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(
+            select_storers(Placement::Optimal, &topo, &storage, &mut rng),
+            Err(SolveError::NoFeasibleFacility)
+        );
     }
 
     #[test]

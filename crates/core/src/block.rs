@@ -87,8 +87,7 @@ impl Block {
         recent_cache_nodes: Vec<NodeId>,
     ) -> Self {
         let merkle_root =
-            MerkleTree::from_leaves(metadata.iter().map(|m| m.canonical_bytes()))
-                .root();
+            MerkleTree::from_leaves(metadata.iter().map(|m| m.canonical_bytes())).root();
         let mut block = Block {
             index,
             prev_hash,
@@ -121,7 +120,11 @@ impl Block {
         h.update(self.amendment.numerator().to_be_bytes());
         h.update(self.amendment.denominator().to_be_bytes());
         h.update(self.merkle_root.as_bytes());
-        for set in [&self.storing_nodes, &self.prev_storing_nodes, &self.recent_cache_nodes] {
+        for set in [
+            &self.storing_nodes,
+            &self.prev_storing_nodes,
+            &self.recent_cache_nodes,
+        ] {
             h.update((set.len() as u64).to_be_bytes());
             for n in set.iter() {
                 h.update((n.0 as u64).to_be_bytes());
@@ -132,8 +135,7 @@ impl Block {
 
     /// Recomputes the Merkle root over the metadata items.
     pub fn compute_merkle_root(&self) -> Digest {
-        MerkleTree::from_leaves(self.metadata.iter().map(|m| m.canonical_bytes()))
-            .root()
+        MerkleTree::from_leaves(self.metadata.iter().map(|m| m.canonical_bytes())).root()
     }
 
     /// Structural self-check: hash and Merkle root match the contents.
@@ -149,7 +151,10 @@ impl Block {
     /// timestamp regression, or malformed contents.
     pub fn validate_against(&self, prev: &Block) -> Result<(), BlockError> {
         if self.index != prev.index + 1 {
-            return Err(BlockError::BadIndex { expected: prev.index + 1, got: self.index });
+            return Err(BlockError::BadIndex {
+                expected: prev.index + 1,
+                got: self.index,
+            });
         }
         if self.prev_hash != prev.hash {
             return Err(BlockError::BrokenHashLink { index: self.index });
@@ -314,7 +319,10 @@ mod tests {
         b.hash = b.compute_hash();
         assert_eq!(
             b.validate_against(&g),
-            Err(BlockError::BadIndex { expected: 1, got: 5 })
+            Err(BlockError::BadIndex {
+                expected: 1,
+                got: 5
+            })
         );
     }
 
@@ -351,7 +359,10 @@ mod tests {
         // Change a metadata item without re-sealing: merkle root mismatch.
         b.metadata[0].data_size = 5;
         assert!(!b.is_well_formed());
-        assert_eq!(b.validate_against(&g), Err(BlockError::Malformed { index: 1 }));
+        assert_eq!(
+            b.validate_against(&g),
+            Err(BlockError::Malformed { index: 1 })
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Default for Blockchain {
 impl Blockchain {
     /// A chain containing only the genesis block.
     pub fn new() -> Self {
-        Blockchain { blocks: vec![Block::genesis()] }
+        Blockchain {
+            blocks: vec![Block::genesis()],
+        }
     }
 
     /// Reconstructs a chain from blocks, validating linkage.
@@ -60,7 +62,10 @@ impl Blockchain {
         for i in 1..blocks.len() {
             blocks[i]
                 .validate_against(&blocks[i - 1])
-                .map_err(|e| ChainError::Invalid { index: blocks[i].index, source: e })?;
+                .map_err(|e| ChainError::Invalid {
+                    index: blocks[i].index,
+                    source: e,
+                })?;
         }
         Ok(Blockchain { blocks })
     }
@@ -350,10 +355,7 @@ mod tests {
         let chain = chain_of(2);
         let mut blocks = chain.as_slice().to_vec();
         blocks.remove(0);
-        assert_eq!(
-            Blockchain::from_blocks(blocks),
-            Err(ChainError::BadGenesis)
-        );
+        assert_eq!(Blockchain::from_blocks(blocks), Err(ChainError::BadGenesis));
         assert_eq!(Blockchain::from_blocks(vec![]), Err(ChainError::Empty));
     }
 
@@ -412,7 +414,7 @@ mod tests {
     #[test]
     fn checkpointed_adoption_allows_shallow_extension() {
         let trunk = chain_of(11); // height 11; checkpoint at 10
-        // A longer chain that shares everything through the checkpoint.
+                                  // A longer chain that shares everything through the checkpoint.
         let longer = extend(&trunk, 4, 300);
         let mut chain = trunk.clone();
         let policy = CheckpointPolicy { interval: 10 };

@@ -80,7 +80,9 @@ struct Reader {
 
 impl Reader {
     fn new(data: &[u8]) -> Self {
-        Reader { buf: Bytes::copy_from_slice(data) }
+        Reader {
+            buf: Bytes::copy_from_slice(data),
+        }
     }
 
     fn need(&self, n: usize) -> Result<(), DecodeError> {
@@ -225,8 +227,7 @@ fn read_metadata(r: &mut Reader) -> Result<MetadataItem, DecodeError> {
     let y = r.f64()?;
     let producer = AccountId(r.digest()?);
     let key_bytes: [u8; 32] = r.bytes(32)?.try_into().expect("length checked");
-    let producer_key =
-        PublicKey::from_bytes(&key_bytes).map_err(|_| DecodeError::BadKey)?;
+    let producer_key = PublicKey::from_bytes(&key_bytes).map_err(|_| DecodeError::BadKey)?;
     let sig_bytes: [u8; 64] = r.bytes(64)?.try_into().expect("length checked");
     let signature = Signature::from_bytes(&sig_bytes);
     let storing_nodes = r.node_list()?;
@@ -402,7 +403,11 @@ mod tests {
             DataId(7),
             DataType::Sensing("PM2.5".into()),
             660,
-            Location { label: "NY".into(), x: 40.7, y: -74.0 },
+            Location {
+                label: "NY".into(),
+                x: 40.7,
+                y: -74.0,
+            },
             1440,
             Some("cam".into()),
             1_000_000,

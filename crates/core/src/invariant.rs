@@ -1,0 +1,314 @@
+//! Run-time safety invariants checked under fault injection.
+//!
+//! [`InvariantChecker`] is consulted by [`crate::network::EdgeNetwork`]
+//! after every simulation event whenever a fault plan is active. It
+//! distinguishes two severities:
+//!
+//! * **Hard violations** (counted in [`InvariantChecker::violations`]) —
+//!   states the protocol must never reach, no matter what the fault plan
+//!   does, as long as one honest node survives:
+//!   * *durable loss*: a valid data item with **zero** copies on honest
+//!     nodes, counting crashed nodes too (a crash makes storage
+//!     unavailable but never wipes it, so the only honest-copy count that
+//!     can legitimately hit zero is the live one);
+//!   * *prefix inconsistency*: a node whose recovered view of the chain
+//!     is not a contiguous prefix of the canonical chain, or which claims
+//!     blocks the canonical chain never produced.
+//! * **Transient degradation** — a valid item with zero *live* honest
+//!   copies (every replica holder and the producer currently crashed).
+//!   This is survivable: the copies come back when the nodes restart. It
+//!   is metered as `under_replicated_item_seconds` and feeds the
+//!   availability figure rather than tripping the checker.
+
+use crate::metadata::MetadataItem;
+use crate::storage::NodeStorage;
+use edgechain_sim::{NodeId, SimTime, Topology};
+
+/// Tracks replica-durability and chain-prefix invariants across a run.
+///
+/// Feed it an [`InvariantView`] of the live network after each event via
+/// [`InvariantChecker::observe`]; read the accumulated counters at the end
+/// of the run.
+#[derive(Debug, Clone)]
+pub struct InvariantChecker {
+    /// Hard invariant violations observed so far (should stay 0).
+    pub violations: u64,
+    /// Integral of (valid items with zero live honest copies) over time,
+    /// in item-seconds.
+    pub under_replicated_item_seconds: f64,
+    last_observe: SimTime,
+    under_replicated_now: usize,
+}
+
+/// A borrowed snapshot of the network state the checker needs.
+pub struct InvariantView<'a> {
+    /// Current topology (activity flags included).
+    pub topo: &'a Topology,
+    /// Per-node storage managers (indexed by node id).
+    pub storage: &'a [NodeStorage],
+    /// Per-node malicious flags.
+    pub malicious: &'a [bool],
+    /// Valid data items under protection: `(metadata, producer node)`.
+    pub items: &'a [(MetadataItem, Option<NodeId>)],
+    /// Canonical chain height.
+    pub chain_height: u64,
+    /// Highest contiguous block index per node.
+    pub node_height: &'a [u64],
+    /// Highest block index each node has seen at all.
+    pub node_max_known: &'a [u64],
+}
+
+impl InvariantChecker {
+    /// A fresh checker starting its clock at `start`.
+    pub fn new(start: SimTime) -> Self {
+        InvariantChecker {
+            violations: 0,
+            under_replicated_item_seconds: 0.0,
+            last_observe: start,
+            under_replicated_now: 0,
+        }
+    }
+
+    /// Closes the elapsed interval against the previous observation and
+    /// re-evaluates every invariant on the given snapshot.
+    pub fn observe(&mut self, now: SimTime, view: &InvariantView<'_>) {
+        let dt = now.saturating_since(self.last_observe).as_secs_f64();
+        self.under_replicated_item_seconds += self.under_replicated_now as f64 * dt;
+        self.last_observe = now;
+
+        let mut zero_live = 0usize;
+        for (item, producer) in view.items {
+            let (durable, live) = Self::honest_copies(view, item, *producer);
+            if durable == 0 {
+                // Crashes never wipe disks, so this can only be a protocol
+                // bug (e.g. eviction of the last replica of a valid item).
+                self.violations += 1;
+            } else if live == 0 {
+                zero_live += 1;
+            }
+        }
+        self.under_replicated_now = zero_live;
+
+        for v in 0..view.node_height.len() {
+            // A node's contiguous height and everything it has recovered
+            // must stay within the canonical chain: heights beyond the tip
+            // or "known" blocks nobody mined mean recovery corrupted the
+            // node's prefix.
+            if view.node_height[v] > view.chain_height
+                || view.node_max_known[v] > view.chain_height
+                || view.node_height[v] > view.node_max_known[v]
+            {
+                self.violations += 1;
+            }
+        }
+    }
+
+    /// Counts `(durable, live)` honest copies of one item. The producer's
+    /// origin copy always exists (producers keep their own data), so it
+    /// counts even without a [`NodeStorage`] entry.
+    fn honest_copies(
+        view: &InvariantView<'_>,
+        item: &MetadataItem,
+        producer: Option<NodeId>,
+    ) -> (usize, usize) {
+        let mut durable = 0usize;
+        let mut live = 0usize;
+        let mut count = |v: NodeId, has: bool| {
+            if has && !view.malicious[v.0] {
+                durable += 1;
+                if view.topo.is_active(v) {
+                    live += 1;
+                }
+            }
+        };
+        for &h in &item.storing_nodes {
+            if Some(h) != producer {
+                count(h, view.storage[h.0].has_data(item.data_id));
+            }
+        }
+        if let Some(p) = producer {
+            // Malicious producers still serve their own data (§III-B.2's
+            // denial model only covers third-party storers), so the origin
+            // copy counts unconditionally.
+            durable += 1;
+            if view.topo.is_active(p) {
+                live += 1;
+            }
+        }
+        (durable, live)
+    }
+
+    /// Number of items with zero live honest copies at the last
+    /// observation.
+    pub fn under_replicated_now(&self) -> usize {
+        self.under_replicated_now
+    }
+}
+
+/// Convenience: builds the `items` vector for [`InvariantView`] from a
+/// registry iterator, keeping only items valid at `now`.
+pub fn valid_items<'a, I>(
+    registry: I,
+    now_secs: u64,
+    producer_of: impl Fn(&MetadataItem) -> Option<NodeId>,
+) -> Vec<(MetadataItem, Option<NodeId>)>
+where
+    I: Iterator<Item = &'a (MetadataItem, u64)>,
+{
+    let mut items: Vec<(MetadataItem, Option<NodeId>)> = registry
+        .filter(|(m, _)| m.is_valid_at(now_secs))
+        .map(|(m, _)| (m.clone(), producer_of(m)))
+        .collect();
+    items.sort_by_key(|(m, _)| m.data_id);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{DataId, DataType, Location};
+    use edgechain_sim::Point;
+
+    fn item(id: u64, storers: Vec<NodeId>) -> MetadataItem {
+        let identity = crate::account::Identity::from_seed(42);
+        let mut m = MetadataItem::new_signed(
+            identity.keys(),
+            DataId(id),
+            DataType::Sensing("PM2.5".into()),
+            0,
+            Location {
+                label: "t".into(),
+                x: 0.0,
+                y: 0.0,
+            },
+            60,
+            None,
+            1_000,
+        );
+        m.storing_nodes = storers;
+        m
+    }
+
+    fn line(n: usize) -> Topology {
+        Topology::from_positions((0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect())
+    }
+
+    #[test]
+    fn crashed_replicas_degrade_but_do_not_violate() {
+        let mut topo = line(3);
+        let mut storage = vec![NodeStorage::new(10); 3];
+        storage[1].store_data(DataId(0));
+        let items = vec![(item(0, vec![NodeId(1)]), None)];
+        let malicious = vec![false; 3];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        fn view<'a>(
+            topo: &'a Topology,
+            storage: &'a [NodeStorage],
+            malicious: &'a [bool],
+            items: &'a [(MetadataItem, Option<NodeId>)],
+        ) -> InvariantView<'a> {
+            InvariantView {
+                topo,
+                storage,
+                malicious,
+                items,
+                chain_height: 0,
+                node_height: &[0, 0, 0],
+                node_max_known: &[0, 0, 0],
+            }
+        }
+        checker.observe(SimTime::ZERO, &view(&topo, &storage, &malicious, &items));
+        assert_eq!(checker.violations, 0);
+        assert_eq!(checker.under_replicated_now(), 0);
+
+        // Crash the only holder: transiently unavailable, not lost.
+        topo.set_active(NodeId(1), false);
+        checker.observe(
+            SimTime::from_secs(10),
+            &view(&topo, &storage, &malicious, &items),
+        );
+        assert_eq!(checker.violations, 0);
+        assert_eq!(checker.under_replicated_now(), 1);
+
+        // Ten more seconds of downtime accrue item-seconds.
+        checker.observe(
+            SimTime::from_secs(20),
+            &view(&topo, &storage, &malicious, &items),
+        );
+        assert!((checker.under_replicated_item_seconds - 10.0).abs() < 1e-9);
+
+        // Restart: availability restored, meter stops.
+        topo.set_active(NodeId(1), true);
+        checker.observe(
+            SimTime::from_secs(25),
+            &view(&topo, &storage, &malicious, &items),
+        );
+        assert_eq!(checker.under_replicated_now(), 0);
+        assert_eq!(checker.violations, 0);
+    }
+
+    #[test]
+    fn wiped_last_copy_is_a_hard_violation() {
+        let topo = line(2);
+        let storage = vec![NodeStorage::new(10); 2]; // nobody stored it
+        let items = vec![(item(0, vec![NodeId(1)]), None)];
+        let malicious = vec![false; 2];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(
+            SimTime::from_secs(1),
+            &InvariantView {
+                topo: &topo,
+                storage: &storage,
+                malicious: &malicious,
+                items: &items,
+                chain_height: 0,
+                node_height: &[0, 0],
+                node_max_known: &[0, 0],
+            },
+        );
+        assert_eq!(checker.violations, 1);
+    }
+
+    #[test]
+    fn producer_origin_copy_protects_the_item() {
+        let topo = line(2);
+        let storage = vec![NodeStorage::new(10); 2]; // no replica stored
+        let items = vec![(item(0, vec![NodeId(1)]), Some(NodeId(0)))];
+        let malicious = vec![false; 2];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(
+            SimTime::from_secs(1),
+            &InvariantView {
+                topo: &topo,
+                storage: &storage,
+                malicious: &malicious,
+                items: &items,
+                chain_height: 0,
+                node_height: &[0, 0],
+                node_max_known: &[0, 0],
+            },
+        );
+        assert_eq!(checker.violations, 0);
+    }
+
+    #[test]
+    fn height_beyond_canonical_chain_is_a_violation() {
+        let topo = line(2);
+        let storage = vec![NodeStorage::new(10); 2];
+        let malicious = vec![false; 2];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(
+            SimTime::from_secs(1),
+            &InvariantView {
+                topo: &topo,
+                storage: &storage,
+                malicious: &malicious,
+                items: &[],
+                chain_height: 3,
+                node_height: &[5, 2],
+                node_max_known: &[5, 3],
+            },
+        );
+        assert_eq!(checker.violations, 1);
+    }
+}

@@ -51,6 +51,7 @@ pub mod alloc;
 pub mod block;
 pub mod chain;
 pub mod codec;
+pub mod invariant;
 pub mod metadata;
 pub mod migration;
 pub mod network;
@@ -62,15 +63,14 @@ pub use account::{AccountId, Identity, Ledger};
 pub use alloc::{build_instance, select_storers, Placement};
 pub use block::{Block, BlockError};
 pub use chain::{Blockchain, ChainError, CheckpointPolicy};
+pub use invariant::{InvariantChecker, InvariantView};
 pub use metadata::{DataId, DataType, Location, MetadataItem};
 pub use migration::{
-    apply_migration, placement_cost, plan_migration, MigrationConfig,
-    MigrationPlan, Move,
+    apply_migration, placement_cost, plan_migration, MigrationConfig, MigrationPlan, Move,
 };
 pub use network::{EdgeNetwork, NetworkConfig, RunReport};
 pub use pos::{
-    hit, next_pos_hash, run_round, verify_claim, Amendment, Candidate,
-    MiningOutcome, HIT_MODULUS,
+    hit, next_pos_hash, run_round, verify_claim, Amendment, Candidate, MiningOutcome, HIT_MODULUS,
 };
 pub use pow::{mine, verify, Difficulty, PowSolution};
 pub use storage::NodeStorage;

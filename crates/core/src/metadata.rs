@@ -226,7 +226,11 @@ mod tests {
             DataId(42),
             DataType::Sensing("PM2.5".into()),
             660,
-            Location { label: "NewYork,NY".into(), x: 40.72, y: -74.0 },
+            Location {
+                label: "NewYork,NY".into(),
+                x: 40.72,
+                y: -74.0,
+            },
             1440,
             None,
             1_000_000,
@@ -292,12 +296,18 @@ mod tests {
         let (_, item) = sample(7);
         let sz = item.wire_size();
         assert!(sz > 100, "metadata should be ~hundreds of bytes, got {sz}");
-        assert!(sz < 1000, "metadata must stay far below data size, got {sz}");
+        assert!(
+            sz < 1000,
+            "metadata must stay far below data size, got {sz}"
+        );
     }
 
     #[test]
     fn data_type_display() {
         assert_eq!(DataType::KeyExchange.to_string(), "KeyExchange");
-        assert_eq!(DataType::Media("Traffic".into()).to_string(), "Media/Traffic");
+        assert_eq!(
+            DataType::Media("Traffic".into()).to_string(),
+            "Media/Traffic"
+        );
     }
 }

@@ -42,7 +42,10 @@ pub struct MigrationConfig {
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        MigrationConfig { improvement_threshold: 0.05, fdc_scale: FDC_SCALE }
+        MigrationConfig {
+            improvement_threshold: 0.05,
+            fdc_scale: FDC_SCALE,
+        }
     }
 }
 
@@ -129,17 +132,10 @@ pub fn plan_migration(
 ) -> Result<Option<MigrationPlan>, SolveError> {
     let instance = build_instance_scaled(topology, storage, config.fdc_scale);
     let solution = edgechain_facility::solve(&instance)?;
-    let target: Vec<NodeId> = solution
-        .open_facilities()
-        .into_iter()
-        .map(NodeId)
-        .collect();
-    let cost_before =
-        placement_cost(topology, storage, current_holders, config.fdc_scale);
+    let target: Vec<NodeId> = solution.open_facilities().into_iter().map(NodeId).collect();
+    let cost_before = placement_cost(topology, storage, current_holders, config.fdc_scale);
     let cost_after = placement_cost(topology, storage, &target, config.fdc_scale);
-    if cost_before.is_finite()
-        && cost_after >= cost_before * (1.0 - config.improvement_threshold)
-    {
+    if cost_before.is_finite() && cost_after >= cost_before * (1.0 - config.improvement_threshold) {
         return Ok(None);
     }
     // Minimal operations: keep overlapping replicas, copy only into the
@@ -163,7 +159,13 @@ pub fn plan_migration(
         .copied()
         .filter(|h| !target.contains(h))
         .collect();
-    Ok(Some(MigrationPlan { data, moves, drops, cost_before, cost_after }))
+    Ok(Some(MigrationPlan {
+        data,
+        moves,
+        drops,
+        cost_before,
+        cost_after,
+    }))
 }
 
 /// Executes a plan: copies each replica over the transport (charging the
@@ -201,9 +203,7 @@ mod tests {
     use edgechain_sim::{Point, TransportConfig};
 
     fn line(n: usize) -> Topology {
-        Topology::from_positions(
-            (0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
-        )
+        Topology::from_positions((0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect())
     }
 
     /// Mid-simulation storage: partially filled stores so facility costs
@@ -268,8 +268,7 @@ mod tests {
         .unwrap()
         .unwrap();
         // The new placement: copied-to locations plus kept replicas.
-        let mut optimal: Vec<NodeId> =
-            plan.moves.iter().map(|m| m.to).collect();
+        let mut optimal: Vec<NodeId> = plan.moves.iter().map(|m| m.to).collect();
         if !plan.drops.contains(&NodeId(6)) {
             optimal.push(NodeId(6));
         }
@@ -282,7 +281,10 @@ mod tests {
             MigrationConfig::default(),
         )
         .unwrap();
-        assert!(again.is_none(), "already-optimal placement migrated: {again:?}");
+        assert!(
+            again.is_none(),
+            "already-optimal placement migrated: {again:?}"
+        );
     }
 
     #[test]
@@ -295,7 +297,10 @@ mod tests {
             &topo,
             &storage,
             &[NodeId(4), NodeId(8)],
-            MigrationConfig { improvement_threshold: 0.01, ..Default::default() },
+            MigrationConfig {
+                improvement_threshold: 0.01,
+                ..Default::default()
+            },
         )
         .unwrap();
         if let Some(plan) = plan {

@@ -88,7 +88,10 @@ impl Amendment {
 
     fn reduced(num: u128, den: u128) -> Self {
         let g = gcd(num.max(1), den);
-        Amendment { num: num / g, den: den / g }
+        Amendment {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Numerator of the reduced fraction.
@@ -196,11 +199,7 @@ impl Candidate {
 /// # Panics
 ///
 /// Panics if `candidates` is empty or `t0_secs` is zero.
-pub fn run_round(
-    prev_pos_hash: &Digest,
-    candidates: &[Candidate],
-    t0_secs: u64,
-) -> MiningOutcome {
+pub fn run_round(prev_pos_hash: &Digest, candidates: &[Candidate], t0_secs: u64) -> MiningOutcome {
     assert!(!candidates.is_empty(), "need at least one candidate");
     let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
     let b = Amendment::compute(&us, t0_secs);
@@ -289,7 +288,7 @@ mod tests {
         let us = [4u64, 9, 1, 16];
         let b = Amendment::compute(&us, 60);
         for (i, &u) in us.iter().enumerate() {
-            let h = hit(&sha256(b"x"), &account(i as u64)) ;
+            let h = hit(&sha256(b"x"), &account(i as u64));
             let t = b.mining_delay_secs(h, u);
             assert!(b.meets_target(h, u, t), "condition holds at t");
             if t > 1 {
@@ -314,7 +313,11 @@ mod tests {
         let n = 20usize;
         let t0 = 60u64;
         let candidates: Vec<Candidate> = (0..n)
-            .map(|i| Candidate { account: account(i as u64), tokens: 3, stored_items: 5 })
+            .map(|i| Candidate {
+                account: account(i as u64),
+                tokens: 3,
+                stored_items: 5,
+            })
             .collect();
         let mut prev = sha256(b"seed");
         let rounds = 400;
@@ -336,7 +339,11 @@ mod tests {
     fn contributors_win_more_often() {
         // One node with 10× the contribution should win far more rounds.
         let mut candidates: Vec<Candidate> = (0..10)
-            .map(|i| Candidate { account: account(i), tokens: 1, stored_items: 1 })
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: 1,
+                stored_items: 1,
+            })
             .collect();
         candidates[0].tokens = 10;
         let mut prev = sha256(b"w");
@@ -358,16 +365,27 @@ mod tests {
     #[test]
     fn round_is_deterministic() {
         let candidates: Vec<Candidate> = (0..5)
-            .map(|i| Candidate { account: account(i), tokens: i + 1, stored_items: 2 })
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: i + 1,
+                stored_items: 2,
+            })
             .collect();
         let prev = sha256(b"det");
-        assert_eq!(run_round(&prev, &candidates, 60), run_round(&prev, &candidates, 60));
+        assert_eq!(
+            run_round(&prev, &candidates, 60),
+            run_round(&prev, &candidates, 60)
+        );
     }
 
     #[test]
     fn verify_accepts_honest_claim() {
         let candidates: Vec<Candidate> = (0..8)
-            .map(|i| Candidate { account: account(i), tokens: 2, stored_items: 3 })
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: 2,
+                stored_items: 3,
+            })
             .collect();
         let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
         let prev = sha256(b"v");
@@ -384,7 +402,11 @@ mod tests {
     #[test]
     fn verify_rejects_early_or_padded_claims() {
         let candidates: Vec<Candidate> = (0..8)
-            .map(|i| Candidate { account: account(i), tokens: 2, stored_items: 3 })
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: 2,
+                stored_items: 3,
+            })
             .collect();
         let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
         let prev = sha256(b"v2");
@@ -419,7 +441,11 @@ mod tests {
         // through the history of the blockchain"), so verification runs
         // against the *true* candidate and the forged-early delay fails.
         let candidates: Vec<Candidate> = (0..8)
-            .map(|i| Candidate { account: account(i), tokens: 1, stored_items: 1 })
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: 1,
+                stored_items: 1,
+            })
             .collect();
         let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
         let prev = sha256(b"v3");
@@ -439,7 +465,11 @@ mod tests {
 
     #[test]
     fn candidate_contribution_floors_at_one() {
-        let c = Candidate { account: account(1), tokens: 0, stored_items: 0 };
+        let c = Candidate {
+            account: account(1),
+            tokens: 0,
+            stored_items: 0,
+        };
         assert_eq!(c.contribution(), 1);
     }
 

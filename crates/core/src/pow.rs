@@ -25,7 +25,10 @@ impl Difficulty {
     /// Panics above 16 hex digits (64 bits) — such searches are
     /// astronomically long and certainly a configuration error here.
     pub fn new(zero_hex_digits: u32) -> Self {
-        assert!(zero_hex_digits <= 16, "difficulty above 16 hex digits is absurd");
+        assert!(
+            zero_hex_digits <= 16,
+            "difficulty above 16 hex digits is absurd"
+        );
         Difficulty(zero_hex_digits)
     }
 
@@ -93,7 +96,11 @@ pub fn mine(
         h.update(nonce.to_be_bytes());
         let digest = h.finalize();
         if difficulty.is_met_by(&digest) {
-            return Some(PowSolution { nonce, hash: digest, attempts: attempt });
+            return Some(PowSolution {
+                nonce,
+                hash: digest,
+                attempts: attempt,
+            });
         }
         nonce = nonce.wrapping_add(1);
     }

@@ -164,8 +164,7 @@ impl NodeStorage {
         }
         self.recent_cache.push_back(index);
         let mut evicted = Vec::new();
-        while self.recent_cache.len() > self.recent_quota
-            || self.used_slots() > self.capacity_slots
+        while self.recent_cache.len() > self.recent_quota || self.used_slots() > self.capacity_slots
         {
             if let Some(old) = self.recent_cache.pop_front() {
                 evicted.push(old);

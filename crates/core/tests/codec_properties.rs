@@ -4,8 +4,7 @@
 use edgechain_core::account::Identity;
 use edgechain_core::block::Block;
 use edgechain_core::codec::{
-    decode_block, decode_chain, decode_metadata, encode_block, encode_chain,
-    encode_metadata,
+    decode_block, decode_chain, decode_metadata, encode_block, encode_chain, encode_metadata,
 };
 use edgechain_core::metadata::{DataId, DataType, Location, MetadataItem};
 use edgechain_core::pos::Amendment;

@@ -51,7 +51,5 @@ pub mod u256;
 pub use hmac::hmac_sha256;
 pub use merkle::{MerkleProof, MerkleTree, Side};
 pub use sha256::{sha256, sha256_pair, Digest, ParseDigestError, Sha256};
-pub use sig::{
-    address_for_seed, InvalidKeyError, KeyPair, PublicKey, SecretKey, Signature,
-};
+pub use sig::{address_for_seed, InvalidKeyError, KeyPair, PublicKey, SecretKey, Signature};
 pub use u256::{ParseU256Error, U256};

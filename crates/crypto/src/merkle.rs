@@ -52,8 +52,7 @@ impl MerkleTree {
         I: IntoIterator<Item = B>,
         B: AsRef<[u8]>,
     {
-        let leaf_hashes: Vec<Digest> =
-            leaves.into_iter().map(|l| hash_leaf(l.as_ref())).collect();
+        let leaf_hashes: Vec<Digest> = leaves.into_iter().map(|l| hash_leaf(l.as_ref())).collect();
         Self::from_leaf_hashes(leaf_hashes)
     }
 
@@ -190,8 +189,7 @@ mod tests {
     #[test]
     fn proofs_verify_all_sizes() {
         for n in 1..=17usize {
-            let leaves: Vec<Vec<u8>> =
-                (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
             let tree = MerkleTree::from_leaves(&leaves);
             for (i, leaf) in leaves.iter().enumerate() {
                 let proof = tree.proof(i).unwrap();

@@ -47,10 +47,8 @@ use std::sync::OnceLock;
 fn prime_p() -> &'static U256 {
     static P: OnceLock<U256> = OnceLock::new();
     P.get_or_init(|| {
-        U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .expect("constant prime parses")
+        U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .expect("constant prime parses")
     })
 }
 
@@ -231,8 +229,7 @@ impl KeyPair {
         // Deterministic nonce: HMAC over the message keyed by the secret.
         let mut nonce_key = self.secret.x.to_be_bytes().to_vec();
         nonce_key.extend_from_slice(b"edgechain-nonce");
-        let mut k = U256::from_be_bytes(hmac_sha256(&nonce_key, message).as_bytes())
-            .rem(q);
+        let mut k = U256::from_be_bytes(hmac_sha256(&nonce_key, message).as_bytes()).rem(q);
         if k.is_zero() {
             k = U256::ONE;
         }
@@ -346,7 +343,10 @@ mod tests {
     #[test]
     fn zero_signature_rejected() {
         let kp = KeyPair::from_seed(8);
-        let zero = Signature { e: U256::ZERO, s: U256::ZERO };
+        let zero = Signature {
+            e: U256::ZERO,
+            s: U256::ZERO,
+        };
         assert!(!kp.public_key().verify(b"m", &zero));
     }
 

@@ -30,13 +30,19 @@ impl U256 {
     /// The additive identity.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The multiplicative identity.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The largest representable value, `2^256 - 1`.
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Creates a value from a single 64-bit integer.
     pub const fn from_u64(v: u64) -> Self {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Creates a value from a 128-bit integer.
@@ -192,17 +198,20 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = prod[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    prod[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
             prod[i + 4] = carry as u64;
         }
         (
-            U256 { limbs: [prod[0], prod[1], prod[2], prod[3]] },
-            U256 { limbs: [prod[4], prod[5], prod[6], prod[7]] },
+            U256 {
+                limbs: [prod[0], prod[1], prod[2], prod[3]],
+            },
+            U256 {
+                limbs: [prod[4], prod[5], prod[6], prod[7]],
+            },
         )
     }
 
@@ -256,9 +265,14 @@ impl U256 {
     pub fn div_rem(&self, divisor: &U256) -> (U256, U256) {
         assert!(!divisor.is_zero(), "division by zero");
         let (q, r) = div_rem_slices(&self.limbs, &divisor.limbs);
-        (U256 { limbs: q[0..4].try_into().unwrap() }, U256 {
-            limbs: r[0..4].try_into().unwrap(),
-        })
+        (
+            U256 {
+                limbs: q[0..4].try_into().unwrap(),
+            },
+            U256 {
+                limbs: r[0..4].try_into().unwrap(),
+            },
+        )
     }
 
     /// `self mod m`.
@@ -305,11 +319,19 @@ impl U256 {
         assert!(!m.is_zero(), "modulus must be nonzero");
         let (lo, hi) = self.widening_mul(rhs);
         let wide = [
-            lo.limbs[0], lo.limbs[1], lo.limbs[2], lo.limbs[3],
-            hi.limbs[0], hi.limbs[1], hi.limbs[2], hi.limbs[3],
+            lo.limbs[0],
+            lo.limbs[1],
+            lo.limbs[2],
+            lo.limbs[3],
+            hi.limbs[0],
+            hi.limbs[1],
+            hi.limbs[2],
+            hi.limbs[3],
         ];
         let (_, r) = div_rem_slices(&wide, &m.limbs);
-        U256 { limbs: r[0..4].try_into().unwrap() }
+        U256 {
+            limbs: r[0..4].try_into().unwrap(),
+        }
     }
 
     /// Modular exponentiation `self^exp mod m` by square-and-multiply.
@@ -467,7 +489,11 @@ fn div_rem_slices(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         vn[i] = x;
     }
     let mut un = vec![0u64; m + 1];
-    un[m] = if shift > 0 { u[m - 1] >> (64 - shift) } else { 0 };
+    un[m] = if shift > 0 {
+        u[m - 1] >> (64 - shift)
+    } else {
+        0
+    };
     for i in (0..m).rev() {
         let mut x = u[i] << shift;
         if shift > 0 && i > 0 {
@@ -482,9 +508,7 @@ fn div_rem_slices(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = top / vn[n - 1] as u128;
         let mut rhat = top % vn[n - 1] as u128;
-        while qhat >= b
-            || qhat * vn[n - 2] as u128 > (rhat << 64) + un[j + n - 2] as u128
-        {
+        while qhat >= b || qhat * vn[n - 2] as u128 > (rhat << 64) + un[j + n - 2] as u128 {
             qhat -= 1;
             rhat += vn[n - 1] as u128;
             if rhat >= b {
@@ -565,10 +589,7 @@ mod tests {
     fn checked_ops() {
         assert_eq!(U256::MAX.checked_add(&U256::ONE), None);
         assert_eq!(U256::ZERO.checked_sub(&U256::ONE), None);
-        assert_eq!(
-            U256::ONE.checked_add(&U256::ONE),
-            Some(U256::from_u64(2))
-        );
+        assert_eq!(U256::ONE.checked_add(&U256::ONE), Some(U256::from_u64(2)));
     }
 
     #[test]
@@ -640,10 +661,8 @@ mod tests {
     #[test]
     fn pow_mod_large_prime() {
         // secp256k1 field prime.
-        let p = U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
         let a = U256::from_u64(2);
         let pm1 = p.wrapping_sub(&U256::ONE);
         assert_eq!(a.pow_mod(&pm1, &p), U256::ONE);
@@ -653,7 +672,10 @@ mod tests {
     fn hex_roundtrip() {
         let a = U256::from_hex("deadbeef00112233").unwrap();
         assert_eq!(format!("{:x}", a), "deadbeef00112233");
-        assert_eq!(U256::from_hex(&format!("{:x}", U256::MAX)).unwrap(), U256::MAX);
+        assert_eq!(
+            U256::from_hex(&format!("{:x}", U256::MAX)).unwrap(),
+            U256::MAX
+        );
     }
 
     #[test]
@@ -672,7 +694,9 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(U256::ZERO < U256::ONE);
-        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(
+            U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0])
+        );
     }
 
     #[test]

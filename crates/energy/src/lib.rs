@@ -121,7 +121,10 @@ impl Battery {
     /// Panics if `capacity` is not strictly positive.
     pub fn with_capacity(capacity: f64) -> Self {
         assert!(capacity > 0.0, "battery capacity must be positive");
-        Battery { capacity, remaining: capacity }
+        Battery {
+            capacity,
+            remaining: capacity,
+        }
     }
 
     /// Draws `joules`; clamps at empty. Returns `false` once empty.

@@ -20,7 +20,10 @@ pub const MAX_EXACT_FACILITIES: usize = 20;
 pub fn solve_exact(instance: &UflInstance) -> Result<UflSolution, SolveError> {
     let m = instance.facilities();
     if m > MAX_EXACT_FACILITIES {
-        return Err(SolveError::TooLarge { facilities: m, max: MAX_EXACT_FACILITIES });
+        return Err(SolveError::TooLarge {
+            facilities: m,
+            max: MAX_EXACT_FACILITIES,
+        });
     }
     if !instance.has_finite_facility() {
         return Err(SolveError::NoFeasibleFacility);
@@ -57,7 +60,11 @@ pub fn solve_exact(instance: &UflInstance) -> Result<UflSolution, SolveError> {
     }
 
     let open: Vec<bool> = (0..m).map(|i| best_mask & (1 << i) != 0).collect();
-    let mut solution = UflSolution { open, assignment: vec![0; k], cost: 0.0 };
+    let mut solution = UflSolution {
+        open,
+        assignment: vec![0; k],
+        cost: 0.0,
+    };
     solution.reassign_best(instance);
     Ok(solution)
 }
@@ -70,10 +77,7 @@ mod tests {
     #[test]
     fn picks_global_optimum() {
         // Opening both facilities (cost 2) beats either alone (cost 1+100).
-        let inst = UflInstance::new(
-            vec![1.0, 1.0],
-            vec![vec![0.0, 100.0], vec![100.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![1.0, 1.0], vec![vec![0.0, 100.0], vec![100.0, 0.0]]);
         let sol = solve_exact(&inst).unwrap();
         assert_eq!(sol.open_facilities(), vec![0, 1]);
         assert_eq!(sol.cost, 2.0);
@@ -92,7 +96,10 @@ mod tests {
         let inst = UflInstance::new(vec![1.0; m], vec![vec![1.0]; m]);
         assert_eq!(
             solve_exact(&inst),
-            Err(SolveError::TooLarge { facilities: m, max: MAX_EXACT_FACILITIES })
+            Err(SolveError::TooLarge {
+                facilities: m,
+                max: MAX_EXACT_FACILITIES
+            })
         );
     }
 

@@ -73,7 +73,11 @@ pub fn solve_greedy(instance: &UflInstance) -> Result<UflSolution, SolveError> {
         uncovered.retain(|&j| assignment[j] == usize::MAX);
     }
 
-    let mut solution = UflSolution { open, assignment, cost: 0.0 };
+    let mut solution = UflSolution {
+        open,
+        assignment,
+        cost: 0.0,
+    };
     // Cleanup: every client to its cheapest open facility, then drop
     // facilities that no longer pay for themselves.
     solution.reassign_best(instance);
@@ -127,10 +131,7 @@ mod tests {
     #[test]
     fn cheap_facility_preferred() {
         // Facility 0 is expensive to open, facility 1 cheap and equally close.
-        let inst = UflInstance::new(
-            vec![100.0, 1.0],
-            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
-        );
+        let inst = UflInstance::new(vec![100.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]);
         let sol = solve_greedy(&inst).unwrap();
         assert_eq!(sol.open_facilities(), vec![1]);
     }
@@ -140,10 +141,7 @@ mod tests {
         // Two far-apart clusters; serving across costs 100.
         let inst = UflInstance::new(
             vec![1.0, 1.0],
-            vec![
-                vec![0.0, 0.0, 100.0, 100.0],
-                vec![100.0, 100.0, 0.0, 0.0],
-            ],
+            vec![vec![0.0, 0.0, 100.0, 100.0], vec![100.0, 100.0, 0.0, 0.0]],
         );
         let sol = solve_greedy(&inst).unwrap();
         assert_eq!(sol.open_facilities(), vec![0, 1]);
@@ -188,10 +186,7 @@ mod tests {
     #[test]
     fn pruning_removes_redundant_facility() {
         // Free-to-open facility 1 is dominated once 0 is open.
-        let inst = UflInstance::new(
-            vec![0.5, 10.0],
-            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![0.5, 10.0], vec![vec![0.0, 0.0], vec![0.0, 0.0]]);
         let sol = solve_greedy(&inst).unwrap();
         assert_eq!(sol.open_facilities(), vec![0]);
     }

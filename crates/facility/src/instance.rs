@@ -64,7 +64,10 @@ impl UflInstance {
     /// Panics when there are no facilities or clients, when the matrix is
     /// ragged, or when any cost is NaN or negative.
     pub fn new(open_cost: Vec<f64>, connect: Vec<Vec<f64>>) -> Self {
-        assert!(!open_cost.is_empty(), "instance needs at least one facility");
+        assert!(
+            !open_cost.is_empty(),
+            "instance needs at least one facility"
+        );
         assert_eq!(
             open_cost.len(),
             connect.len(),
@@ -94,8 +97,7 @@ impl UflInstance {
         F: Fn(usize, usize) -> f64,
     {
         let n = fdc_values.len();
-        let open_cost: Vec<f64> =
-            fdc_values.iter().map(|f| FDC_SCALE * f).collect();
+        let open_cost: Vec<f64> = fdc_values.iter().map(|f| FDC_SCALE * f).collect();
         let connect: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..n).map(|j| rdc(i, j)).collect())
             .collect();
@@ -158,9 +160,7 @@ impl UflSolution {
     /// Returns [`SolutionError`] when a client is assigned to a closed
     /// facility, dimensions mismatch, or no facility is open.
     pub fn validate(&self, instance: &UflInstance) -> Result<f64, SolutionError> {
-        if self.open.len() != instance.facilities()
-            || self.assignment.len() != instance.clients()
-        {
+        if self.open.len() != instance.facilities() || self.assignment.len() != instance.clients() {
             return Err(SolutionError::DimensionMismatch);
         }
         if !self.open.iter().any(|&o| o) {
@@ -174,7 +174,10 @@ impl UflSolution {
         }
         for (j, &i) in self.assignment.iter().enumerate() {
             if i >= self.open.len() || !self.open[i] {
-                return Err(SolutionError::ClosedAssignment { client: j, facility: i });
+                return Err(SolutionError::ClosedAssignment {
+                    client: j,
+                    facility: i,
+                });
             }
             cost += instance.connect_cost(i, j);
         }
@@ -295,10 +298,7 @@ mod tests {
 
     #[test]
     fn instance_accessors() {
-        let inst = UflInstance::new(
-            vec![1.0, 2.0],
-            vec![vec![0.0, 5.0], vec![5.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![1.0, 2.0], vec![vec![0.0, 5.0], vec![5.0, 0.0]]);
         assert_eq!(inst.facilities(), 2);
         assert_eq!(inst.clients(), 2);
         assert_eq!(inst.open_cost(1), 2.0);
@@ -308,9 +308,7 @@ mod tests {
 
     #[test]
     fn from_costs_applies_scale() {
-        let inst = UflInstance::from_costs(&[0.5, 1.0], |i, j| {
-            if i == j { 0.0 } else { 3.0 }
-        });
+        let inst = UflInstance::from_costs(&[0.5, 1.0], |i, j| if i == j { 0.0 } else { 3.0 });
         assert_eq!(inst.open_cost(0), 500.0);
         assert_eq!(inst.open_cost(1), 1000.0);
         assert_eq!(inst.connect_cost(0, 1), 3.0);
@@ -331,10 +329,7 @@ mod tests {
 
     #[test]
     fn validate_catches_closed_assignment() {
-        let inst = UflInstance::new(
-            vec![1.0, 1.0],
-            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![1.0, 1.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
         let bad = UflSolution {
             open: vec![true, false],
             assignment: vec![0, 1],
@@ -342,16 +337,16 @@ mod tests {
         };
         assert_eq!(
             bad.validate(&inst),
-            Err(SolutionError::ClosedAssignment { client: 1, facility: 1 })
+            Err(SolutionError::ClosedAssignment {
+                client: 1,
+                facility: 1
+            })
         );
     }
 
     #[test]
     fn validate_computes_cost() {
-        let inst = UflInstance::new(
-            vec![10.0, 20.0],
-            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![10.0, 20.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
         let sol = UflSolution {
             open: vec![true, false],
             assignment: vec![0, 0],
@@ -362,10 +357,7 @@ mod tests {
 
     #[test]
     fn reassign_best_moves_clients() {
-        let inst = UflInstance::new(
-            vec![1.0, 1.0],
-            vec![vec![0.0, 9.0], vec![9.0, 0.0]],
-        );
+        let inst = UflInstance::new(vec![1.0, 1.0], vec![vec![0.0, 9.0], vec![9.0, 0.0]]);
         let mut sol = UflSolution {
             open: vec![true, true],
             assignment: vec![1, 0], // deliberately bad
@@ -379,7 +371,11 @@ mod tests {
     #[test]
     fn no_open_facility_detected() {
         let inst = UflInstance::new(vec![1.0], vec![vec![0.0]]);
-        let sol = UflSolution { open: vec![false], assignment: vec![0], cost: 0.0 };
+        let sol = UflSolution {
+            open: vec![false],
+            assignment: vec![0],
+            cost: 0.0,
+        };
         assert_eq!(sol.validate(&inst), Err(SolutionError::NoOpenFacility));
     }
 }

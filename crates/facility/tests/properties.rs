@@ -1,9 +1,7 @@
 //! Property-based tests for the UFL solvers: feasibility, optimality
 //! bounds against the exact oracle, and local-search monotonicity.
 
-use edgechain_facility::{
-    fdc, improve, solve, solve_exact, solve_greedy, UflInstance,
-};
+use edgechain_facility::{fdc, improve, solve, solve_exact, solve_greedy, UflInstance};
 use proptest::prelude::*;
 
 /// Random instances shaped like the paper's: small facility costs (scaled

@@ -117,7 +117,11 @@ pub enum SafetyViolation {
 impl fmt::Display for SafetyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SafetyViolation::TwoLeaders { term, first, second } => {
+            SafetyViolation::TwoLeaders {
+                term,
+                first,
+                second,
+            } => {
                 write!(f, "two leaders in term {term}: {first} and {second}")
             }
             SafetyViolation::LogMismatch { a, b, index } => {
@@ -153,9 +157,7 @@ impl<C: Clone + PartialEq + fmt::Debug> Cluster<C> {
         let ids: Vec<PeerId> = (0..n).map(PeerId).collect();
         let nodes = ids
             .iter()
-            .map(|&id| {
-                RaftNode::new(id, ids.clone(), config.raft, seed.wrapping_add(id.0 as u64))
-            })
+            .map(|&id| RaftNode::new(id, ids.clone(), config.raft, seed.wrapping_add(id.0 as u64)))
             .collect();
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Event::Tick);
@@ -289,7 +291,8 @@ impl<C: Clone + PartialEq + fmt::Debug> Cluster<C> {
                     let outs = self.nodes[i].tick(now);
                     self.dispatch(PeerId(i), outs, now);
                 }
-                self.queue.schedule(now + self.config.tick_interval, Event::Tick);
+                self.queue
+                    .schedule(now + self.config.tick_interval, Event::Tick);
             }
             Event::Deliver { from, env } => {
                 let to = env.to;
@@ -313,9 +316,7 @@ impl<C: Clone + PartialEq + fmt::Debug> Cluster<C> {
     fn dispatch(&mut self, from: PeerId, envs: Vec<Envelope<C>>, now: SimTime) {
         for env in envs {
             match &env.message {
-                Message::RequestVote { .. } | Message::PreVote { .. } => {
-                    self.counts.votes += 1
-                }
+                Message::RequestVote { .. } | Message::PreVote { .. } => self.counts.votes += 1,
                 Message::AppendEntries { entries, .. } => {
                     if entries.is_empty() {
                         self.counts.heartbeats += 1;
@@ -340,8 +341,13 @@ impl<C: Clone + PartialEq + fmt::Debug> Cluster<C> {
                 .as_millis()
                 .saturating_sub(self.config.delay_min.as_millis());
             let delay = self.config.delay_min
-                + SimTime::from_millis(if span == 0 { 0 } else { self.rng.gen_range(0..=span) });
-            self.queue.schedule(now + delay, Event::Deliver { from, env });
+                + SimTime::from_millis(if span == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=span)
+                });
+            self.queue
+                .schedule(now + delay, Event::Deliver { from, env });
         }
     }
 
@@ -438,12 +444,19 @@ mod tests {
 
     #[test]
     fn survives_message_loss() {
-        let cfg = ClusterConfig { drop_rate: 0.2, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            drop_rate: 0.2,
+            ..ClusterConfig::default()
+        };
         let mut c: Cluster<u32> = Cluster::new(3, cfg, 3);
         c.run_until_leader(60_000).unwrap();
         c.propose(9).unwrap();
         c.run_millis(20_000);
-        assert!(c.all_committed(&[9]), "committed: {:?}", c.committed_log(PeerId(0)));
+        assert!(
+            c.all_committed(&[9]),
+            "committed: {:?}",
+            c.committed_log(PeerId(0))
+        );
     }
 
     #[test]
@@ -486,7 +499,10 @@ mod tests {
 
     #[test]
     fn lagging_follower_catches_up_via_snapshot() {
-        let cfg = ClusterConfig { compact_above: Some(4), ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            compact_above: Some(4),
+            ..ClusterConfig::default()
+        };
         let mut c: Cluster<u32> = Cluster::new(3, cfg, 8);
         let leader = c.run_until_leader(30_000).unwrap();
         // Partition one follower away, commit a long run of entries, and
@@ -513,7 +529,10 @@ mod tests {
 
     #[test]
     fn compaction_does_not_disturb_steady_state() {
-        let cfg = ClusterConfig { compact_above: Some(2), ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            compact_above: Some(2),
+            ..ClusterConfig::default()
+        };
         let mut c: Cluster<u32> = Cluster::new(5, cfg, 12);
         c.run_until_leader(30_000).unwrap();
         for i in 0..15 {
@@ -537,7 +556,10 @@ mod tests {
         // and the leader's term never moves.
         let run = |pre_vote: bool| -> (u64, bool) {
             let cfg = ClusterConfig {
-                raft: RaftConfig { pre_vote, ..RaftConfig::default() },
+                raft: RaftConfig {
+                    pre_vote,
+                    ..RaftConfig::default()
+                },
                 ..ClusterConfig::default()
             };
             let mut c: Cluster<u32> = Cluster::new(5, cfg, 21);
@@ -548,16 +570,14 @@ mod tests {
             let flapper = PeerId((first.0 + 1) % 5);
             for _ in 0..3 {
                 // Partition the flapper alone, long enough to time out.
-                let others: Vec<PeerId> =
-                    (0..5).map(PeerId).filter(|&p| p != flapper).collect();
+                let others: Vec<PeerId> = (0..5).map(PeerId).filter(|&p| p != flapper).collect();
                 c.partition(&others);
                 c.run_millis(5_000);
                 c.heal();
                 c.run_millis(5_000);
             }
             let leader_now = c.leader().expect("a leader exists after healing");
-            let stable = leader_now == first
-                && c.node(first).term() == term_before;
+            let stable = leader_now == first && c.node(first).term() == term_before;
             (c.node(leader_now).term(), stable)
         };
         let (term_classic, _) = run(false);
@@ -575,7 +595,10 @@ mod tests {
     #[test]
     fn prevote_cluster_still_elects_and_replicates() {
         let cfg = ClusterConfig {
-            raft: RaftConfig { pre_vote: true, ..RaftConfig::default() },
+            raft: RaftConfig {
+                pre_vote: true,
+                ..RaftConfig::default()
+            },
             ..ClusterConfig::default()
         };
         let mut c: Cluster<u32> = Cluster::new(5, cfg, 22);
@@ -591,7 +614,10 @@ mod tests {
     #[test]
     fn prevote_cluster_recovers_from_leader_failure() {
         let cfg = ClusterConfig {
-            raft: RaftConfig { pre_vote: true, ..RaftConfig::default() },
+            raft: RaftConfig {
+                pre_vote: true,
+                ..RaftConfig::default()
+            },
             ..ClusterConfig::default()
         };
         let mut c: Cluster<u32> = Cluster::new(5, cfg, 23);

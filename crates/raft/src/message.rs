@@ -157,8 +157,7 @@ impl<C> Message<C> {
     pub fn wire_size(&self, command_size: impl Fn(&C) -> u64) -> u64 {
         match self {
             Message::RequestVote { .. } | Message::PreVote { .. } => 32,
-            Message::RequestVoteResponse { .. }
-            | Message::PreVoteResponse { .. } => 16,
+            Message::RequestVoteResponse { .. } | Message::PreVoteResponse { .. } => 16,
             Message::AppendEntries { entries, .. } => {
                 32 + entries
                     .iter()
@@ -203,7 +202,10 @@ mod tests {
             leader: PeerId(0),
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![LogEntry { term: 1, command: 9 }],
+            entries: vec![LogEntry {
+                term: 1,
+                command: 9,
+            }],
             leader_commit: 0,
         };
         assert!(!non_hb.is_heartbeat());
@@ -218,7 +220,10 @@ mod tests {
 
     #[test]
     fn term_extraction() {
-        let m: Message<()> = Message::RequestVoteResponse { term: 7, granted: true };
+        let m: Message<()> = Message::RequestVoteResponse {
+            term: 7,
+            granted: true,
+        };
         assert_eq!(m.term(), 7);
     }
 
@@ -238,8 +243,14 @@ mod tests {
             prev_log_index: 0,
             prev_log_term: 0,
             entries: vec![
-                LogEntry { term: 1, command: 1 },
-                LogEntry { term: 1, command: 2 },
+                LogEntry {
+                    term: 1,
+                    command: 1,
+                },
+                LogEntry {
+                    term: 1,
+                    command: 2,
+                },
             ],
             leader_commit: 0,
         };

@@ -281,9 +281,8 @@ impl<C: Clone> RaftNode<C> {
         let span = self.config.election_timeout_max.as_millis()
             - self.config.election_timeout_min.as_millis();
         let jitter = self.rng.gen_range(0..span.max(1));
-        self.election_deadline = now
-            + self.config.election_timeout_min
-            + SimTime::from_millis(jitter);
+        self.election_deadline =
+            now + self.config.election_timeout_min + SimTime::from_millis(jitter);
     }
 
     /// Advances time. Returns messages to send (election or heartbeats).
@@ -329,7 +328,10 @@ impl<C: Clone> RaftNode<C> {
             last_log_term: self.last_log_term(),
         };
         self.peers()
-            .map(|to| Envelope { to, message: msg.clone() })
+            .map(|to| Envelope {
+                to,
+                message: msg.clone(),
+            })
             .collect()
     }
 
@@ -353,7 +355,10 @@ impl<C: Clone> RaftNode<C> {
             last_log_term: self.last_log_term(),
         };
         self.peers()
-            .map(|to| Envelope { to, message: msg.clone() })
+            .map(|to| Envelope {
+                to,
+                message: msg.clone(),
+            })
             .collect()
     }
 
@@ -435,9 +440,14 @@ impl<C: Clone> RaftNode<C> {
     /// carries a hint to the best-known leader for redirection.
     pub fn propose(&mut self, command: C) -> Result<LogIndex, NotLeader> {
         if self.role != Role::Leader {
-            return Err(NotLeader { leader_hint: self.leader_hint() });
+            return Err(NotLeader {
+                leader_hint: self.leader_hint(),
+            });
         }
-        self.log.push(LogEntry { term: self.term, command });
+        self.log.push(LogEntry {
+            term: self.term,
+            command,
+        });
         let index = self.last_log_index();
         self.advance_commit();
         Ok(index)
@@ -445,19 +455,19 @@ impl<C: Clone> RaftNode<C> {
 
     /// Handles an incoming message from `from`. Returns replies/side
     /// messages to send.
-    pub fn handle(
-        &mut self,
-        from: PeerId,
-        message: Message<C>,
-        now: SimTime,
-    ) -> Vec<Envelope<C>> {
+    pub fn handle(&mut self, from: PeerId, message: Message<C>, now: SimTime) -> Vec<Envelope<C>> {
         // A PreVote carries a *would-be* term; it must never force a step
         // down — that is the entire point of the pre-vote phase.
         if !matches!(message, Message::PreVote { .. }) && message.term() > self.term {
             self.step_down(message.term());
         }
         match message {
-            Message::RequestVote { term, candidate, last_log_index, last_log_term } => {
+            Message::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
                 let up_to_date = last_log_term > self.last_log_term()
                     || (last_log_term == self.last_log_term()
                         && last_log_index >= self.last_log_index());
@@ -465,20 +475,26 @@ impl<C: Clone> RaftNode<C> {
                     None => true,
                     Some(v) => v == candidate,
                 };
-                let grant = term == self.term
-                    && self.role == Role::Follower
-                    && up_to_date
-                    && can_vote;
+                let grant =
+                    term == self.term && self.role == Role::Follower && up_to_date && can_vote;
                 if grant {
                     self.voted_for = Some(candidate);
                     self.reset_election_deadline(now);
                 }
                 vec![Envelope {
                     to: from,
-                    message: Message::RequestVoteResponse { term: self.term, granted: grant },
+                    message: Message::RequestVoteResponse {
+                        term: self.term,
+                        granted: grant,
+                    },
                 }]
             }
-            Message::PreVote { term, candidate, last_log_index, last_log_term } => {
+            Message::PreVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
                 let _ = candidate;
                 let up_to_date = last_log_term > self.last_log_term()
                     || (last_log_term == self.last_log_term()
@@ -487,20 +503,22 @@ impl<C: Clone> RaftNode<C> {
                 // leader within the minimum election timeout: a follower
                 // still receiving heartbeats refuses, which is what
                 // protects a healthy leader from flapping nodes.
-                let no_live_leader = now
-                    >= self.last_leader_contact + self.config.election_timeout_min;
+                let no_live_leader =
+                    now >= self.last_leader_contact + self.config.election_timeout_min;
                 let grant = term > self.term && up_to_date && no_live_leader;
                 vec![Envelope {
                     to: from,
-                    message: Message::PreVoteResponse { term: self.term, granted: grant },
+                    message: Message::PreVoteResponse {
+                        term: self.term,
+                        granted: grant,
+                    },
                 }]
             }
             Message::PreVoteResponse { term: _, granted } => {
                 let round_live = self.prevote_term == self.term + 1;
-                let no_live_leader = now
-                    >= self.last_leader_contact + self.config.election_timeout_min;
-                if self.role == Role::Follower && granted && round_live && no_live_leader
-                {
+                let no_live_leader =
+                    now >= self.last_leader_contact + self.config.election_timeout_min;
+                if self.role == Role::Follower && granted && round_live && no_live_leader {
                     self.prevotes_received.insert(from);
                     if self.prevotes_received.len() >= self.majority() {
                         return self.start_election(now);
@@ -544,29 +562,24 @@ impl<C: Clone> RaftNode<C> {
 
                 // Entries at or below our snapshot boundary are already
                 // committed here; skip them and re-anchor at the boundary.
-                let (prev_log_index, prev_log_term, entries) =
-                    if prev_log_index < self.log_start {
-                        let skip = (self.log_start - prev_log_index) as usize;
-                        if entries.len() <= skip {
-                            return vec![Envelope {
-                                to: from,
-                                message: Message::AppendEntriesResponse {
-                                    term: self.term,
-                                    success: true,
-                                    match_index: self
-                                        .log_start
-                                        .max(prev_log_index + entries.len() as u64),
-                                },
-                            }];
-                        }
-                        (
-                            self.log_start,
-                            self.snapshot_term,
-                            entries[skip..].to_vec(),
-                        )
-                    } else {
-                        (prev_log_index, prev_log_term, entries)
-                    };
+                let (prev_log_index, prev_log_term, entries) = if prev_log_index < self.log_start {
+                    let skip = (self.log_start - prev_log_index) as usize;
+                    if entries.len() <= skip {
+                        return vec![Envelope {
+                            to: from,
+                            message: Message::AppendEntriesResponse {
+                                term: self.term,
+                                success: true,
+                                match_index: self
+                                    .log_start
+                                    .max(prev_log_index + entries.len() as u64),
+                            },
+                        }];
+                    }
+                    (self.log_start, self.snapshot_term, entries[skip..].to_vec())
+                } else {
+                    (prev_log_index, prev_log_term, entries)
+                };
                 match self.term_at(prev_log_index) {
                     Some(t) if t == prev_log_term => {
                         // Append, resolving conflicts.
@@ -576,8 +589,7 @@ impl<C: Clone> RaftNode<C> {
                             match self.term_at(index) {
                                 Some(t) if t == entry.term => {} // already present
                                 _ => {
-                                    self.log
-                                        .truncate((index - self.log_start - 1) as usize);
+                                    self.log.truncate((index - self.log_start - 1) as usize);
                                     self.log.push(entry);
                                 }
                             }
@@ -665,7 +677,11 @@ impl<C: Clone> RaftNode<C> {
                 }
                 Vec::new()
             }
-            Message::AppendEntriesResponse { term, success, match_index } => {
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => {
                 if self.role != Role::Leader || term != self.term {
                     return Vec::new();
                 }
@@ -699,11 +715,7 @@ impl<C: Clone> RaftNode<C> {
             if self.term_at(n) != Some(self.term) {
                 continue;
             }
-            let replicas = 1 + self
-                .match_index
-                .values()
-                .filter(|&&m| m >= n)
-                .count();
+            let replicas = 1 + self.match_index.values().filter(|&&m| m >= n).count();
             if replicas >= self.majority() {
                 self.commit_index = n;
                 break;
@@ -778,7 +790,10 @@ mod tests {
         expire_election(&mut n);
         let out = n.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(n.role(), Role::Leader);
@@ -793,7 +808,10 @@ mod tests {
         expire_election(&mut n);
         n.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: false },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: false,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(n.role(), Role::Candidate);
@@ -838,7 +856,10 @@ mod tests {
                 leader: PeerId(0),
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![LogEntry { term: 1, command: 5 }],
+                entries: vec![LogEntry {
+                    term: 1,
+                    command: 5,
+                }],
                 leader_commit: 0,
             },
             SimTime::from_millis(1),
@@ -865,7 +886,10 @@ mod tests {
         expire_election(&mut n);
         n.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(n.role(), Role::Leader);
@@ -904,8 +928,14 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    LogEntry { term: 1, command: 10 },
-                    LogEntry { term: 1, command: 20 },
+                    LogEntry {
+                        term: 1,
+                        command: 10,
+                    },
+                    LogEntry {
+                        term: 1,
+                        command: 20,
+                    },
                 ],
                 leader_commit: 1,
             },
@@ -913,7 +943,11 @@ mod tests {
         );
         assert!(matches!(
             out[0].message,
-            Message::AppendEntriesResponse { success: true, match_index: 2, .. }
+            Message::AppendEntriesResponse {
+                success: true,
+                match_index: 2,
+                ..
+            }
         ));
         assert_eq!(f.commit_index(), 1);
         assert_eq!(f.take_committed(), vec![(1, 10)]);
@@ -930,7 +964,10 @@ mod tests {
                 leader: PeerId(0),
                 prev_log_index: 5,
                 prev_log_term: 1,
-                entries: vec![LogEntry { term: 1, command: 9 }],
+                entries: vec![LogEntry {
+                    term: 1,
+                    command: 9,
+                }],
                 leader_commit: 0,
             },
             SimTime::from_millis(5),
@@ -954,8 +991,14 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    LogEntry { term: 1, command: 1 },
-                    LogEntry { term: 1, command: 2 },
+                    LogEntry {
+                        term: 1,
+                        command: 1,
+                    },
+                    LogEntry {
+                        term: 1,
+                        command: 2,
+                    },
                 ],
                 leader_commit: 0,
             },
@@ -969,7 +1012,10 @@ mod tests {
                 leader: PeerId(2),
                 prev_log_index: 1,
                 prev_log_term: 1,
-                entries: vec![LogEntry { term: 2, command: 99 }],
+                entries: vec![LogEntry {
+                    term: 2,
+                    command: 99,
+                }],
                 leader_commit: 0,
             },
             SimTime::from_millis(2),
@@ -985,7 +1031,10 @@ mod tests {
         expire_election(&mut l);
         l.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         let idx = l.propose(42).unwrap();
@@ -993,7 +1042,11 @@ mod tests {
         assert_eq!(l.commit_index(), 0);
         l.handle(
             PeerId(1),
-            Message::AppendEntriesResponse { term: 1, success: true, match_index: 1 },
+            Message::AppendEntriesResponse {
+                term: 1,
+                success: true,
+                match_index: 1,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(l.commit_index(), 1);
@@ -1006,19 +1059,30 @@ mod tests {
         expire_election(&mut l);
         l.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         l.propose(1).unwrap();
         l.propose(2).unwrap();
         let retry = l.handle(
             PeerId(2),
-            Message::AppendEntriesResponse { term: 1, success: false, match_index: 0 },
+            Message::AppendEntriesResponse {
+                term: 1,
+                success: false,
+                match_index: 0,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(retry.len(), 1);
         match &retry[0].message {
-            Message::AppendEntries { prev_log_index, entries, .. } => {
+            Message::AppendEntries {
+                prev_log_index,
+                entries,
+                ..
+            } => {
                 assert_eq!(*prev_log_index, 0);
                 assert_eq!(entries.len(), 2);
             }
@@ -1042,7 +1106,10 @@ mod tests {
         expire_election(&mut n);
         n.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         // Heartbeat due after the interval.
@@ -1079,8 +1146,7 @@ mod tests {
 
     #[test]
     fn compaction_clamped_to_commit() {
-        let mut n: RaftNode<u32> =
-            RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
+        let mut n: RaftNode<u32> = RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
         // Follower with 2 appended but only 1 committed.
         n.handle(
             PeerId(0),
@@ -1090,8 +1156,14 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    LogEntry { term: 1, command: 1 },
-                    LogEntry { term: 1, command: 2 },
+                    LogEntry {
+                        term: 1,
+                        command: 1,
+                    },
+                    LogEntry {
+                        term: 1,
+                        command: 2,
+                    },
                 ],
                 leader_commit: 1,
             },
@@ -1103,12 +1175,14 @@ mod tests {
 
     #[test]
     fn leader_ships_snapshot_to_lagging_follower() {
-        let mut leader: RaftNode<u32> =
-            RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
+        let mut leader: RaftNode<u32> = RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
         expire_election(&mut leader);
         leader.handle(
             PeerId(1),
-            Message::RequestVoteResponse { term: 1, granted: true },
+            Message::RequestVoteResponse {
+                term: 1,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         for cmd in 0..8 {
@@ -1117,7 +1191,11 @@ mod tests {
         // Peer 1 replicates everything; peer 2 is partitioned away.
         leader.handle(
             PeerId(1),
-            Message::AppendEntriesResponse { term: 1, success: true, match_index: 8 },
+            Message::AppendEntriesResponse {
+                term: 1,
+                success: true,
+                match_index: 8,
+            },
             SimTime::from_secs(100),
         );
         assert_eq!(leader.commit_index(), 8);
@@ -1127,12 +1205,20 @@ mod tests {
         // Peer 2 reports a mismatch far behind: leader must snapshot.
         let out = leader.handle(
             PeerId(2),
-            Message::AppendEntriesResponse { term: 1, success: false, match_index: 0 },
+            Message::AppendEntriesResponse {
+                term: 1,
+                success: false,
+                match_index: 0,
+            },
             SimTime::from_secs(101),
         );
         assert_eq!(out.len(), 1);
         let snap = match &out[0].message {
-            Message::InstallSnapshot { last_included_index, commands, .. } => {
+            Message::InstallSnapshot {
+                last_included_index,
+                commands,
+                ..
+            } => {
                 assert_eq!(*last_included_index, 8);
                 assert_eq!(commands.len(), 8);
                 out[0].message.clone()
@@ -1149,8 +1235,11 @@ mod tests {
             Message::InstallSnapshotResponse { match_index: 8, .. }
         ));
         assert_eq!(follower.commit_index(), 8);
-        let drained: Vec<u32> =
-            follower.take_committed().into_iter().map(|(_, c)| c).collect();
+        let drained: Vec<u32> = follower
+            .take_committed()
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
         assert_eq!(drained, (0..8).collect::<Vec<_>>());
 
         // Leader processes the ack and resumes normal replication.
@@ -1160,8 +1249,7 @@ mod tests {
 
     #[test]
     fn stale_snapshot_is_ignored() {
-        let mut n: RaftNode<u32> =
-            RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
+        let mut n: RaftNode<u32> = RaftNode::new(PeerId(0), three(), RaftConfig::default(), 1);
         // Commit 3 entries first.
         n.handle(
             PeerId(1),
@@ -1170,7 +1258,12 @@ mod tests {
                 leader: PeerId(1),
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: (0..3).map(|c| LogEntry { term: 1, command: c }).collect(),
+                entries: (0..3)
+                    .map(|c| LogEntry {
+                        term: 1,
+                        command: c,
+                    })
+                    .collect(),
                 leader_commit: 3,
             },
             SimTime::from_millis(1),
@@ -1194,13 +1287,15 @@ mod tests {
     }
 
     fn prevote_config() -> RaftConfig {
-        RaftConfig { pre_vote: true, ..RaftConfig::default() }
+        RaftConfig {
+            pre_vote: true,
+            ..RaftConfig::default()
+        }
     }
 
     #[test]
     fn prevote_timeout_probes_without_term_bump() {
-        let mut n: RaftNode<u32> =
-            RaftNode::new(PeerId(0), three(), prevote_config(), 1);
+        let mut n: RaftNode<u32> = RaftNode::new(PeerId(0), three(), prevote_config(), 1);
         let out = n.tick(SimTime::from_secs(100));
         // Still a term-0 follower; only probes were sent.
         assert_eq!(n.role(), Role::Follower);
@@ -1213,12 +1308,14 @@ mod tests {
 
     #[test]
     fn prevote_majority_starts_real_election() {
-        let mut n: RaftNode<u32> =
-            RaftNode::new(PeerId(0), three(), prevote_config(), 1);
+        let mut n: RaftNode<u32> = RaftNode::new(PeerId(0), three(), prevote_config(), 1);
         n.tick(SimTime::from_secs(100));
         let out = n.handle(
             PeerId(1),
-            Message::PreVoteResponse { term: 0, granted: true },
+            Message::PreVoteResponse {
+                term: 0,
+                granted: true,
+            },
             SimTime::from_secs(100),
         );
         // Majority of pre-votes (self + peer 1): the real election starts.
@@ -1231,8 +1328,7 @@ mod tests {
 
     #[test]
     fn follower_with_live_leader_refuses_prevote() {
-        let mut follower: RaftNode<u32> =
-            RaftNode::new(PeerId(1), three(), prevote_config(), 2);
+        let mut follower: RaftNode<u32> = RaftNode::new(PeerId(1), three(), prevote_config(), 2);
         // Heartbeat from a live leader at t=10s.
         follower.handle(
             PeerId(0),
@@ -1282,8 +1378,7 @@ mod tests {
 
     #[test]
     fn prevote_rejects_stale_log() {
-        let mut voter: RaftNode<u32> =
-            RaftNode::new(PeerId(1), three(), prevote_config(), 2);
+        let mut voter: RaftNode<u32> = RaftNode::new(PeerId(1), three(), prevote_config(), 2);
         voter.handle(
             PeerId(0),
             Message::AppendEntries {
@@ -1291,7 +1386,10 @@ mod tests {
                 leader: PeerId(0),
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![LogEntry { term: 1, command: 7 }],
+                entries: vec![LogEntry {
+                    term: 1,
+                    command: 7,
+                }],
                 leader_commit: 1,
             },
             SimTime::from_millis(1),
@@ -1314,8 +1412,7 @@ mod tests {
 
     #[test]
     fn prevote_single_node_self_elects() {
-        let mut n: RaftNode<u32> =
-            RaftNode::new(PeerId(0), vec![PeerId(0)], prevote_config(), 3);
+        let mut n: RaftNode<u32> = RaftNode::new(PeerId(0), vec![PeerId(0)], prevote_config(), 3);
         n.tick(SimTime::from_secs(10));
         assert_eq!(n.role(), Role::Leader);
     }
@@ -1323,7 +1420,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "cluster must contain")]
     fn cluster_must_contain_self() {
-        let _: RaftNode<u32> =
-            RaftNode::new(PeerId(9), three(), RaftConfig::default(), 0);
+        let _: RaftNode<u32> = RaftNode::new(PeerId(9), three(), RaftConfig::default(), 0);
     }
 }

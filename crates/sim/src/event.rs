@@ -49,7 +49,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "time must be finite and nonnegative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be finite and nonnegative"
+        );
         SimTime((s * 1000.0).round() as u64)
     }
 
@@ -182,7 +185,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` at `delay` after the current time.

@@ -1,0 +1,753 @@
+//! Deterministic fault injection: node churn, partitions, lossy links,
+//! and latency spikes.
+//!
+//! A [`FaultPlan`] is a declarative, serializable schedule of
+//! [`FaultEvent`]s fixed before the run starts, so a simulation under
+//! faults is exactly as reproducible as one without: the same seed and
+//! plan give bit-identical traces. The [`FaultInjector`] linearizes the
+//! plan into a timeline of [`FaultAction`]s that the event loop applies
+//! at the right instants — crashes and restarts mutate the
+//! [`Topology`]'s active set, partitions impose a link cut, and
+//! loss/latency windows toggle the [`Transport`] knobs.
+//!
+//! ```
+//! use edgechain_sim::fault::{FaultEvent, FaultInjector, FaultPlan};
+//! use edgechain_sim::{NodeId, SimTime, Topology, TopologyConfig, Transport,
+//!     TransportConfig, Point};
+//!
+//! let plan = FaultPlan::new(vec![
+//!     FaultEvent::Crash { node: NodeId(1), at: SimTime::from_secs(60) },
+//!     FaultEvent::Restart { node: NodeId(1), at: SimTime::from_secs(120) },
+//! ]);
+//! plan.validate(3).unwrap();
+//! let mut injector = FaultInjector::new(&plan);
+//! let mut topo = Topology::from_positions(vec![
+//!     Point::new(0.0, 0.0), Point::new(50.0, 0.0), Point::new(100.0, 0.0),
+//! ]);
+//! let mut transport = Transport::new(TransportConfig::default());
+//! assert_eq!(injector.next_due(), Some(SimTime::from_secs(60)));
+//! for action in injector.drain_due(SimTime::from_secs(60)) {
+//!     action.apply(&mut topo, &mut transport);
+//! }
+//! assert!(!topo.is_active(NodeId(1)));
+//! ```
+
+use crate::event::SimTime;
+use crate::topology::{NodeId, Topology};
+use crate::transport::Transport;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduled fault in a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// `node` halts at `at`: its radio goes silent and its storage is
+    /// unavailable (but not wiped) until a matching [`FaultEvent::Restart`].
+    Crash {
+        /// The node that fails.
+        node: NodeId,
+        /// When it fails.
+        at: SimTime,
+    },
+    /// `node` comes back at `at` with its pre-crash disk contents.
+    Restart {
+        /// The node that recovers.
+        node: NodeId,
+        /// When it recovers.
+        at: SimTime,
+    },
+    /// Links between `cut` and the rest of the network are severed during
+    /// `[from, until)`.
+    Partition {
+        /// One side of the split (the rest of the network is the other).
+        cut: Vec<NodeId>,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Every message is independently lost with probability `prob` during
+    /// `[from, until)`.
+    LinkLoss {
+        /// Per-message loss probability in `[0, 1]`.
+        prob: f64,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Transmission and propagation delays are multiplied by `factor`
+    /// during `[from, until)`.
+    LatencySpike {
+        /// Delay multiplier, `>= 1`.
+        factor: f64,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The instant this event first takes effect.
+    pub fn starts_at(&self) -> SimTime {
+        match self {
+            FaultEvent::Crash { at, .. } | FaultEvent::Restart { at, .. } => *at,
+            FaultEvent::Partition { from, .. }
+            | FaultEvent::LinkLoss { from, .. }
+            | FaultEvent::LatencySpike { from, .. } => *from,
+        }
+    }
+}
+
+/// A complete fault schedule, fixed before the run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Parameters for [`FaultPlan::random_churn`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Expected crashes per simulated minute across the whole network.
+    pub crashes_per_min: f64,
+    /// Mean downtime per crash in seconds (exponentially distributed).
+    pub mean_downtime_secs: f64,
+    /// Don't allow more than this many nodes down at once.
+    pub max_concurrent_down: usize,
+    /// Schedule horizon: no crash is injected after this time.
+    pub horizon: SimTime,
+}
+
+impl FaultPlan {
+    /// Wraps a list of events as a plan.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a seeded random churn schedule: crash arrivals follow a
+    /// Poisson process at `cfg.crashes_per_min`, each crashed node restarts
+    /// after an exponential downtime, and at most `cfg.max_concurrent_down`
+    /// nodes are ever down simultaneously (arrivals that would exceed the
+    /// cap are skipped, not deferred). Node choice, arrival times, and
+    /// downtimes are all drawn from `rng`, so the schedule is a pure
+    /// function of the seed.
+    pub fn random_churn<R: Rng + ?Sized>(nodes: usize, cfg: ChurnConfig, rng: &mut R) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(cfg.crashes_per_min >= 0.0, "crash rate must be nonnegative");
+        let mut events = Vec::new();
+        if cfg.crashes_per_min <= 0.0 {
+            return FaultPlan::new(events);
+        }
+        let rate_per_sec = cfg.crashes_per_min / 60.0;
+        // (restart_time, node) for nodes currently scheduled as down.
+        let mut down: Vec<(SimTime, NodeId)> = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += SimTime::from_secs_f64(-u.ln() / rate_per_sec);
+            if t >= cfg.horizon {
+                break;
+            }
+            down.retain(|&(until, _)| until > t);
+            if down.len() >= cfg.max_concurrent_down {
+                continue;
+            }
+            let up: Vec<NodeId> = (0..nodes)
+                .map(NodeId)
+                .filter(|v| down.iter().all(|&(_, d)| d != *v))
+                .collect();
+            if up.is_empty() {
+                continue;
+            }
+            let node = up[rng.gen_range(0..up.len())];
+            let w: f64 = rng.gen_range(1e-12..1.0);
+            let downtime = SimTime::from_secs_f64(-w.ln() * cfg.mean_downtime_secs.max(1.0));
+            let restart = t + downtime;
+            events.push(FaultEvent::Crash { node, at: t });
+            events.push(FaultEvent::Restart { node, at: restart });
+            down.push((restart, node));
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Checks the plan against a network of `nodes` nodes: node ids in
+    /// range, windows nonempty, probabilities in `[0, 1]`, factors `>= 1`,
+    /// crash/restart alternation per node, and no overlapping windows of
+    /// the same kind (overlap would make "window end" ambiguous).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate(&self, nodes: usize) -> Result<(), FaultPlanError> {
+        let check_node = |v: NodeId| {
+            if v.0 >= nodes {
+                Err(FaultPlanError::NodeOutOfRange { node: v, nodes })
+            } else {
+                Ok(())
+            }
+        };
+        let mut loss_windows = Vec::new();
+        let mut latency_windows = Vec::new();
+        let mut partition_windows = Vec::new();
+        for ev in &self.events {
+            match ev {
+                FaultEvent::Crash { node, .. } | FaultEvent::Restart { node, .. } => {
+                    check_node(*node)?;
+                }
+                FaultEvent::Partition { cut, from, until } => {
+                    for &v in cut {
+                        check_node(v)?;
+                    }
+                    if cut.is_empty() || cut.len() >= nodes {
+                        return Err(FaultPlanError::DegenerateCut {
+                            side: cut.len(),
+                            nodes,
+                        });
+                    }
+                    Self::check_window(*from, *until)?;
+                    partition_windows.push((*from, *until));
+                }
+                FaultEvent::LinkLoss { prob, from, until } => {
+                    if !(0.0..=1.0).contains(prob) {
+                        return Err(FaultPlanError::BadProbability { prob: *prob });
+                    }
+                    Self::check_window(*from, *until)?;
+                    loss_windows.push((*from, *until));
+                }
+                FaultEvent::LatencySpike {
+                    factor,
+                    from,
+                    until,
+                } => {
+                    if *factor < 1.0 || !factor.is_finite() {
+                        return Err(FaultPlanError::BadFactor { factor: *factor });
+                    }
+                    Self::check_window(*from, *until)?;
+                    latency_windows.push((*from, *until));
+                }
+            }
+        }
+        for windows in [
+            &mut loss_windows,
+            &mut latency_windows,
+            &mut partition_windows,
+        ] {
+            windows.sort();
+            for pair in windows.windows(2) {
+                if pair[1].0 < pair[0].1 {
+                    return Err(FaultPlanError::OverlappingWindows {
+                        first_until: pair[0].1,
+                        second_from: pair[1].0,
+                    });
+                }
+            }
+        }
+        // Per-node crash/restart events must alternate, starting crashed.
+        for v in 0..nodes {
+            let mut marks: Vec<(SimTime, bool)> = self
+                .events
+                .iter()
+                .filter_map(|ev| match ev {
+                    FaultEvent::Crash { node, at } if node.0 == v => Some((*at, true)),
+                    FaultEvent::Restart { node, at } if node.0 == v => Some((*at, false)),
+                    _ => None,
+                })
+                .collect();
+            marks.sort();
+            let mut expect_crash = true;
+            for &(at, is_crash) in &marks {
+                if is_crash != expect_crash {
+                    return Err(FaultPlanError::ChurnOutOfOrder {
+                        node: NodeId(v),
+                        at,
+                    });
+                }
+                expect_crash = !expect_crash;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_window(from: SimTime, until: SimTime) -> Result<(), FaultPlanError> {
+        if from >= until {
+            Err(FaultPlanError::EmptyWindow { from, until })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// An event names a node outside `0..nodes`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Network size.
+        nodes: usize,
+    },
+    /// A partition cut would be empty or the whole network.
+    DegenerateCut {
+        /// Size of the cut side.
+        side: usize,
+        /// Network size.
+        nodes: usize,
+    },
+    /// A loss probability outside `[0, 1]`.
+    BadProbability {
+        /// The offending probability.
+        prob: f64,
+    },
+    /// A latency factor below 1 (or non-finite).
+    BadFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A window with `from >= until`.
+    EmptyWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// Two windows of the same kind overlap.
+    OverlappingWindows {
+        /// End of the earlier window.
+        first_until: SimTime,
+        /// Start of the later window.
+        second_from: SimTime,
+    },
+    /// A node restarts while up, or crashes while already down.
+    ChurnOutOfOrder {
+        /// The offending node.
+        node: NodeId,
+        /// When the out-of-order event fires.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::NodeOutOfRange { node, nodes } => {
+                write!(f, "{node} out of range for a {nodes}-node network")
+            }
+            FaultPlanError::DegenerateCut { side, nodes } => {
+                write!(f, "partition cut of {side} nodes in a {nodes}-node network")
+            }
+            FaultPlanError::BadProbability { prob } => {
+                write!(f, "loss probability {prob} outside [0, 1]")
+            }
+            FaultPlanError::BadFactor { factor } => {
+                write!(f, "latency factor {factor} below 1")
+            }
+            FaultPlanError::EmptyWindow { from, until } => {
+                write!(f, "empty fault window [{from}, {until})")
+            }
+            FaultPlanError::OverlappingWindows {
+                first_until,
+                second_from,
+            } => {
+                write!(
+                    f,
+                    "fault window starting {second_from} overlaps one ending {first_until}"
+                )
+            }
+            FaultPlanError::ChurnOutOfOrder { node, at } => {
+                write!(f, "crash/restart out of order for {node} at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A single state change derived from a [`FaultEvent`]: window events
+/// expand into a start and an end action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Take a node down.
+    Crash(NodeId),
+    /// Bring a node back up.
+    Restart(NodeId),
+    /// Impose a partition cut.
+    PartitionStart(Vec<NodeId>),
+    /// Lift the partition.
+    PartitionEnd,
+    /// Start dropping messages with this probability.
+    LossStart(f64),
+    /// Stop dropping messages.
+    LossEnd,
+    /// Start multiplying delays by this factor.
+    LatencyStart(f64),
+    /// Return delays to nominal.
+    LatencyEnd,
+}
+
+impl FaultAction {
+    /// Applies the state change to the simulation substrate. The caller
+    /// remains responsible for protocol-level consequences (skipping dead
+    /// miners, scheduling repair, …).
+    pub fn apply(&self, topo: &mut Topology, transport: &mut Transport) {
+        match self {
+            FaultAction::Crash(v) => topo.set_active(*v, false),
+            FaultAction::Restart(v) => topo.set_active(*v, true),
+            FaultAction::PartitionStart(cut) => topo.set_partition(Some(cut)),
+            FaultAction::PartitionEnd => topo.set_partition(None),
+            FaultAction::LossStart(p) => transport.set_loss_prob(*p),
+            FaultAction::LossEnd => transport.set_loss_prob(0.0),
+            FaultAction::LatencyStart(f) => transport.set_latency_factor(*f),
+            FaultAction::LatencyEnd => transport.set_latency_factor(1.0),
+        }
+    }
+}
+
+/// Linearized fault timeline the event loop consults.
+///
+/// Construction sorts all actions by fire time (stable: simultaneous
+/// actions fire in plan order, with window-ends before window-starts at
+/// the same instant so back-to-back windows hand over cleanly).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    timeline: Vec<(SimTime, u8, FaultAction)>,
+    next: usize,
+    applied: u64,
+}
+
+impl FaultInjector {
+    /// Builds the timeline from a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut timeline: Vec<(SimTime, u8, FaultAction)> = Vec::new();
+        for ev in &plan.events {
+            match ev {
+                FaultEvent::Crash { node, at } => {
+                    timeline.push((*at, 1, FaultAction::Crash(*node)));
+                }
+                FaultEvent::Restart { node, at } => {
+                    timeline.push((*at, 0, FaultAction::Restart(*node)));
+                }
+                FaultEvent::Partition { cut, from, until } => {
+                    timeline.push((*from, 1, FaultAction::PartitionStart(cut.clone())));
+                    timeline.push((*until, 0, FaultAction::PartitionEnd));
+                }
+                FaultEvent::LinkLoss { prob, from, until } => {
+                    timeline.push((*from, 1, FaultAction::LossStart(*prob)));
+                    timeline.push((*until, 0, FaultAction::LossEnd));
+                }
+                FaultEvent::LatencySpike {
+                    factor,
+                    from,
+                    until,
+                } => {
+                    timeline.push((*from, 1, FaultAction::LatencyStart(*factor)));
+                    timeline.push((*until, 0, FaultAction::LatencyEnd));
+                }
+            }
+        }
+        timeline.sort_by_key(|a| (a.0, a.1));
+        FaultInjector {
+            timeline,
+            next: 0,
+            applied: 0,
+        }
+    }
+
+    /// When the next pending action fires, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.timeline.get(self.next).map(|&(t, _, _)| t)
+    }
+
+    /// Removes and returns every action due at or before `now`, in firing
+    /// order. The caller applies them (and counts them as injected).
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<FaultAction> {
+        let mut due = Vec::new();
+        while let Some(&(t, _, ref action)) = self.timeline.get(self.next) {
+            if t > now {
+                break;
+            }
+            due.push(action.clone());
+            self.next += 1;
+        }
+        self.applied += due.len() as u64;
+        due
+    }
+
+    /// Total actions drained so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Whether every scheduled action has been drained.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.timeline.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::transport::TransportConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> Topology {
+        Topology::from_positions((0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect())
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn injector_fires_in_time_order() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Restart {
+                node: NodeId(0),
+                at: secs(20),
+            },
+            FaultEvent::Crash {
+                node: NodeId(0),
+                at: secs(10),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.5,
+                from: secs(5),
+                until: secs(15),
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_due(), Some(secs(5)));
+        assert_eq!(inj.drain_due(secs(4)), vec![]);
+        assert_eq!(
+            inj.drain_due(secs(10)),
+            vec![FaultAction::LossStart(0.5), FaultAction::Crash(NodeId(0)),]
+        );
+        assert_eq!(
+            inj.drain_due(secs(60)),
+            vec![FaultAction::LossEnd, FaultAction::Restart(NodeId(0)),]
+        );
+        assert!(inj.exhausted());
+        assert_eq!(inj.applied(), 4);
+    }
+
+    #[test]
+    fn window_end_precedes_start_at_same_instant() {
+        // Back-to-back loss windows hand over without a gap or an
+        // end-clobbers-start inversion.
+        let plan = FaultPlan::new(vec![
+            FaultEvent::LinkLoss {
+                prob: 0.2,
+                from: secs(0),
+                until: secs(10),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.8,
+                from: secs(10),
+                until: secs(20),
+            },
+        ]);
+        assert!(plan.validate(4).is_ok());
+        let mut inj = FaultInjector::new(&plan);
+        inj.drain_due(secs(0));
+        let at_ten = inj.drain_due(secs(10));
+        assert_eq!(
+            at_ten,
+            vec![FaultAction::LossEnd, FaultAction::LossStart(0.8)]
+        );
+    }
+
+    #[test]
+    fn actions_mutate_topology_and_transport() {
+        let mut topo = line(4);
+        let mut tr = Transport::new(TransportConfig::default());
+        FaultAction::Crash(NodeId(2)).apply(&mut topo, &mut tr);
+        assert!(!topo.is_active(NodeId(2)));
+        FaultAction::PartitionStart(vec![NodeId(0)]).apply(&mut topo, &mut tr);
+        assert!(!topo.reachable(NodeId(0), NodeId(1)));
+        FaultAction::LossStart(0.25).apply(&mut topo, &mut tr);
+        assert_eq!(tr.loss_prob(), 0.25);
+        FaultAction::LatencyStart(2.0).apply(&mut topo, &mut tr);
+        assert_eq!(tr.latency_factor(), 2.0);
+        FaultAction::Restart(NodeId(2)).apply(&mut topo, &mut tr);
+        FaultAction::PartitionEnd.apply(&mut topo, &mut tr);
+        FaultAction::LossEnd.apply(&mut topo, &mut tr);
+        FaultAction::LatencyEnd.apply(&mut topo, &mut tr);
+        assert!(topo.is_connected());
+        assert_eq!(tr.loss_prob(), 0.0);
+        assert_eq!(tr.latency_factor(), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let n = 4;
+        let cases = vec![
+            FaultEvent::Crash {
+                node: NodeId(9),
+                at: secs(1),
+            },
+            FaultEvent::Partition {
+                cut: vec![],
+                from: secs(0),
+                until: secs(1),
+            },
+            FaultEvent::Partition {
+                cut: (0..n).map(NodeId).collect(),
+                from: secs(0),
+                until: secs(1),
+            },
+            FaultEvent::LinkLoss {
+                prob: 1.5,
+                from: secs(0),
+                until: secs(1),
+            },
+            FaultEvent::LatencySpike {
+                factor: 0.5,
+                from: secs(0),
+                until: secs(1),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.5,
+                from: secs(5),
+                until: secs(5),
+            },
+            FaultEvent::Restart {
+                node: NodeId(1),
+                at: secs(1),
+            },
+        ];
+        for ev in cases {
+            let plan = FaultPlan::new(vec![ev.clone()]);
+            assert!(plan.validate(n).is_err(), "accepted {ev:?}");
+        }
+        let overlapping = FaultPlan::new(vec![
+            FaultEvent::LinkLoss {
+                prob: 0.1,
+                from: secs(0),
+                until: secs(10),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.2,
+                from: secs(5),
+                until: secs(15),
+            },
+        ]);
+        assert_eq!(
+            overlapping.validate(n),
+            Err(FaultPlanError::OverlappingWindows {
+                first_until: secs(10),
+                second_from: secs(5),
+            })
+        );
+        let double_crash = FaultPlan::new(vec![
+            FaultEvent::Crash {
+                node: NodeId(0),
+                at: secs(1),
+            },
+            FaultEvent::Crash {
+                node: NodeId(0),
+                at: secs(2),
+            },
+        ]);
+        assert!(matches!(
+            double_crash.validate(n),
+            Err(FaultPlanError::ChurnOutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_a_full_mixed_plan() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: secs(30),
+            },
+            FaultEvent::Restart {
+                node: NodeId(3),
+                at: secs(90),
+            },
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: secs(200),
+            },
+            FaultEvent::Partition {
+                cut: vec![NodeId(0), NodeId(1)],
+                from: secs(60),
+                until: secs(360),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.05,
+                from: secs(0),
+                until: secs(600),
+            },
+            FaultEvent::LatencySpike {
+                factor: 3.0,
+                from: secs(100),
+                until: secs(160),
+            },
+        ]);
+        assert!(plan.validate(8).is_ok());
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_valid() {
+        let cfg = ChurnConfig {
+            crashes_per_min: 2.0,
+            mean_downtime_secs: 120.0,
+            max_concurrent_down: 3,
+            horizon: SimTime::from_secs(1800),
+        };
+        let gen_plan = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FaultPlan::random_churn(10, cfg, &mut rng)
+        };
+        let a = gen_plan(42);
+        let b = gen_plan(42);
+        assert_eq!(a, b, "same seed must give the same plan");
+        assert!(!a.is_empty(), "2 crashes/min over 30 min should fire");
+        assert!(a.validate(10).is_ok());
+        let c = gen_plan(43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_churn_respects_concurrency_cap() {
+        let cfg = ChurnConfig {
+            crashes_per_min: 60.0, // aggressive: one per second on average
+            mean_downtime_secs: 600.0,
+            max_concurrent_down: 2,
+            horizon: SimTime::from_secs(600),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let plan = FaultPlan::random_churn(6, cfg, &mut rng);
+        // Replay the schedule counting concurrent downtime.
+        let mut inj = FaultInjector::new(&plan);
+        let mut down = 0usize;
+        let mut max_down = 0usize;
+        while let Some(t) = inj.next_due() {
+            for a in inj.drain_due(t) {
+                match a {
+                    FaultAction::Crash(_) => down += 1,
+                    FaultAction::Restart(_) => down -= 1,
+                    _ => unreachable!("churn plans only crash and restart"),
+                }
+            }
+            max_down = max_down.max(down);
+        }
+        assert!(max_down <= 2, "cap violated: {max_down} down at once");
+    }
+}

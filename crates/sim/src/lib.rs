@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod geometry;
 pub mod metrics;
 pub mod topology;
 pub mod transport;
 
 pub use event::{EventQueue, SimTime};
+pub use fault::{ChurnConfig, FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultPlanError};
 pub use geometry::{Field, Point};
 pub use metrics::{gini, gini_counts, RunningStats, SampleSet};
 pub use topology::{NodeId, Topology, TopologyConfig, TopologyError, UNREACHABLE};

@@ -59,7 +59,12 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates empty statistics.
     pub fn new() -> Self {
-        RunningStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -119,7 +124,10 @@ impl fmt::Display for RunningStats {
             write!(
                 f,
                 "n={} mean={:.3} min={:.3} max={:.3}",
-                self.count, self.mean(), self.min, self.max
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
             )
         }
     }
@@ -166,7 +174,10 @@ pub struct SampleSet {
 impl SampleSet {
     /// Creates an empty sample set.
     pub fn new() -> Self {
-        SampleSet { samples: Vec::new(), sorted: true }
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Records one observation.
@@ -214,8 +225,7 @@ impl SampleSet {
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 

@@ -75,6 +75,12 @@ pub struct Topology {
     home: Vec<Point>,
     position: Vec<Point>,
     mobility: Vec<f64>,
+    /// Fault-injection state: crashed nodes have no radio at all.
+    active: Vec<bool>,
+    /// Fault-injection state: when set, links between a node inside the
+    /// cut set and one outside it are severed (a clean network split on
+    /// top of whatever the geometry allows).
+    partition: Option<Vec<bool>>,
     adjacency: Vec<Vec<NodeId>>,
     /// `hops[i][j]` — BFS hop count, [`UNREACHABLE`] when partitioned.
     hops: Vec<Vec<u32>>,
@@ -130,11 +136,11 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `positions` is empty.
-    pub fn from_positions_with_config(
-        positions: Vec<Point>,
-        config: TopologyConfig,
-    ) -> Self {
-        assert!(!positions.is_empty(), "topology must have at least one node");
+    pub fn from_positions_with_config(positions: Vec<Point>, config: TopologyConfig) -> Self {
+        assert!(
+            !positions.is_empty(),
+            "topology must have at least one node"
+        );
         let n = positions.len();
         let mobility = vec![config.mobility_range; n];
         let mut topo = Topology {
@@ -142,6 +148,8 @@ impl Topology {
             home: positions.clone(),
             position: positions,
             mobility,
+            active: vec![true; n],
+            partition: None,
             adjacency: Vec::new(),
             hops: Vec::new(),
             next_hop: Vec::new(),
@@ -190,6 +198,49 @@ impl Topology {
         self.mobility[node.0] = range;
     }
 
+    /// Whether `node` is up (not crashed by fault injection).
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.0]
+    }
+
+    /// Marks `node` as crashed (`false`) or restarted (`true`) and rebuilds
+    /// routes. A crashed node has no links: nothing can be sent to it,
+    /// from it, or *through* it.
+    pub fn set_active(&mut self, node: NodeId, active: bool) {
+        if self.active[node.0] != active {
+            self.active[node.0] = active;
+            self.rebuild_routes();
+        }
+    }
+
+    /// Iterator over nodes that are currently up.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&v| self.active[v.0])
+    }
+
+    /// Number of nodes currently up.
+    pub fn active_len(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Imposes (or, with `None`, lifts) a network partition: links between
+    /// nodes inside `cut` and nodes outside it are severed. Rebuilds routes.
+    pub fn set_partition(&mut self, cut: Option<&[NodeId]>) {
+        self.partition = cut.map(|side| {
+            let mut inside = vec![false; self.len()];
+            for &v in side {
+                inside[v.0] = true;
+            }
+            inside
+        });
+        self.rebuild_routes();
+    }
+
+    /// Whether a partition cut is currently imposed.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
     /// Direct neighbors of `node` in the current snapshot.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
         &self.adjacency[node.0]
@@ -206,10 +257,12 @@ impl Topology {
         self.hops(a, b) != UNREACHABLE
     }
 
-    /// Whether the whole snapshot is one connected component.
+    /// Whether all *active* nodes form one connected component.
     pub fn is_connected(&self) -> bool {
-        let origin = NodeId(0);
-        self.nodes().all(|v| self.reachable(origin, v))
+        let Some(origin) = self.active_nodes().next() else {
+            return true;
+        };
+        self.active_nodes().all(|v| self.reachable(origin, v))
     }
 
     /// Shortest path from `a` to `b` (inclusive of both endpoints), or
@@ -224,8 +277,7 @@ impl Topology {
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
-            let next = self.next_hop[cur.0][b.0]
-                .expect("reachable pair must have a next hop");
+            let next = self.next_hop[cur.0][b.0].expect("reachable pair must have a next hop");
             path.push(next);
             cur = next;
         }
@@ -260,7 +312,13 @@ impl Topology {
         let range = self.config.comm_range;
         self.adjacency = vec![Vec::new(); n];
         for i in 0..n {
+            if !self.active[i] {
+                continue;
+            }
             for j in i + 1..n {
+                if !self.active[j] || self.cut_severs(i, j) {
+                    continue;
+                }
                 if self.position[i].distance(&self.position[j]) <= range {
                     self.adjacency[i].push(NodeId(j));
                     self.adjacency[j].push(NodeId(i));
@@ -270,7 +328,17 @@ impl Topology {
         self.hops = vec![vec![UNREACHABLE; n]; n];
         self.next_hop = vec![vec![None; n]; n];
         for src in 0..n {
-            self.bfs_from(NodeId(src));
+            if self.active[src] {
+                self.bfs_from(NodeId(src));
+            }
+        }
+    }
+
+    /// Whether the imposed partition cut severs the `i`–`j` link.
+    fn cut_severs(&self, i: usize, j: usize) -> bool {
+        match &self.partition {
+            Some(inside) => inside[i] != inside[j],
+            None => false,
         }
     }
 
@@ -360,8 +428,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn line_topology(n: usize, spacing: f64) -> Topology {
-        let pts: Vec<Point> =
-            (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
         Topology::from_positions(pts)
     }
 
@@ -403,8 +472,7 @@ mod tests {
     fn random_connected_is_connected() {
         let mut rng = StdRng::seed_from_u64(7);
         for n in [10, 25, 50] {
-            let t = Topology::random_connected(n, TopologyConfig::default(), &mut rng)
-                .unwrap();
+            let t = Topology::random_connected(n, TopologyConfig::default(), &mut rng).unwrap();
             assert!(t.is_connected(), "n={n}");
             assert_eq!(t.len(), n);
         }
@@ -413,9 +481,7 @@ mod tests {
     #[test]
     fn mobility_stays_within_range() {
         let mut rng = StdRng::seed_from_u64(11);
-        let mut t =
-            Topology::random_connected(20, TopologyConfig::default(), &mut rng)
-                .unwrap();
+        let mut t = Topology::random_connected(20, TopologyConfig::default(), &mut rng).unwrap();
         for _ in 0..10 {
             t.mobility_step(&mut rng);
             for v in t.nodes() {
@@ -451,11 +517,59 @@ mod tests {
     #[test]
     fn neighbors_symmetric() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = Topology::random_connected(30, TopologyConfig::default(), &mut rng)
-            .unwrap();
+        let t = Topology::random_connected(30, TopologyConfig::default(), &mut rng).unwrap();
         for a in t.nodes() {
             for &b in t.neighbors(a) {
                 assert!(t.neighbors(b).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_node_cannot_route_or_relay() {
+        // 0 - 1 - 2: killing the middle node severs the ends.
+        let mut t = line_topology(3, 60.0);
+        assert!(t.reachable(NodeId(0), NodeId(2)));
+        t.set_active(NodeId(1), false);
+        assert!(!t.is_active(NodeId(1)));
+        assert_eq!(t.active_len(), 2);
+        assert!(!t.reachable(NodeId(0), NodeId(2)), "relay must be gone");
+        assert!(!t.reachable(NodeId(0), NodeId(1)));
+        assert!(t.neighbors(NodeId(1)).is_empty());
+        // A restart restores the original routes.
+        t.set_active(NodeId(1), true);
+        assert!(t.reachable(NodeId(0), NodeId(2)));
+        assert_eq!(t.hops(NodeId(0), NodeId(2)), 2);
+    }
+
+    #[test]
+    fn partition_cut_severs_cross_links_only() {
+        let mut t = line_topology(4, 60.0);
+        t.set_partition(Some(&[NodeId(2), NodeId(3)]));
+        assert!(t.is_partitioned());
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        assert!(t.reachable(NodeId(2), NodeId(3)));
+        assert!(!t.reachable(NodeId(1), NodeId(2)));
+        assert!(!t.is_connected());
+        t.set_partition(None);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn partition_survives_mobility_steps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Topology::random_connected(16, TopologyConfig::default(), &mut rng).unwrap();
+        let cut: Vec<NodeId> = (0..8).map(NodeId).collect();
+        t.set_partition(Some(&cut));
+        for _ in 0..5 {
+            t.mobility_step(&mut rng);
+            for a in 0..8 {
+                for b in 8..16 {
+                    assert!(
+                        !t.reachable(NodeId(a), NodeId(b)),
+                        "{a} reached {b} across the cut"
+                    );
+                }
             }
         }
     }

@@ -109,6 +109,14 @@ pub enum TransportError {
         /// Intended destination.
         dst: NodeId,
     },
+    /// The message was lost to injected link loss (fault injection); the
+    /// sender gets no signal beyond its own retry timeout.
+    Dropped {
+        /// Message source.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -117,27 +125,56 @@ impl fmt::Display for TransportError {
             TransportError::Unreachable { src, dst } => {
                 write!(f, "{dst} unreachable from {src} in current topology")
             }
+            TransportError::Dropped { src, dst } => {
+                write!(f, "message from {src} to {dst} lost to link loss")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
 
-/// The transport layer: queueing state plus traffic statistics.
-#[derive(Debug, Clone, Default)]
+/// The transport layer: queueing state plus traffic statistics, plus the
+/// fault-injection knobs ([link loss](Transport::set_loss_prob) and
+/// [latency multiplier](Transport::set_latency_factor)) that the
+/// [`FaultInjector`](crate::fault::FaultInjector) toggles.
+#[derive(Debug, Clone)]
 pub struct Transport {
     config: TransportConfig,
     busy_until: Vec<SimTime>,
     stats: TrafficStats,
+    /// Per-message loss probability (fault injection; 0 = lossless).
+    loss_prob: f64,
+    /// Multiplier on propagation and transmission delay (fault injection;
+    /// 1 = nominal).
+    latency_factor: f64,
+    /// Messages lost to injected link loss.
+    dropped: u64,
+    /// Dedicated RNG for loss draws, seeded separately from the
+    /// simulation's master RNG so enabling faults never perturbs the rest
+    /// of the random stream.
+    fault_rng: rand::rngs::StdRng,
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Transport::new(TransportConfig::default())
+    }
 }
 
 impl Transport {
-    /// Creates a transport with the given configuration.
+    /// Creates a transport with the given configuration, lossless and at
+    /// nominal latency.
     pub fn new(config: TransportConfig) -> Self {
+        use rand::SeedableRng;
         Transport {
             config,
             busy_until: Vec::new(),
             stats: TrafficStats::default(),
+            loss_prob: 0.0,
+            latency_factor: 1.0,
+            dropped: 0,
+            fault_rng: rand::rngs::StdRng::seed_from_u64(0x70A5),
         }
     }
 
@@ -156,8 +193,69 @@ impl Transport {
         self.stats = TrafficStats::default();
     }
 
+    /// Reseeds the loss-draw RNG (call once at setup for reproducible
+    /// fault runs).
+    pub fn seed_faults(&mut self, seed: u64) {
+        use rand::SeedableRng;
+        self.fault_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    /// Sets the per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= prob <= 1.0`.
+    pub fn set_loss_prob(&mut self, prob: f64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "loss probability must be in [0, 1]"
+        );
+        self.loss_prob = prob;
+    }
+
+    /// The current per-message loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// Sets the delay multiplier applied to both transmission and
+    /// propagation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor >= 1.0` (faults slow links down, never up).
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "latency factor must be >= 1");
+        self.latency_factor = factor;
+    }
+
+    /// The current delay multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
+    }
+
+    /// Messages lost to injected link loss so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
     fn tx_time(&self, bytes: u64) -> SimTime {
-        SimTime::from_secs_f64(bytes as f64 / self.config.bandwidth)
+        let nominal = bytes as f64 / self.config.bandwidth;
+        SimTime::from_secs_f64(nominal * self.latency_factor)
+    }
+
+    fn hop_delay(&self) -> SimTime {
+        if self.latency_factor == 1.0 {
+            self.config.hop_delay
+        } else {
+            SimTime::from_secs_f64(self.config.hop_delay.as_secs_f64() * self.latency_factor)
+        }
+    }
+
+    /// Deterministic Bernoulli loss draw (only consulted when lossy).
+    fn message_lost(&mut self) -> bool {
+        use rand::Rng;
+        self.loss_prob > 0.0 && self.fault_rng.gen_bool(self.loss_prob)
     }
 
     fn ensure(&mut self, n: usize) {
@@ -172,7 +270,10 @@ impl Transport {
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Unreachable`] when no path exists.
+    /// Returns [`TransportError::Unreachable`] when no path exists, and
+    /// [`TransportError::Dropped`] when injected link loss eats the
+    /// message. A dropped message still cost the first hop its airtime
+    /// (the frame was transmitted; it just never arrived intact).
     pub fn unicast(
         &mut self,
         topo: &Topology,
@@ -183,24 +284,41 @@ impl Transport {
     ) -> Result<Delivery, TransportError> {
         self.ensure(topo.len());
         if src == dst {
-            return Ok(Delivery { arrival: now, hops: 0 });
+            return Ok(Delivery {
+                arrival: now,
+                hops: 0,
+            });
         }
         let path = topo
             .path(src, dst)
             .ok_or(TransportError::Unreachable { src, dst })?;
         let tx = self.tx_time(bytes);
+        if self.message_lost() {
+            // The source transmitted a doomed frame: charge its airtime and
+            // bytes, then report the loss.
+            let depart = now.max(self.busy_until[src.0]);
+            self.busy_until[src.0] = depart + tx;
+            self.stats.sent[src.0] += bytes;
+            self.stats.messages += 1;
+            self.dropped += 1;
+            return Err(TransportError::Dropped { src, dst });
+        }
+        let hop_delay = self.hop_delay();
         let mut t = now;
         for pair in path.windows(2) {
             let (u, v) = (pair[0], pair[1]);
             let depart = t.max(self.busy_until[u.0]);
             let done = depart + tx;
             self.busy_until[u.0] = done;
-            t = done + self.config.hop_delay;
+            t = done + hop_delay;
             self.stats.sent[u.0] += bytes;
             self.stats.received[v.0] += bytes;
             self.stats.messages += 1;
         }
-        Ok(Delivery { arrival: t, hops: (path.len() - 1) as u32 })
+        Ok(Delivery {
+            arrival: t,
+            hops: (path.len() - 1) as u32,
+        })
     }
 
     /// Floods `bytes` from `src` to every reachable node (classic flooding:
@@ -219,6 +337,7 @@ impl Transport {
     ) -> Vec<(NodeId, SimTime)> {
         self.ensure(topo.len());
         let tx = self.tx_time(bytes);
+        let hop_delay = self.hop_delay();
         let mut arrival: Vec<Option<SimTime>> = vec![None; topo.len()];
         arrival[src.0] = Some(now);
         // BFS by arrival time: process nodes in nondecreasing arrival order.
@@ -229,8 +348,7 @@ impl Transport {
             let u = order[head];
             head += 1;
             let t_u = arrival[u.0].expect("ordered nodes have arrivals");
-            let has_new_neighbor =
-                topo.neighbors(u).iter().any(|v| arrival[v.0].is_none());
+            let has_new_neighbor = topo.neighbors(u).iter().any(|v| arrival[v.0].is_none());
             if !has_new_neighbor {
                 continue;
             }
@@ -240,9 +358,16 @@ impl Transport {
             self.busy_until[u.0] = done;
             self.stats.sent[u.0] += bytes;
             self.stats.messages += 1;
-            let reach = done + self.config.hop_delay;
+            let reach = done + hop_delay;
             for &v in topo.neighbors(u) {
                 if arrival[v.0].is_none() {
+                    // Injected link loss applies per reception: a neighbor
+                    // that misses the frame may still be covered by a later
+                    // rebroadcast from another neighbor.
+                    if self.message_lost() {
+                        self.dropped += 1;
+                        continue;
+                    }
                     arrival[v.0] = Some(reach);
                     self.stats.received[v.0] += bytes;
                     order.push(v);
@@ -282,6 +407,7 @@ impl Transport {
         );
         self.ensure(topo.len());
         let tx = self.tx_time(bytes);
+        let hop_delay = self.hop_delay();
         let mut arrival: Vec<Option<SimTime>> = vec![None; topo.len()];
         arrival[src.0] = Some(now);
         let mut frontier: Vec<NodeId> = vec![src];
@@ -304,9 +430,13 @@ impl Transport {
             self.busy_until[u.0] = done;
             self.stats.sent[u.0] += bytes;
             self.stats.messages += 1;
-            let reach = done + self.config.hop_delay;
+            let reach = done + hop_delay;
             for &v in topo.neighbors(u) {
                 if arrival[v.0].is_none() {
+                    if self.message_lost() {
+                        self.dropped += 1;
+                        continue;
+                    }
                     arrival[v.0] = Some(reach);
                     self.stats.received[v.0] += bytes;
                     frontier.push(v);
@@ -324,9 +454,7 @@ mod tests {
     use crate::geometry::Point;
 
     fn line(n: usize) -> Topology {
-        Topology::from_positions(
-            (0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect(),
-        )
+        Topology::from_positions((0..n).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect())
     }
 
     #[test]
@@ -375,17 +503,17 @@ mod tests {
 
     #[test]
     fn unreachable_reported() {
-        let topo = Topology::from_positions(vec![
-            Point::new(0.0, 0.0),
-            Point::new(250.0, 250.0),
-        ]);
+        let topo = Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(250.0, 250.0)]);
         let mut tr = Transport::new(TransportConfig::default());
         let err = tr
             .unicast(&topo, NodeId(0), NodeId(1), 10, SimTime::ZERO)
             .unwrap_err();
         assert_eq!(
             err,
-            TransportError::Unreachable { src: NodeId(0), dst: NodeId(1) }
+            TransportError::Unreachable {
+                src: NodeId(0),
+                dst: NodeId(1)
+            }
         );
     }
 
@@ -445,9 +573,8 @@ mod tests {
         let reach_flood = flood.broadcast(&topo, NodeId(0), 100, SimTime::ZERO);
         let mut prob = Transport::new(TransportConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let reach_prob = prob.broadcast_probabilistic(
-            &topo, NodeId(0), 100, SimTime::ZERO, 1.0, &mut rng,
-        );
+        let reach_prob =
+            prob.broadcast_probabilistic(&topo, NodeId(0), 100, SimTime::ZERO, 1.0, &mut rng);
         assert_eq!(reach_flood, reach_prob);
         assert_eq!(flood.stats().total_sent(), prob.stats().total_sent());
     }
@@ -458,9 +585,8 @@ mod tests {
         let topo = line(6);
         let mut tr = Transport::new(TransportConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let reached = tr.broadcast_probabilistic(
-            &topo, NodeId(2), 100, SimTime::ZERO, 0.0, &mut rng,
-        );
+        let reached =
+            tr.broadcast_probabilistic(&topo, NodeId(2), 100, SimTime::ZERO, 0.0, &mut rng);
         let mut nodes: Vec<NodeId> = reached.into_iter().map(|(v, _)| v).collect();
         nodes.sort();
         assert_eq!(nodes, vec![NodeId(1), NodeId(3)]);
@@ -496,9 +622,7 @@ mod tests {
         let topo = line(2);
         let mut tr = Transport::new(TransportConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let _ = tr.broadcast_probabilistic(
-            &topo, NodeId(0), 1, SimTime::ZERO, 1.5, &mut rng,
-        );
+        let _ = tr.broadcast_probabilistic(&topo, NodeId(0), 1, SimTime::ZERO, 1.5, &mut rng);
     }
 
     #[test]
@@ -510,6 +634,95 @@ mod tests {
         tr.reset_stats();
         assert_eq!(tr.stats().total_sent(), 0);
         assert_eq!(tr.stats().mean_node_overhead(), 0.0);
+    }
+
+    #[test]
+    fn total_loss_drops_every_unicast() {
+        let topo = line(3);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.set_loss_prob(1.0);
+        let err = tr
+            .unicast(&topo, NodeId(0), NodeId(2), 500, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Dropped {
+                src: NodeId(0),
+                dst: NodeId(2)
+            }
+        );
+        assert_eq!(tr.messages_dropped(), 1);
+        // The doomed frame still burned the source's airtime and bytes.
+        assert_eq!(tr.stats().sent_bytes(NodeId(0)), 500);
+        assert_eq!(tr.stats().received_bytes(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn lossless_transport_never_consults_the_fault_rng() {
+        let topo = line(4);
+        let mut a = Transport::new(TransportConfig::default());
+        let mut b = Transport::new(TransportConfig::default());
+        b.seed_faults(0xDEAD_BEEF); // different fault seed, same traffic
+        for _ in 0..20 {
+            let da = a.unicast(&topo, NodeId(0), NodeId(3), 1000, SimTime::ZERO);
+            let db = b.unicast(&topo, NodeId(0), NodeId(3), 1000, SimTime::ZERO);
+            assert_eq!(da.unwrap(), db.unwrap());
+        }
+        assert_eq!(a.messages_dropped(), 0);
+        assert_eq!(b.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let topo = line(2);
+        let run = |seed: u64| {
+            let mut tr = Transport::new(TransportConfig::default());
+            tr.seed_faults(seed);
+            tr.set_loss_prob(0.3);
+            (0..200)
+                .map(|_| {
+                    tr.unicast(&topo, NodeId(0), NodeId(1), 10, SimTime::ZERO)
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(9), run(9), "same seed must give the same loss pattern");
+        let oks = run(9).iter().filter(|&&ok| ok).count();
+        assert!((100..180).contains(&oks), "~70% should survive, got {oks}");
+    }
+
+    #[test]
+    fn latency_spike_scales_delivery_time() {
+        let topo = line(2);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.set_latency_factor(3.0);
+        let d = tr
+            .unicast(&topo, NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        // Nominal 410 ms (400 tx + 10 prop) tripled.
+        assert_eq!(d.arrival.as_millis(), 3 * 410);
+    }
+
+    #[test]
+    fn broadcast_under_total_loss_reaches_no_one() {
+        let topo = line(4);
+        let mut tr = Transport::new(TransportConfig::default());
+        tr.set_loss_prob(1.0);
+        let reached = tr.broadcast(&topo, NodeId(0), 100, SimTime::ZERO);
+        assert!(reached.is_empty());
+        assert_eq!(tr.messages_dropped(), 1, "one lost reception per neighbor");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_prob_out_of_range_rejected() {
+        Transport::new(TransportConfig::default()).set_loss_prob(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor")]
+    fn latency_factor_below_one_rejected() {
+        Transport::new(TransportConfig::default()).set_latency_factor(0.5);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! transport conservation laws, and metric bounds.
 
 use edgechain_sim::{
-    gini, EventQueue, NodeId, Point, SampleSet, SimTime, Topology, Transport,
-    TransportConfig, UNREACHABLE,
+    gini, EventQueue, NodeId, Point, SampleSet, SimTime, Topology, Transport, TransportConfig,
+    UNREACHABLE,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;

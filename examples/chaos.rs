@@ -1,0 +1,89 @@
+//! Fault injection end to end: crash a node for good, partition the
+//! network, lose messages — and watch the protocol repair itself.
+//!
+//! The run schedules a deterministic fault plan against a 20-node network:
+//!
+//! 1. node 4 crashes and restarts eight minutes later (its disk survives);
+//! 2. node 13 crashes and never comes back — every replica it held must be
+//!    re-created on surviving nodes by the miners' UFL repair sweep;
+//! 3. a 5-minute partition splits five nodes from the rest;
+//! 4. a long 5 % link-loss window stresses retry/backoff everywhere.
+//!
+//! The same seed + plan always reproduces the identical report, so chaos
+//! runs are debuggable like any other deterministic simulation.
+//!
+//! Run with: `cargo run --release --example chaos`
+
+use edgechain::core::{EdgeNetwork, NetworkConfig};
+use edgechain::sim::{FaultEvent, FaultPlan, NodeId, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plan = FaultPlan::new(vec![
+        FaultEvent::Crash {
+            node: NodeId(4),
+            at: SimTime::from_secs(600),
+        },
+        FaultEvent::Restart {
+            node: NodeId(4),
+            at: SimTime::from_secs(1_080),
+        },
+        FaultEvent::Crash {
+            node: NodeId(13),
+            at: SimTime::from_secs(1_000),
+        },
+        FaultEvent::Partition {
+            cut: (0..5).map(NodeId).collect(),
+            from: SimTime::from_secs(1_800),
+            until: SimTime::from_secs(2_100),
+        },
+        FaultEvent::LinkLoss {
+            prob: 0.05,
+            from: SimTime::from_secs(120),
+            until: SimTime::from_secs(3_500),
+        },
+    ]);
+    plan.validate(20)?;
+    println!("fault plan: {} events", plan.events.len());
+    for ev in &plan.events {
+        println!("  {ev:?}");
+    }
+
+    let config = NetworkConfig {
+        nodes: 20,
+        sim_minutes: 60,
+        data_items_per_min: 2.0,
+        request_interval_secs: 60,
+        // Retries back off 4 s, 8 s, … so a request can ride out a
+        // mobility disconnection instead of failing immediately.
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        fault_plan: plan,
+        seed: 0xC4A05,
+        ..NetworkConfig::default()
+    };
+
+    println!("\nrunning 60 simulated minutes under the fault plan…\n");
+    let report = EdgeNetwork::new(config)?.run();
+    println!("{report}");
+
+    println!("\nchaos digest:");
+    println!("  fault actions applied : {}", report.faults_injected);
+    println!("  messages dropped      : {}", report.messages_dropped);
+    println!("  retries (backoff)     : {}", report.retries);
+    println!("  repair replications   : {}", report.repairs_triggered);
+    println!(
+        "  under-replicated time : {:.1} item-seconds",
+        report.under_replicated_item_seconds
+    );
+    println!(
+        "  availability          : {:.3} ({} completed / {} failed)",
+        report.availability, report.completed_requests, report.failed_requests
+    );
+    println!("  invariant violations  : {}", report.invariant_violations);
+    assert_eq!(
+        report.invariant_violations, 0,
+        "no data may be lost for good"
+    );
+    println!("\nno durable data loss, chain prefixes intact ✓");
+    Ok(())
+}

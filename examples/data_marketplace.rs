@@ -13,8 +13,8 @@
 //! Run with: `cargo run --release --example data_marketplace`
 
 use edgechain::core::{
-    run_round, Amendment, Block, Blockchain, Candidate, DataId, DataType,
-    Identity, Location, MetadataItem, NodeStorage,
+    run_round, Amendment, Block, Blockchain, Candidate, DataId, DataType, Identity, Location,
+    MetadataItem, NodeStorage,
 };
 use edgechain::sim::NodeId;
 
@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Five devices: two sensor producers, two consumers, one relay that
     // only contributes storage (and earns mining advantage for it).
     let devices: Vec<Identity> = (0..5).map(Identity::from_seed).collect();
-    let names = ["air-sensor", "cam-sensor", "alice-phone", "bob-phone", "relay-box"];
+    let names = [
+        "air-sensor",
+        "cam-sensor",
+        "alice-phone",
+        "bob-phone",
+        "relay-box",
+    ];
     let mut chain = Blockchain::new();
     let mut ledger = chain.derive_ledger();
     let mut stores: Vec<NodeStorage> = (0..5).map(|_| NodeStorage::new(50)).collect();
@@ -53,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 DataType::Media("Traffic".into())
             },
             round * 60,
-            Location { label: "Stony Brook,NY".into(), x: 40.91, y: -73.12 },
+            Location {
+                label: "Stony Brook,NY".into(),
+                x: 40.91,
+                y: -73.12,
+            },
             1440,
             Some(format!("round-{round}")),
             1_000_000,

@@ -12,8 +12,8 @@
 //! Run with: `cargo run --release --example disconnection_recovery`
 
 use edgechain::core::{
-    run_round, Amendment, Block, Blockchain, Candidate, EdgeNetwork, Identity,
-    NetworkConfig, NodeStorage,
+    run_round, Amendment, Block, Blockchain, Candidate, EdgeNetwork, Identity, NetworkConfig,
+    NodeStorage,
 };
 use edgechain::sim::{NodeId, TopologyConfig};
 
@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // whichever neighbor still has them (recent cache or assigned storage).
     let mut node_a_view: Vec<Block> = chain.as_slice()[..4].to_vec();
     let tip = chain.tip().clone();
-    println!("\nnode A holds blocks 0..=3 and now receives block #{}", tip.index);
+    println!(
+        "\nnode A holds blocks 0..=3 and now receives block #{}",
+        tip.index
+    );
     let missing: Vec<u64> = (4..tip.index).collect();
     println!("  gap detected → requesting blocks {missing:?} from neighbors");
     for idx in &missing {
@@ -103,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     fetched.reverse();
     let bootstrapped = Blockchain::from_blocks(fetched)?;
-    println!("  node K validated the full chain: {} blocks ✓", bootstrapped.len());
+    println!(
+        "  node K validated the full chain: {} blocks ✓",
+        bootstrapped.len()
+    );
 
     // ---------------------------------------------------------------- 4 —
     // The same machinery firing inside the full simulation: crank mobility

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         ..NetworkConfig::default()
     };
-    println!("starting {} nodes for {} simulated minutes…", config.nodes, config.sim_minutes);
+    println!(
+        "starting {} nodes for {} simulated minutes…",
+        config.nodes, config.sim_minutes
+    );
 
     let network = edgechain::core::EdgeNetwork::new(config)?;
     let (report, chain) = network.run_with_chain();
@@ -31,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for block in rebuilt.iter().skip(1) {
         Blockchain::verify_block_signatures(block)?;
     }
-    println!("chain re-validated: {} blocks, {} metadata items",
-        rebuilt.len(), rebuilt.total_metadata_items());
+    println!(
+        "chain re-validated: {} blocks, {} metadata items",
+        rebuilt.len(),
+        rebuilt.total_metadata_items()
+    );
 
     let ledger = rebuilt.derive_ledger();
     println!("\nmining rewards (tokens above the initial grant):");

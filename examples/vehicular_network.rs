@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (the fairness term dominates placement); the fairness win shows in \
          the gini column.",
         100.0 * (opt.delivery.mean() - nop.delivery.mean()) / nop.delivery.mean(),
-        if opt.delivery.mean() < nop.delivery.mean() { "faster — the paper's claim" } else { "slower on this seed; fig5 averages more" },
+        if opt.delivery.mean() < nop.delivery.mean() {
+            "faster — the paper's claim"
+        } else {
+            "slower on this seed; fig5 averages more"
+        },
     );
     Ok(())
 }

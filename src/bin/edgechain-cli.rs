@@ -66,16 +66,9 @@ fn main() -> ExitCode {
             "--minutes" => config.sim_minutes = parse(&args, &mut i, "--minutes"),
             "--rate" => config.data_items_per_min = parse(&args, &mut i, "--rate"),
             "--seed" => config.seed = parse(&args, &mut i, "--seed"),
-            "--malicious" => {
-                config.malicious_fraction = parse(&args, &mut i, "--malicious")
-            }
-            "--migrate" => {
-                config.migration_interval_secs =
-                    Some(parse(&args, &mut i, "--migrate"))
-            }
-            "--rescale" => {
-                config.token_rescale_blocks = Some(parse(&args, &mut i, "--rescale"))
-            }
+            "--malicious" => config.malicious_fraction = parse(&args, &mut i, "--malicious"),
+            "--migrate" => config.migration_interval_secs = Some(parse(&args, &mut i, "--migrate")),
+            "--rescale" => config.token_rescale_blocks = Some(parse(&args, &mut i, "--rescale")),
             "--mobility" => {
                 config.topology = TopologyConfig {
                     mobility_range: parse(&args, &mut i, "--mobility"),

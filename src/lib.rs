@@ -48,15 +48,14 @@ pub use edgechain_sim as sim;
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
     pub use edgechain_core::{
-        Amendment, Block, Blockchain, Candidate, DataId, DataType, Difficulty,
-        EdgeNetwork, Identity, Ledger, Location, MetadataItem, NetworkConfig,
-        NodeStorage, Placement, RunReport,
+        Amendment, Block, Blockchain, Candidate, DataId, DataType, Difficulty, EdgeNetwork,
+        Identity, Ledger, Location, MetadataItem, NetworkConfig, NodeStorage, Placement, RunReport,
     };
     pub use edgechain_crypto::{sha256, Digest, KeyPair, MerkleTree};
     pub use edgechain_energy::{Battery, DeviceProfile, EnergyMeter};
     pub use edgechain_facility::{fdc, solve, UflInstance};
     pub use edgechain_sim::{
-        gini, NodeId, SimTime, Topology, TopologyConfig, Transport,
-        TransportConfig,
+        gini, ChurnConfig, FaultEvent, FaultPlan, NodeId, SimTime, Topology, TopologyConfig,
+        Transport, TransportConfig,
     };
 }

@@ -13,8 +13,8 @@ fn pow_battery_cost(blocks: u64) -> f64 {
     let mut prev = sha256(b"pow-genesis");
     // Difficulty 2 keeps the test fast; scale the per-hash energy so the
     // per-block expected cost equals difficulty 4's (65536/256 = 256×).
-    let scale = (Difficulty::PAPER.expected_attempts()
-        / Difficulty::new(2).expected_attempts()) as f64;
+    let scale =
+        (Difficulty::PAPER.expected_attempts() / Difficulty::new(2).expected_attempts()) as f64;
     for i in 0..blocks {
         let header = [prev.as_bytes().as_slice(), &i.to_be_bytes()].concat();
         let sol = mine(&header, Difficulty::new(2), 0, 1 << 24).expect("found");

@@ -19,11 +19,18 @@ fn blocks_accumulate_near_expected_interval() {
     let report = EdgeNetwork::new(base_config()).unwrap().run();
     // 40 minutes at t0 = 60 s: roughly 40 blocks; allow wide tolerance for
     // the min-of-uniforms discretization and contribution heterogeneity.
-    assert!(report.blocks_mined >= 20, "only {} blocks", report.blocks_mined);
-    assert!(report.blocks_mined <= 90, "too many: {}", report.blocks_mined);
     assert!(
-        report.mean_block_interval_secs > 20.0
-            && report.mean_block_interval_secs < 120.0,
+        report.blocks_mined >= 20,
+        "only {} blocks",
+        report.blocks_mined
+    );
+    assert!(
+        report.blocks_mined <= 90,
+        "too many: {}",
+        report.blocks_mined
+    );
+    assert!(
+        report.mean_block_interval_secs > 20.0 && report.mean_block_interval_secs < 120.0,
         "interval {}",
         report.mean_block_interval_secs
     );
@@ -36,8 +43,7 @@ fn final_chain_fully_validates_with_signatures() {
     let rebuilt = Blockchain::from_blocks(chain.as_slice().to_vec())
         .expect("chain must re-validate from raw blocks");
     for block in rebuilt.iter().skip(1) {
-        Blockchain::verify_block_signatures(block)
-            .expect("all metadata signatures must verify");
+        Blockchain::verify_block_signatures(block).expect("all metadata signatures must verify");
         assert!(block.is_well_formed());
     }
     assert_eq!(rebuilt.height(), report.blocks_mined);
@@ -129,7 +135,10 @@ fn identical_seeds_reproduce_identical_runs() {
 fn contribution_weighting_skews_mining() {
     // Over a longer horizon the rich-get-richer dynamic of S_i·Q_i must
     // produce a non-uniform mining distribution.
-    let cfg = NetworkConfig { sim_minutes: 90, ..base_config() };
+    let cfg = NetworkConfig {
+        sim_minutes: 90,
+        ..base_config()
+    };
     let seed = cfg.seed;
     let nodes = cfg.nodes;
     let (_, chain) = EdgeNetwork::new(cfg).unwrap().run_with_chain();

@@ -8,8 +8,7 @@
 //! crossing it (§V-D).
 
 use edgechain::core::{
-    run_round, Amendment, Block, Blockchain, Candidate, CheckpointPolicy,
-    Identity,
+    run_round, Amendment, Block, Blockchain, Candidate, CheckpointPolicy, Identity,
 };
 use edgechain::sim::NodeId;
 

@@ -8,9 +8,14 @@ use edgechain::raft::{Cluster, ClusterConfig, PeerId, Role};
 fn membership_log_replicates_under_loss() {
     // The paper uses raft for "general information consensus"; replicate a
     // stream of membership events over a 20%-lossy network.
-    let cfg = ClusterConfig { drop_rate: 0.2, ..ClusterConfig::default() };
+    let cfg = ClusterConfig {
+        drop_rate: 0.2,
+        ..ClusterConfig::default()
+    };
     let mut cluster: Cluster<String> = Cluster::new(5, cfg, 77);
-    cluster.run_until_leader(60_000).expect("leader despite loss");
+    cluster
+        .run_until_leader(60_000)
+        .expect("leader despite loss");
     let events = [
         "node-7 joined at (120.5, 80.2) range 30m",
         "node-3 moved, new range 50m",

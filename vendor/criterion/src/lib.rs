@@ -1,0 +1,202 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! With no crates.io mirror reachable, this vendored crate provides the
+//! slice of the criterion API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a plain
+//! `Instant`-based timer. It calibrates an iteration count to roughly
+//! 100 ms of work and reports mean time per iteration (plus throughput
+//! where declared). No warm-up statistics, outlier analysis, plots, or
+//! run-over-run comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(100);
+
+/// Re-export so `criterion::black_box` works like the real crate.
+pub use std::hint::black_box;
+
+/// Declared throughput for a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` amortizes per timing batch.
+/// The stub runs setup once per iteration regardless; the variants exist
+/// for source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for rate reporting; applies to
+    /// subsequently registered functions.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group. (No-op in the stub; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+/// Calibrates an iteration count, measures, and prints one result line.
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration pass: one iteration to estimate cost.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(
+                " {:>10.1} MiB/s",
+                n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        Throughput::Elements(n) => {
+            format!(" {:>10.1} Melem/s", n as f64 / mean_ns * 1e9 / 1e6)
+        }
+    });
+    println!(
+        "bench {name:<44} {:>12} /iter ({iters} iters){}",
+        format_ns(mean_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Human-readable nanosecond quantity.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Collects benchmark functions under one runner function, mirroring the
+/// real macro's `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

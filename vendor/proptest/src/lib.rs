@@ -1,0 +1,341 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! With no crates.io mirror reachable, this vendored crate implements the
+//! slice of proptest the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, `any::<T>()`, numeric range
+//! strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::array::uniform4`, `prop::sample::Index`, a small
+//! character-class string strategy for patterns like `"[a-zA-Z0-9/]{0,20}"`,
+//! and the `proptest!` / `prop_compose!` / `prop_oneof!` /
+//! `prop_assert*!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its values via the assert
+//!   message but is not minimized.
+//! * **Deterministic seeding** — each `proptest!` test derives its RNG
+//!   seed from the test's name, so failures reproduce exactly across runs.
+//! * String "regex" strategies support only the `[class]{m,n}` shape the
+//!   workspace uses (plus `\PC` as printable-ASCII); anything else falls
+//!   back to alphanumerics.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            (rng.rng.gen::<u64>() as u128) << 64 | rng.rng.gen::<u64>() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            // Finite, sign-balanced, wide-magnitude floats.
+            let m = rng.rng.gen::<f64>() * 2.0 - 1.0;
+            let e = rng.rng.gen_range(-60i32..60);
+            m * (2.0f64).powi(e)
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            crate::sample::Index {
+                raw: rng.rng.gen::<u64>() as usize,
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for collections: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Bias toward Some, like real proptest (3:1).
+            if rng.rng.gen_range(0..4usize) > 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[V; 4]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct Uniform4<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+
+    /// Four independent draws from `elem`.
+    pub fn uniform4<S: Strategy>(elem: S) -> Uniform4<S> {
+        Uniform4(elem)
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`prop::sample::Index`).
+
+    /// An arbitrary index, resolved against a concrete length at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        pub(crate) raw: usize,
+    }
+
+    impl Index {
+        /// Maps the raw draw into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.raw % len
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module path used by test files
+    /// (`prop::collection::vec`, `prop::sample::Index`, …).
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// vendored stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composite strategy:
+/// `fn name()(field in strat, …) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident $(< $($lt:lifetime),* >)? ()
+        ($($field:ident in $strat:expr),+ $(,)?) -> $ty:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ty> {
+            $crate::strategy::FnStrategy::new(move |rng| {
+                $(
+                    let $field = {
+                        let strat = $strat;
+                        $crate::strategy::Strategy::generate(&strat, rng)
+                    };
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests. Each test body runs `config.cases` times with
+/// fresh values drawn from its strategies; the RNG seed derives from the
+/// test name, so runs are reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (
+        @tests ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(
+                        let $arg = {
+                            let strat = $strat;
+                            $crate::strategy::Strategy::generate(&strat, &mut rng)
+                        };
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @tests ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

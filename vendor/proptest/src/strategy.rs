@@ -1,0 +1,300 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to build a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategies are drawn through shared references, so `&S` is a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy backed by a closure; used by `prop_compose!`.
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+    f: F,
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> FnStrategy<T, F> {
+    /// Wraps `f` as a strategy.
+    pub fn new(f: F) -> Self {
+        FnStrategy { f }
+    }
+}
+
+impl<T: std::fmt::Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Type-erased strategy; what [`Strategy::boxed`] returns.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+/// Object-safe facade over [`Strategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; what `prop_oneof!` builds.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String literals act as regex-shaped string strategies. Only the
+/// `[class]{m,n}` form (optionally `{n}`) plus `\PC` (printable ASCII)
+/// is understood; unknown patterns fall back to alphanumerics.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let n = rng.rng.gen_range(lo..=hi);
+        (0..n)
+            .map(|_| alphabet[rng.rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min_len, max_len).
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let fallback: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+    let bytes: Vec<char> = pat.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+
+    // Character class or escape.
+    if i < bytes.len() && bytes[i] == '[' {
+        i += 1;
+        while i < bytes.len() && bytes[i] != ']' {
+            if bytes[i] == '\\' && i + 1 < bytes.len() {
+                push_escape(&mut alphabet, bytes[i + 1]);
+                i += 2;
+            } else if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+                let (a, b) = (bytes[i], bytes[i + 2]);
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(bytes[i]);
+                i += 1;
+            }
+        }
+        i += 1; // closing ']'
+    } else if i + 1 < bytes.len() && bytes[i] == '\\' {
+        // \PC etc.: `\P` consumes the following class letter too.
+        push_escape(&mut alphabet, bytes[i + 1]);
+        i += if bytes[i + 1] == 'P' { 3 } else { 2 };
+    }
+
+    if alphabet.is_empty() {
+        alphabet = fallback;
+    }
+
+    // Repetition count.
+    let (mut lo, mut hi) = (1usize, 1usize);
+    if i < bytes.len() && bytes[i] == '{' {
+        let close = bytes[i..].iter().position(|&c| c == '}').map(|p| p + i);
+        if let Some(close) = close {
+            let body: String = bytes[i + 1..close].iter().collect();
+            if let Some((a, b)) = body.split_once(',') {
+                lo = a.trim().parse().unwrap_or(0);
+                hi = b.trim().parse().unwrap_or(lo.max(8));
+            } else if let Ok(n) = body.trim().parse() {
+                lo = n;
+                hi = n;
+            }
+        }
+    } else if i < bytes.len() && (bytes[i] == '*' || bytes[i] == '+') {
+        lo = usize::from(bytes[i] == '+');
+        hi = 16;
+    }
+
+    (alphabet, lo, hi)
+}
+
+/// Expands one escape letter into characters.
+fn push_escape(alphabet: &mut Vec<char>, esc: char) {
+    match esc {
+        'd' => alphabet.extend('0'..='9'),
+        'w' => {
+            alphabet.extend('a'..='z');
+            alphabet.extend('A'..='Z');
+            alphabet.extend('0'..='9');
+            alphabet.push('_');
+        }
+        // `\PC` — "not control": printable ASCII is a faithful-enough subset.
+        'P' | 'C' => alphabet.extend((0x20u8..0x7f).map(char::from)),
+        other => alphabet.push(other),
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! actually serializes through serde — the wire format lives in
+//! `edgechain-core::codec`. With no crates.io mirror reachable, this
+//! vendored crate keeps those derives compiling: the traits are empty
+//! marker traits blanket-implemented for every type, and the derive macros
+//! expand to nothing. Swapping the real serde back in later requires only
+//! a Cargo.toml change; no source edits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Deserialization-side traits.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+/// Serialization-side traits.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros for the vendored serde stub: the `Serialize` and
+//! `Deserialize` traits are blanket-implemented in the stub, so the
+//! derives have nothing to emit.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
