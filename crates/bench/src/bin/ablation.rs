@@ -15,7 +15,7 @@
 //!
 //! `cargo run --release -p edgechain-bench --bin ablation`
 
-use edgechain_bench::{mean, parse_options, print_table};
+use edgechain_bench::{mean, parse_options, print_table, write_bench_json};
 use edgechain_core::network::{EdgeNetwork, NetworkConfig};
 use edgechain_core::pos::{run_round, Candidate};
 use edgechain_core::Identity;
@@ -24,6 +24,7 @@ use edgechain_facility::{improve, solve_exact, solve_greedy, UflInstance};
 use edgechain_sim::{
     ChurnConfig, FaultPlan, NodeId, SimTime, Topology, TopologyConfig, Transport, TransportConfig,
 };
+use edgechain_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -352,6 +353,7 @@ fn ablate_fault_sweep(minutes: u64, seeds: u64) {
 
 fn main() {
     let opts = parse_options(60, 2);
+    telemetry::enable();
     println!(
         "Design ablations — {} min per network run, {} seeds",
         opts.minutes, opts.seeds
@@ -363,4 +365,6 @@ fn main() {
     ablate_raft_overhead(opts.minutes);
     ablate_probabilistic_flooding();
     ablate_fault_sweep(opts.minutes, opts.seeds);
+    let mut session = telemetry::finish().unwrap_or_default();
+    write_bench_json("ablation", &opts, &mut session.registry);
 }

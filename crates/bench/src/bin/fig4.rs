@@ -14,11 +14,13 @@
 //! `cargo run --release -p edgechain-bench --bin fig4` (add `--full` for
 //! the 500-minute paper-scale runs; default is 120 minutes).
 
-use edgechain_bench::{mean, parse_options, print_table, write_csv};
+use edgechain_bench::{mean, parse_options, print_table, write_bench_json, write_csv};
 use edgechain_core::network::{EdgeNetwork, NetworkConfig};
+use edgechain_telemetry as telemetry;
 
 fn main() {
     let opts = parse_options(120, 2);
+    telemetry::enable();
     let node_counts = [10usize, 20, 30, 40, 50];
     let rates = [1.0f64, 2.0, 3.0];
     println!(
@@ -109,4 +111,6 @@ fn main() {
     let max_gini = gini.iter().flatten().cloned().fold(0.0, f64::max);
     let max_delivery = delivery.iter().flatten().cloned().fold(0.0, f64::max);
     println!("\nsummary: max gini {max_gini:.4} (paper bound 0.15), max delivery {max_delivery:.2} s (paper ≈4 s)");
+    let mut session = telemetry::finish().unwrap_or_default();
+    write_bench_json("fig4", &opts, &mut session.registry);
 }

@@ -17,12 +17,14 @@
 //! `cargo run --release -p edgechain-bench --bin fig5` (add `--full` for
 //! 500-minute runs; default 120 minutes, 3 seeds).
 
-use edgechain_bench::{mean, parse_options, print_table, write_csv};
+use edgechain_bench::{mean, parse_options, print_table, write_bench_json, write_csv};
 use edgechain_core::alloc::Placement;
 use edgechain_core::network::{EdgeNetwork, NetworkConfig};
+use edgechain_telemetry as telemetry;
 
 fn main() {
     let opts = parse_options(120, 3);
+    telemetry::enable();
     let node_counts = [10usize, 20, 30, 40, 50];
     let strategies = [
         Placement::Optimal,
@@ -117,4 +119,6 @@ fn main() {
         "         optimal vs random overhead {:+.1}% (paper: 'almost the same')",
         100.0 * (mean(&o_opt) - mean(&o_rnd)) / mean(&o_rnd),
     );
+    let mut session = telemetry::finish().unwrap_or_default();
+    write_bench_json("fig5", &opts, &mut session.registry);
 }

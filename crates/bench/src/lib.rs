@@ -126,6 +126,43 @@ pub fn write_csv<R: Display, C: Display>(
     }
 }
 
+/// Writes `BENCH_<name>.json`: run parameters plus the full telemetry
+/// registry dump (deterministic counters/gauges/histograms and the
+/// wall-clock `*_ns` profile), so the perf trajectory of every figure
+/// binary is machine-readable from this PR onward. Errors are reported to
+/// stderr and swallowed, like [`write_csv`].
+pub fn write_bench_json(
+    name: &str,
+    opts: &FigureOptions,
+    registry: &mut edgechain_telemetry::Registry,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    out.push_str(&format!("  \"minutes\": {},\n", opts.minutes));
+    out.push_str(&format!("  \"seeds\": {},\n", opts.seeds));
+    out.push_str(&format!(
+        "  \"sim_ms_per_run\": {},\n",
+        opts.minutes * 60_000
+    ));
+    // The registry dump is itself a JSON object; indent it one level.
+    let registry_json = registry.to_json();
+    out.push_str("  \"registry\": ");
+    for (i, line) in registry_json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    let path = format!("BENCH_{name}.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {

@@ -35,6 +35,7 @@ use edgechain_sim::{
     gini_counts, EventQueue, FaultInjector, FaultPlan, NodeId, RunningStats, SimTime, Topology,
     TopologyConfig, TopologyError, Transport, TransportConfig,
 };
+use edgechain_telemetry::{self as telemetry, trace_event, RegistrySnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -293,6 +294,11 @@ pub struct RunReport {
     /// Hard safety violations caught by the invariant checker — durable
     /// data loss or a corrupted chain prefix. Must stay 0.
     pub invariant_violations: u64,
+    /// Deterministic summary of the telemetry registry, when a session was
+    /// armed ([`edgechain_telemetry::enable`]) for the run; `None`
+    /// otherwise, so reports from un-instrumented runs stay bit-identical
+    /// to pre-telemetry builds.
+    pub telemetry: Option<RegistrySnapshot>,
 }
 
 impl fmt::Display for RunReport {
@@ -333,6 +339,9 @@ impl fmt::Display for RunReport {
                 self.availability,
                 self.invariant_violations
             )?;
+        }
+        if let Some(snap) = &self.telemetry {
+            writeln!(f, "  telemetry: {} metrics captured", snap.entries.len())?;
         }
         write!(
             f,
@@ -761,6 +770,14 @@ impl EdgeNetwork {
         );
         // Producer always keeps its own data (it is the origin copy).
         // Broadcast the metadata item so miners can pack it.
+        telemetry::counter_add("data.generated", 1);
+        trace_event!(
+            "data.generated",
+            now.as_millis(),
+            item = id.0,
+            node = producer.0,
+            bytes = self.config.data_item_bytes
+        );
         let announce_bytes = item.wire_size();
         self.transport
             .broadcast(&self.topo, producer, announce_bytes, now);
@@ -786,6 +803,13 @@ impl EdgeNetwork {
             self.config.block_interval_secs,
         );
         let miner = NodeId(miners[outcome.winner]);
+        trace_event!(
+            "pos.round",
+            now.as_millis(),
+            winner = miner.0,
+            delay_secs = outcome.delay_secs,
+            candidates = candidates.len()
+        );
 
         // The miner packs pending metadata and allocates storers per item.
         let mut packed = std::mem::take(&mut self.pending_metadata);
@@ -798,6 +822,12 @@ impl EdgeNetwork {
                 &mut self.rng,
             ) {
                 Ok(storers) => {
+                    trace_event!(
+                        "ufl.alloc",
+                        now.as_millis(),
+                        item = item.data_id.0,
+                        storers = storers.len()
+                    );
                     item.storing_nodes = storers;
                 }
                 Err(_) => {
@@ -853,6 +883,20 @@ impl EdgeNetwork {
         self.chain
             .push(block)
             .expect("self-mined block extends the tip");
+        telemetry::counter_add("block.mined", 1);
+        if telemetry::is_enabled() {
+            telemetry::record("block.items", metadata_of_block.len() as f64);
+            telemetry::record("block.bytes", block_size as f64);
+        }
+        trace_event!(
+            "block.mined",
+            now.as_millis(),
+            block = block_index,
+            miner = miner.0,
+            items = metadata_of_block.len(),
+            bytes = block_size,
+            delay_secs = outcome.delay_secs
+        );
         self.ledger.credit(self.account_of[miner.0], 1);
         if let Some(every) = self.config.token_rescale_blocks {
             if every > 0 && block_index.is_multiple_of(every) {
@@ -953,6 +997,8 @@ impl EdgeNetwork {
         }
         let mut ids: Vec<DataId> = self.data_registry.keys().copied().collect();
         ids.sort_unstable();
+        let mut sweep_repaired = 0u64;
+        let mut sweep_copies = 0u64;
         for id in ids {
             let Some((item, _)) = self.data_registry.get(&id) else {
                 continue;
@@ -1021,10 +1067,12 @@ impl EdgeNetwork {
                     && self.storage[s.0].store_data(id)
                 {
                     repaired = true;
+                    sweep_copies += 1;
                 }
             }
             if repaired {
                 self.repairs_triggered += 1;
+                sweep_repaired += 1;
                 // Refresh the operational holder view: every node whose
                 // disk holds the item (crashed ones keep theirs, and the
                 // fresh copies just landed).
@@ -1036,6 +1084,16 @@ impl EdgeNetwork {
                     item.storing_nodes = holders;
                 }
             }
+        }
+        if sweep_repaired > 0 {
+            telemetry::counter_add("repair.items", sweep_repaired);
+            telemetry::counter_add("repair.copies", sweep_copies);
+            trace_event!(
+                "repair.sweep",
+                now.as_millis(),
+                repaired = sweep_repaired,
+                copies = sweep_copies
+            );
         }
     }
 
@@ -1079,6 +1137,14 @@ impl EdgeNetwork {
                     self.recovery
                         .record(resp.arrival.saturating_since(now).as_secs_f64());
                     self.recovery_hops.record(self.topo.hops(v, holder) as f64);
+                    trace_event!(
+                        "repair.recover_block",
+                        now.as_millis(),
+                        node = v.0,
+                        block = idx,
+                        hops = self.topo.hops(v, holder),
+                        dur_ms = resp.arrival.saturating_since(now).as_millis()
+                    );
                 }
                 Err(_) => unserved = true,
             }
@@ -1091,6 +1157,14 @@ impl EdgeNetwork {
             // Lossy links or a partition starved this pass; back off
             // exponentially and try again.
             self.retries += 1;
+            telemetry::counter_add("transport.retries", 1);
+            trace_event!(
+                "transport.retry",
+                now.as_millis(),
+                node = v.0,
+                attempt = attempt + 1,
+                op = "recover"
+            );
             let backoff =
                 SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
             self.queue.schedule(
@@ -1175,6 +1249,14 @@ impl EdgeNetwork {
             self.completed_requests += 1;
             self.delivery.record(0.0);
             self.delivery_samples.record(0.0);
+            telemetry::counter_add("request.completed", 1);
+            trace_event!(
+                "request.completed",
+                now.as_millis(),
+                requester = requester.0,
+                item = item.data_id.0,
+                dur_ms = 0_u64
+            );
             return;
         }
         let mut holders: Vec<NodeId> = item
@@ -1221,6 +1303,15 @@ impl EdgeNetwork {
                     let secs = resp.arrival.saturating_since(now).as_secs_f64();
                     self.delivery.record(secs);
                     self.delivery_samples.record(secs);
+                    telemetry::counter_add("request.completed", 1);
+                    trace_event!(
+                        "request.completed",
+                        now.as_millis(),
+                        requester = requester.0,
+                        item = item.data_id.0,
+                        storer = holder.0,
+                        dur_ms = resp.arrival.saturating_since(now).as_millis()
+                    );
                     return;
                 }
                 Err(_) => continue,
@@ -1228,6 +1319,14 @@ impl EdgeNetwork {
         }
         if attempt < self.config.fetch_retries {
             self.retries += 1;
+            telemetry::counter_add("transport.retries", 1);
+            trace_event!(
+                "transport.retry",
+                now.as_millis(),
+                node = requester.0,
+                attempt = attempt + 1,
+                op = "fetch"
+            );
             let backoff =
                 SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
             self.queue.schedule(
@@ -1240,6 +1339,13 @@ impl EdgeNetwork {
             );
         } else {
             self.failed_requests += 1;
+            telemetry::counter_add("request.failed", 1);
+            trace_event!(
+                "request.failed",
+                now.as_millis(),
+                requester = requester.0,
+                item = item.data_id.0
+            );
         }
     }
 
@@ -1506,6 +1612,7 @@ impl EdgeNetwork {
                 }
             },
             invariant_violations: self.checker.violations,
+            telemetry: telemetry::registry_snapshot(),
         }
     }
 

@@ -24,6 +24,7 @@
 
 use crate::account::AccountId;
 use edgechain_crypto::{sha256_pair, Digest};
+use edgechain_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -201,24 +202,32 @@ impl Candidate {
 /// Panics if `candidates` is empty or `t0_secs` is zero.
 pub fn run_round(prev_pos_hash: &Digest, candidates: &[Candidate], t0_secs: u64) -> MiningOutcome {
     assert!(!candidates.is_empty(), "need at least one candidate");
-    let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
-    let b = Amendment::compute(&us, t0_secs);
-    let mut best: Option<(u64, u64, usize)> = None; // (delay, hit, idx)
-    for (idx, c) in candidates.iter().enumerate() {
-        let h = hit(prev_pos_hash, &c.account);
-        let delay = b.mining_delay_secs(h, us[idx]);
-        let key = (delay, h, idx);
-        if best.is_none_or(|cur| key < cur) {
-            best = Some(key);
+    telemetry::counter_add("pos.rounds", 1);
+    let outcome = telemetry::time_wall("pos.round_ns", || {
+        let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
+        let b = Amendment::compute(&us, t0_secs);
+        let mut best: Option<(u64, u64, usize)> = None; // (delay, hit, idx)
+        for (idx, c) in candidates.iter().enumerate() {
+            let h = hit(prev_pos_hash, &c.account);
+            let delay = b.mining_delay_secs(h, us[idx]);
+            let key = (delay, h, idx);
+            if best.is_none_or(|cur| key < cur) {
+                best = Some(key);
+            }
         }
+        let (delay_secs, winner_hit, winner) = best.expect("nonempty candidates");
+        MiningOutcome {
+            winner,
+            delay_secs,
+            hit: winner_hit,
+            new_pos_hash: next_pos_hash(prev_pos_hash, &candidates[winner].account),
+        }
+    });
+    if telemetry::is_enabled() {
+        telemetry::record("pos.delay_secs", outcome.delay_secs as f64);
+        telemetry::record("pos.hits_per_round", candidates.len() as f64);
     }
-    let (delay_secs, winner_hit, winner) = best.expect("nonempty candidates");
-    MiningOutcome {
-        winner,
-        delay_secs,
-        hit: winner_hit,
-        new_pos_hash: next_pos_hash(prev_pos_hash, &candidates[winner].account),
-    }
+    outcome
 }
 
 /// Verifies a claimed mining result, as every receiving node does before

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use edgechain_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -165,7 +166,8 @@ impl EnergyMeter {
         Self::default()
     }
 
-    /// Records `joules` against `category`.
+    /// Records `joules` against `category`. Also accumulates into the
+    /// telemetry gauge `energy.<category>_j` when a session is armed.
     pub fn record(&mut self, category: EnergyCategory, joules: f64) {
         debug_assert!(joules >= 0.0, "energy must be nonnegative");
         match category {
@@ -174,6 +176,16 @@ impl EnergyMeter {
             EnergyCategory::Transmit => self.transmit += joules,
             EnergyCategory::Receive => self.receive += joules,
             EnergyCategory::Crypto => self.crypto += joules,
+        }
+        if telemetry::is_enabled() {
+            let gauge = match category {
+                EnergyCategory::PowHashing => "energy.pow_hashing_j",
+                EnergyCategory::PosChecking => "energy.pos_checking_j",
+                EnergyCategory::Transmit => "energy.transmit_j",
+                EnergyCategory::Receive => "energy.receive_j",
+                EnergyCategory::Crypto => "energy.crypto_j",
+            };
+            telemetry::gauge_add(gauge, joules);
         }
     }
 

@@ -7,6 +7,7 @@
 //! evaluated in `O(m·k)`.
 
 use crate::instance::{SolveError, UflInstance, UflSolution};
+use edgechain_telemetry as telemetry;
 
 /// Largest instance the exact solver accepts (2^20 subsets ≈ 1M).
 pub const MAX_EXACT_FACILITIES: usize = 20;
@@ -18,6 +19,11 @@ pub const MAX_EXACT_FACILITIES: usize = 20;
 /// * [`SolveError::TooLarge`] when `facilities > MAX_EXACT_FACILITIES`.
 /// * [`SolveError::NoFeasibleFacility`] when all opening costs are infinite.
 pub fn solve_exact(instance: &UflInstance) -> Result<UflSolution, SolveError> {
+    telemetry::counter_add("ufl.exact_calls", 1);
+    telemetry::time_wall("ufl.exact_ns", || solve_exact_inner(instance))
+}
+
+fn solve_exact_inner(instance: &UflInstance) -> Result<UflSolution, SolveError> {
     let m = instance.facilities();
     if m > MAX_EXACT_FACILITIES {
         return Err(SolveError::TooLarge {

@@ -10,6 +10,7 @@
 //! instances (verified against [`crate::exact`] in tests).
 
 use crate::instance::{SolveError, UflInstance, UflSolution};
+use edgechain_telemetry as telemetry;
 
 /// Solves `instance` greedily.
 ///
@@ -18,6 +19,11 @@ use crate::instance::{SolveError, UflInstance, UflSolution};
 /// Returns [`SolveError::NoFeasibleFacility`] when every facility has an
 /// infinite opening cost (in the paper's setting: all nodes are full).
 pub fn solve_greedy(instance: &UflInstance) -> Result<UflSolution, SolveError> {
+    telemetry::counter_add("ufl.greedy_calls", 1);
+    telemetry::time_wall("ufl.greedy_ns", || solve_greedy_inner(instance))
+}
+
+fn solve_greedy_inner(instance: &UflInstance) -> Result<UflSolution, SolveError> {
     if !instance.has_finite_facility() {
         return Err(SolveError::NoFeasibleFacility);
     }

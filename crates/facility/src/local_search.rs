@@ -9,6 +9,7 @@
 //! (Li 2013), which requires LP rounding.
 
 use crate::instance::{SolveError, UflInstance, UflSolution};
+use edgechain_telemetry as telemetry;
 
 /// Hard cap on improvement rounds, a backstop against pathological cycling
 /// (cycling cannot happen with strictly improving moves, but floating-point
@@ -74,6 +75,7 @@ pub fn improve(instance: &UflInstance, solution: &mut UflSolution) -> usize {
             None => break,
         }
     }
+    telemetry::counter_add("ufl.local_search.moves", moves as u64);
     moves
 }
 
@@ -107,9 +109,18 @@ fn replace_if_better(best: &mut Option<UflSolution>, candidate: UflSolution) {
 /// # Ok::<(), edgechain_facility::SolveError>(())
 /// ```
 pub fn solve(instance: &UflInstance) -> Result<UflSolution, SolveError> {
-    let mut solution = crate::greedy::solve_greedy(instance)?;
-    improve(instance, &mut solution);
-    Ok(solution)
+    telemetry::time_wall("ufl.solve_ns", || {
+        let mut solution = crate::greedy::solve_greedy(instance)?;
+        improve(instance, &mut solution);
+        telemetry::counter_add("ufl.solve_calls", 1);
+        if telemetry::is_enabled() {
+            telemetry::record(
+                "ufl.open_facilities",
+                solution.open_facilities().len() as f64,
+            );
+        }
+        Ok(solution)
+    })
 }
 
 #[cfg(test)]

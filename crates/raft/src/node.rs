@@ -9,6 +9,7 @@
 
 use crate::message::{Envelope, LogEntry, LogIndex, Message, PeerId, Term};
 use edgechain_sim::SimTime;
+use edgechain_telemetry::{self as telemetry, trace_event};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -338,6 +339,14 @@ impl<C: Clone> RaftNode<C> {
     fn start_election(&mut self, now: SimTime) -> Vec<Envelope<C>> {
         self.prevote_term = 0;
         self.term += 1;
+        telemetry::counter_add("raft.elections", 1);
+        telemetry::counter_add("raft.term_changes", 1);
+        trace_event!(
+            "raft.election",
+            now.as_millis(),
+            node = self.id.0,
+            term = self.term
+        );
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
         self.votes_received.clear();
@@ -363,6 +372,13 @@ impl<C: Clone> RaftNode<C> {
     }
 
     fn become_leader(&mut self, now: SimTime) -> Vec<Envelope<C>> {
+        telemetry::counter_add("raft.leaders_elected", 1);
+        trace_event!(
+            "raft.leader",
+            now.as_millis(),
+            node = self.id.0,
+            term = self.term
+        );
         self.role = Role::Leader;
         self.heartbeat_due = now + self.config.heartbeat_interval;
         self.next_index.clear();
@@ -376,6 +392,9 @@ impl<C: Clone> RaftNode<C> {
     }
 
     fn step_down(&mut self, term: Term) {
+        if term != self.term {
+            telemetry::counter_add("raft.term_changes", 1);
+        }
         self.term = term;
         self.role = Role::Follower;
         self.voted_for = None;
@@ -425,11 +444,14 @@ impl<C: Clone> RaftNode<C> {
     }
 
     fn broadcast_append(&mut self) -> Vec<Envelope<C>> {
-        self.peers()
+        let envelopes: Vec<Envelope<C>> = self
+            .peers()
             .collect::<Vec<_>>()
             .into_iter()
             .map(|p| self.append_for(p))
-            .collect()
+            .collect();
+        telemetry::counter_add("raft.appends_sent", envelopes.len() as u64);
+        envelopes
     }
 
     /// Proposes a command for replication.

@@ -35,6 +35,7 @@
 use crate::event::SimTime;
 use crate::topology::{NodeId, Topology};
 use crate::transport::Transport;
+use edgechain_telemetry::{self as telemetry, trace_event};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -473,11 +474,67 @@ impl FaultInjector {
 
     /// Removes and returns every action due at or before `now`, in firing
     /// order. The caller applies them (and counts them as injected).
+    ///
+    /// Each drained action also lands in the telemetry trace as a
+    /// `fault.injected` event stamped with its *scheduled* time, so the
+    /// fault timeline correlates with the retries and repairs it causes.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<FaultAction> {
         let mut due = Vec::new();
         while let Some(&(t, _, ref action)) = self.timeline.get(self.next) {
             if t > now {
                 break;
+            }
+            telemetry::counter_add("fault.injected", 1);
+            match action {
+                FaultAction::Crash(node) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = "crash",
+                        node = node.0
+                    );
+                }
+                FaultAction::Restart(node) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = "restart",
+                        node = node.0
+                    );
+                }
+                FaultAction::PartitionStart(cut) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = "partition_start",
+                        nodes = cut.len()
+                    );
+                }
+                FaultAction::PartitionEnd => {
+                    trace_event!("fault.injected", t.as_millis(), kind = "partition_end");
+                }
+                FaultAction::LossStart(prob) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = "loss_start",
+                        prob = *prob
+                    );
+                }
+                FaultAction::LossEnd => {
+                    trace_event!("fault.injected", t.as_millis(), kind = "loss_end");
+                }
+                FaultAction::LatencyStart(factor) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = "latency_start",
+                        factor = *factor
+                    );
+                }
+                FaultAction::LatencyEnd => {
+                    trace_event!("fault.injected", t.as_millis(), kind = "latency_end");
+                }
             }
             due.push(action.clone());
             self.next += 1;

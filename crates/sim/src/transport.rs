@@ -9,6 +9,7 @@
 
 use crate::event::SimTime;
 use crate::topology::{NodeId, Topology};
+use edgechain_telemetry::{self as telemetry, trace_event};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -301,6 +302,14 @@ impl Transport {
             self.stats.sent[src.0] += bytes;
             self.stats.messages += 1;
             self.dropped += 1;
+            telemetry::counter_add("transport.drops", 1);
+            trace_event!(
+                "transport.drop",
+                now.as_millis(),
+                src = src.0,
+                dst = dst.0,
+                bytes = bytes
+            );
             return Err(TransportError::Dropped { src, dst });
         }
         let hop_delay = self.hop_delay();
@@ -315,6 +324,23 @@ impl Transport {
             self.stats.received[v.0] += bytes;
             self.stats.messages += 1;
         }
+        telemetry::counter_add("transport.sends", 1);
+        if telemetry::is_enabled() {
+            telemetry::record("transport.hops", (path.len() - 1) as f64);
+            telemetry::record(
+                "transport.unicast_ms",
+                t.saturating_since(now).as_millis() as f64,
+            );
+        }
+        trace_event!(
+            "transport.send",
+            now.as_millis(),
+            src = src.0,
+            dst = dst.0,
+            bytes = bytes,
+            hops = path.len() - 1,
+            dur_ms = t.saturating_since(now).as_millis()
+        );
         Ok(Delivery {
             arrival: t,
             hops: (path.len() - 1) as u32,
@@ -375,6 +401,17 @@ impl Transport {
                 }
             }
         }
+        telemetry::counter_add("transport.broadcasts", 1);
+        if telemetry::is_enabled() {
+            telemetry::record("transport.broadcast_reach", out.len() as f64);
+        }
+        trace_event!(
+            "transport.broadcast",
+            now.as_millis(),
+            src = src.0,
+            bytes = bytes,
+            reached = out.len()
+        );
         out
     }
 }

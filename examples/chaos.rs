@@ -12,10 +12,19 @@
 //! The same seed + plan always reproduces the identical report, so chaos
 //! runs are debuggable like any other deterministic simulation.
 //!
-//! Run with: `cargo run --release --example chaos`
+//! Telemetry is armed for the run: the structured sim-clock trace is
+//! written as JSONL to `$TRACE_OUT` (default `chaos_trace.jsonl`) and the
+//! registry dump to `$REGISTRY_OUT` (default `chaos_registry.json`), ready
+//! for `trace-report`:
+//!
+//! ```text
+//! cargo run --release --example chaos
+//! cargo run --release --bin trace-report -- chaos_trace.jsonl
+//! ```
 
 use edgechain::core::{EdgeNetwork, NetworkConfig};
 use edgechain::sim::{FaultEvent, FaultPlan, NodeId, SimTime};
+use edgechain::telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = FaultPlan::new(vec![
@@ -57,14 +66,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // mobility disconnection instead of failing immediately.
         fetch_retries: 5,
         retry_backoff_ms: 4_000,
+        // Replicate "general information" through raft too, so the trace
+        // carries election/leader events alongside the PoS chain.
+        raft_consensus: true,
         fault_plan: plan,
         seed: 0xC4A05,
         ..NetworkConfig::default()
     };
 
     println!("\nrunning 60 simulated minutes under the fault plan…\n");
+    telemetry::enable();
     let report = EdgeNetwork::new(config)?.run();
     println!("{report}");
+
+    let mut session = telemetry::finish().expect("telemetry was enabled");
+    let trace_path = std::env::var("TRACE_OUT").unwrap_or_else(|_| "chaos_trace.jsonl".to_string());
+    let registry_path =
+        std::env::var("REGISTRY_OUT").unwrap_or_else(|_| "chaos_registry.json".to_string());
+    std::fs::write(&trace_path, session.trace_jsonl())?;
+    std::fs::write(&registry_path, session.registry.to_json())?;
+    println!(
+        "telemetry: {} trace events -> {trace_path}, registry -> {registry_path}",
+        session.events().len()
+    );
 
     println!("\nchaos digest:");
     println!("  fault actions applied : {}", report.faults_injected);

@@ -1,0 +1,265 @@
+//! `trace-report` — renders a telemetry JSONL trace as per-phase profiles
+//! and per-node / per-block timelines.
+//!
+//! ```text
+//! trace-report TRACE.jsonl              # per-phase summary + top-K kinds
+//! trace-report TRACE.jsonl --top 20     # widen the "where did the time go" list
+//! trace-report TRACE.jsonl --node 4     # timeline of everything touching node 4
+//! trace-report TRACE.jsonl --block 7    # timeline of block 7's lifecycle
+//! ```
+//!
+//! The *phase* of an event is the dotted-kind prefix (`transport.send` →
+//! `transport`). Durations come from each event's optional `dur_ms` field;
+//! events without one still count toward event totals. All output is
+//! derived from the trace alone and is deterministic for a given file.
+
+use edgechain_telemetry::json::{parse_flat_object, JsonValue};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct TraceLine {
+    t_ms: u64,
+    kind: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut node_filter: Option<u64> = None;
+    let mut block_filter: Option<u64> = None;
+    let mut top_k = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--node" => {
+                node_filter = args.get(i + 1).and_then(|v| v.parse().ok());
+                if node_filter.is_none() {
+                    return usage("--node requires an integer");
+                }
+                i += 2;
+            }
+            "--block" => {
+                block_filter = args.get(i + 1).and_then(|v| v.parse().ok());
+                if block_filter.is_none() {
+                    return usage("--block requires an integer");
+                }
+                i += 2;
+            }
+            "--top" => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(k) => top_k = k,
+                    None => return usage("--top requires an integer"),
+                }
+                i += 2;
+            }
+            "--help" | "-h" => return usage(""),
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            _ => {
+                if path.replace(args[i].clone()).is_some() {
+                    return usage("exactly one trace file expected");
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing trace file");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_trace_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace-report: {path}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if events.is_empty() {
+        println!("trace is empty");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(node) = node_filter {
+        timeline(&events, &format!("node {node}"), |ev| {
+            ev.fields.iter().any(|(k, v)| {
+                matches!(
+                    k.as_str(),
+                    "node" | "src" | "dst" | "miner" | "winner" | "requester" | "storer"
+                ) && v.as_f64() == Some(node as f64)
+            })
+        });
+        return ExitCode::SUCCESS;
+    }
+    if let Some(block) = block_filter {
+        timeline(&events, &format!("block {block}"), |ev| {
+            ev.fields
+                .iter()
+                .any(|(k, v)| k == "block" && v.as_f64() == Some(block as f64))
+        });
+        return ExitCode::SUCCESS;
+    }
+    profile(&events, top_k);
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("trace-report: {err}");
+    }
+    eprintln!("usage: trace-report TRACE.jsonl [--node N | --block N] [--top K]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_trace_line(line: &str) -> Result<TraceLine, String> {
+    let fields = parse_flat_object(line)?;
+    let t_ms = fields
+        .iter()
+        .find(|(k, _)| k == "t_ms")
+        .and_then(|(_, v)| v.as_f64())
+        .ok_or("event without numeric t_ms")? as u64;
+    let kind = fields
+        .iter()
+        .find(|(k, _)| k == "kind")
+        .and_then(|(_, v)| v.as_str())
+        .ok_or("event without string kind")?
+        .to_string();
+    let rest = fields
+        .into_iter()
+        .filter(|(k, _)| k != "t_ms" && k != "kind")
+        .collect();
+    Ok(TraceLine {
+        t_ms,
+        kind,
+        fields: rest,
+    })
+}
+
+fn phase_of(kind: &str) -> &str {
+    kind.split('.').next().unwrap_or(kind)
+}
+
+fn dur_ms(ev: &TraceLine) -> Option<f64> {
+    ev.fields
+        .iter()
+        .find(|(k, _)| k == "dur_ms")
+        .and_then(|(_, v)| v.as_f64())
+}
+
+#[derive(Default)]
+struct Agg {
+    events: u64,
+    dur_ms: f64,
+    timed: u64,
+    first_ms: u64,
+    last_ms: u64,
+}
+
+impl Agg {
+    fn add(&mut self, ev: &TraceLine) {
+        if self.events == 0 {
+            self.first_ms = ev.t_ms;
+        }
+        self.events += 1;
+        self.last_ms = self.last_ms.max(ev.t_ms);
+        if let Some(d) = dur_ms(ev) {
+            self.dur_ms += d;
+            self.timed += 1;
+        }
+    }
+}
+
+fn profile(events: &[TraceLine], top_k: usize) {
+    let mut by_phase: BTreeMap<&str, Agg> = BTreeMap::new();
+    let mut by_kind: BTreeMap<&str, Agg> = BTreeMap::new();
+    for ev in events {
+        by_phase.entry(phase_of(&ev.kind)).or_default().add(ev);
+        by_kind.entry(&ev.kind).or_default().add(ev);
+    }
+    let span_s = events.iter().map(|e| e.t_ms).max().unwrap_or(0) as f64 / 1000.0;
+    println!(
+        "trace: {} events over {span_s:.1} s of sim time",
+        events.len()
+    );
+    println!();
+    println!("per-phase profile");
+    println!(
+        "  {:<12} {:>9} {:>14} {:>11} {:>11}",
+        "phase", "events", "busy (s)", "first (s)", "last (s)"
+    );
+    for (phase, agg) in &by_phase {
+        println!(
+            "  {:<12} {:>9} {:>14.3} {:>11.1} {:>11.1}",
+            phase,
+            agg.events,
+            agg.dur_ms / 1000.0,
+            agg.first_ms as f64 / 1000.0,
+            agg.last_ms as f64 / 1000.0
+        );
+    }
+    println!();
+    println!("where did the time go (top {top_k} kinds by summed dur_ms)");
+    let mut kinds: Vec<(&str, &Agg)> = by_kind.iter().map(|(k, a)| (*k, a)).collect();
+    kinds.sort_by(|a, b| {
+        b.1.dur_ms
+            .partial_cmp(&a.1.dur_ms)
+            .unwrap()
+            .then(b.1.events.cmp(&a.1.events))
+            .then(a.0.cmp(b.0))
+    });
+    println!(
+        "  {:<24} {:>9} {:>14} {:>12}",
+        "kind", "events", "busy (s)", "mean (ms)"
+    );
+    for (kind, agg) in kinds.iter().take(top_k) {
+        let mean = if agg.timed > 0 {
+            agg.dur_ms / agg.timed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<24} {:>9} {:>14.3} {:>12.2}",
+            kind,
+            agg.events,
+            agg.dur_ms / 1000.0,
+            mean
+        );
+    }
+}
+
+fn timeline(events: &[TraceLine], what: &str, keep: impl Fn(&TraceLine) -> bool) {
+    println!("timeline for {what}");
+    let mut shown = 0u64;
+    for ev in events.iter().filter(|e| keep(e)) {
+        let mut line = format!("  {:>10.3}s  {:<24}", ev.t_ms as f64 / 1000.0, ev.kind);
+        for (k, v) in &ev.fields {
+            let rendered = match v {
+                JsonValue::Str(s) => s.clone(),
+                JsonValue::Bool(b) => b.to_string(),
+                JsonValue::Num(n) => format!("{n}"),
+                JsonValue::Null => "null".to_string(),
+            };
+            line.push_str(&format!(" {k}={rendered}"));
+        }
+        println!("{line}");
+        shown += 1;
+    }
+    println!("  ({shown} events)");
+}

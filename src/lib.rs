@@ -44,6 +44,7 @@ pub use edgechain_energy as energy;
 pub use edgechain_facility as facility;
 pub use edgechain_raft as raft;
 pub use edgechain_sim as sim;
+pub use edgechain_telemetry as telemetry;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {

@@ -1,0 +1,145 @@
+//! Telemetry integration: the structured trace of a seeded chaos run must
+//! be byte-identical across reruns, fault events must appear in causal
+//! (schedule) order, and arming telemetry must not perturb the simulation
+//! itself — the report computed with tracing on equals the report computed
+//! with tracing off, except for the `telemetry` summary section.
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain::sim::{FaultEvent, FaultPlan, NodeId, SimTime};
+use edgechain::telemetry;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent::Crash {
+            node: NodeId(4),
+            at: SimTime::from_secs(600),
+        },
+        FaultEvent::Restart {
+            node: NodeId(4),
+            at: SimTime::from_secs(840),
+        },
+        // Node 13 dies for good: its replicas must be repaired elsewhere.
+        FaultEvent::Crash {
+            node: NodeId(13),
+            at: SimTime::from_secs(700),
+        },
+        FaultEvent::LinkLoss {
+            prob: 0.05,
+            from: SimTime::from_secs(120),
+            until: SimTime::from_secs(1_100),
+        },
+    ])
+}
+
+fn chaos_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        sim_minutes: 20,
+        data_items_per_min: 2.0,
+        request_interval_secs: 60,
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        fault_plan: chaos_plan(),
+        seed: 0xC4A05,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Runs the chaos scenario with telemetry armed; returns the JSONL trace,
+/// the report, and the `(t_ms, kind-field)` sequence of fault events.
+fn run_traced() -> (String, RunReport, Vec<(u64, String)>) {
+    telemetry::enable();
+    let report = EdgeNetwork::new(chaos_config())
+        .expect("valid config")
+        .run();
+    let session = telemetry::finish().expect("telemetry was enabled");
+    let faults = session
+        .events()
+        .iter()
+        .filter(|e| e.kind == "fault.injected")
+        .map(|e| {
+            let kind = e
+                .fields
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (&"kind", telemetry::Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .expect("fault.injected events carry a kind field");
+            (e.t_ms, kind)
+        })
+        .collect();
+    (session.trace_jsonl(), report, faults)
+}
+
+#[test]
+fn chaos_trace_is_byte_identical_across_reruns() {
+    let (trace_a, report_a, _) = run_traced();
+    let (trace_b, report_b, _) = run_traced();
+    assert!(!trace_a.is_empty(), "the chaos run must produce events");
+    assert_eq!(
+        trace_a.as_bytes(),
+        trace_b.as_bytes(),
+        "same seed must produce a byte-identical JSONL trace"
+    );
+    // The deterministic registry snapshot in the report is also stable.
+    assert!(report_a.telemetry.is_some());
+    assert_eq!(report_a, report_b);
+}
+
+#[test]
+fn fault_events_appear_in_causal_order() {
+    let (_, report, faults) = run_traced();
+    assert_eq!(
+        faults.len() as u64,
+        report.faults_injected,
+        "every injected fault action lands in the trace"
+    );
+    assert!(
+        faults.windows(2).all(|w| w[0].0 <= w[1].0),
+        "fault events must be time-ordered: {faults:?}"
+    );
+    // The schedule itself: loss starts first, node 4 crashes before node 13,
+    // and node 4's restart comes after both crashes.
+    let kinds: Vec<&str> = faults.iter().map(|(_, k)| k.as_str()).collect();
+    assert_eq!(
+        kinds,
+        vec!["loss_start", "crash", "crash", "restart", "loss_end"]
+    );
+    assert_eq!(faults[0].0, 120_000);
+    assert_eq!(faults[1].0, 600_000);
+    assert_eq!(faults[3].0, 840_000);
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // Tracing off: the report must carry no telemetry section.
+    let baseline = EdgeNetwork::new(chaos_config())
+        .expect("valid config")
+        .run();
+    assert!(baseline.telemetry.is_none());
+
+    // Tracing on: identical simulation outcome, plus the summary section.
+    let (_, mut traced, _) = run_traced();
+    let snapshot = traced.telemetry.take().expect("traced run has a summary");
+    assert_eq!(
+        traced, baseline,
+        "arming telemetry must not change simulation results"
+    );
+
+    // The snapshot agrees with the report's own accounting.
+    assert_eq!(snapshot.counter("block.mined"), Some(baseline.blocks_mined));
+    assert_eq!(
+        snapshot.counter("fault.injected"),
+        Some(baseline.faults_injected)
+    );
+    assert_eq!(
+        snapshot.counter("transport.retries"),
+        Some(baseline.retries)
+    );
+    // Wall-clock profiling never leaks into the deterministic snapshot.
+    assert!(snapshot
+        .entries
+        .iter()
+        .all(|(name, _)| !name.ends_with("_ns")));
+}
