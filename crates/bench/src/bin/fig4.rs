@@ -16,11 +16,11 @@
 
 use edgechain_bench::{mean, parse_options, print_table, write_bench_json, write_csv};
 use edgechain_core::network::{EdgeNetwork, NetworkConfig};
+use edgechain_sim::pool;
 use edgechain_telemetry as telemetry;
 
 fn main() {
     let opts = parse_options(120, 2);
-    telemetry::enable();
     let node_counts = [10usize, 20, 30, 40, 50];
     let rates = [1.0f64, 2.0, 3.0];
     println!(
@@ -28,38 +28,57 @@ fn main() {
         opts.minutes, opts.seeds
     );
 
+    // The (nodes, rate) cells are independent simulations, so the sweep
+    // fans them out on the worker pool. Telemetry sessions are
+    // thread-local: each cell records into its own session, and the
+    // per-cell registries are merged in index order below — counter totals
+    // are identical to a serial sweep, and the cell means are bit-identical
+    // (each is a pure function of its configs and seeds).
+    let cells: Vec<(usize, f64)> = node_counts
+        .iter()
+        .flat_map(|&n| rates.iter().map(move |&rate| (n, rate)))
+        .collect();
+    let opts_ref = &opts;
+    let results = pool::parallel_map(&cells, usize::MAX, |&(n, rate)| {
+        telemetry::enable();
+        let mut o = Vec::new();
+        let mut g = Vec::new();
+        let mut d = Vec::new();
+        for seed in 0..opts_ref.seeds {
+            let cfg = NetworkConfig {
+                nodes: n,
+                data_items_per_min: rate,
+                sim_minutes: opts_ref.minutes,
+                seed: 0xF160_0000 + seed * 1000 + n as u64,
+                ..NetworkConfig::default()
+            };
+            let r = EdgeNetwork::new(cfg).expect("connected topology").run();
+            o.push(r.mean_node_overhead_mb);
+            g.push(r.storage_gini);
+            d.push(r.delivery.mean());
+        }
+        let session = telemetry::finish().unwrap_or_default();
+        (mean(&o), mean(&g), mean(&d), session.registry)
+    });
+    eprintln!("  … all {} cells done", cells.len());
+
+    let mut registry = telemetry::Registry::new();
     let mut overhead = Vec::new();
     let mut gini = Vec::new();
     let mut delivery = Vec::new();
-    for &n in &node_counts {
+    for rows in results.chunks(rates.len()) {
         let mut row_o = Vec::new();
         let mut row_g = Vec::new();
         let mut row_d = Vec::new();
-        for &rate in &rates {
-            let mut o = Vec::new();
-            let mut g = Vec::new();
-            let mut d = Vec::new();
-            for seed in 0..opts.seeds {
-                let cfg = NetworkConfig {
-                    nodes: n,
-                    data_items_per_min: rate,
-                    sim_minutes: opts.minutes,
-                    seed: 0xF160_0000 + seed * 1000 + n as u64,
-                    ..NetworkConfig::default()
-                };
-                let r = EdgeNetwork::new(cfg).expect("connected topology").run();
-                o.push(r.mean_node_overhead_mb);
-                g.push(r.storage_gini);
-                d.push(r.delivery.mean());
-            }
-            row_o.push(mean(&o));
-            row_g.push(mean(&g));
-            row_d.push(mean(&d));
+        for (o, g, d, cell_registry) in rows {
+            row_o.push(*o);
+            row_g.push(*g);
+            row_d.push(*d);
+            registry.merge(cell_registry);
         }
         overhead.push(row_o);
         gini.push(row_g);
         delivery.push(row_d);
-        eprintln!("  … {n} nodes done");
     }
 
     let cols = ["1 item/min", "2 items/min", "3 items/min"];
@@ -111,6 +130,5 @@ fn main() {
     let max_gini = gini.iter().flatten().cloned().fold(0.0, f64::max);
     let max_delivery = delivery.iter().flatten().cloned().fold(0.0, f64::max);
     println!("\nsummary: max gini {max_gini:.4} (paper bound 0.15), max delivery {max_delivery:.2} s (paper ≈4 s)");
-    let mut session = telemetry::finish().unwrap_or_default();
-    write_bench_json("fig4", &opts, &mut session.registry);
+    write_bench_json("fig4", &opts, &mut registry);
 }

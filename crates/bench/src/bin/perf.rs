@@ -1,0 +1,199 @@
+//! Allocation fast-path benchmark: cached [`AllocationContext`] vs the
+//! one-shot per-call solver.
+//!
+//! For each node count the same seeded simulation is run twice — once with
+//! `allocation_cache: true` (the default fast path) and once with it off —
+//! and the run reports are compared field-for-field: the fast path must be
+//! observationally identical, only cheaper. Per-run wall time and the
+//! summed `ufl.*_ns` solver profile go to `BENCH_perf.json`.
+//!
+//! The parameter points are independent, so they fan out on the worker
+//! pool with one thread-local telemetry session per (point, mode) run,
+//! merged in index order afterwards.
+//!
+//! `cargo run --release -p edgechain-bench --bin perf` (default: n ∈
+//! {50, 100, 200} at 20 simulated minutes; `--small` keeps only the first
+//! point for CI smoke runs; `--minutes N` / `--seeds N` as usual).
+//!
+//! [`AllocationContext`]: edgechain_core::AllocationContext
+
+use edgechain_bench::{parse_options, print_table, FigureOptions};
+use edgechain_core::network::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain_sim::pool;
+use edgechain_telemetry as telemetry;
+use std::time::Instant;
+
+/// One (node count, cache mode) measurement.
+struct PointResult {
+    nodes: usize,
+    cached: bool,
+    wall_secs: f64,
+    blocks: u64,
+    /// Summed `ufl.*_ns` wall time across the run's solver activity.
+    ufl_ns: f64,
+    report: RunReport,
+    registry: telemetry::Registry,
+}
+
+fn run_point(nodes: usize, cached: bool, opts: &FigureOptions, seed_index: u64) -> PointResult {
+    telemetry::enable();
+    let cfg = NetworkConfig {
+        nodes,
+        data_items_per_min: 3.0,
+        sim_minutes: opts.minutes,
+        allocation_cache: cached,
+        seed: 0x9EBF_0000 + seed_index * 1000 + nodes as u64,
+        ..NetworkConfig::default()
+    };
+    let start = Instant::now();
+    let report = EdgeNetwork::new(cfg).expect("connected topology").run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let session = telemetry::finish().unwrap_or_default();
+    let ufl_ns: f64 = session
+        .registry
+        .wall_ns_entries()
+        .filter(|(name, _)| name.starts_with("ufl."))
+        .map(|(_, stats)| stats.sum())
+        .sum();
+    PointResult {
+        nodes,
+        cached,
+        wall_secs,
+        blocks: report.blocks_mined,
+        ufl_ns,
+        report,
+        registry: session.registry,
+    }
+}
+
+fn main() {
+    let mut opts = parse_options(20, 1);
+    let small = std::env::args().any(|a| a == "--small");
+    let node_counts: &[usize] = if small { &[50] } else { &[50, 100, 200] };
+    if small {
+        opts.minutes = opts.minutes.min(10);
+    }
+    println!(
+        "Allocation fast-path benchmark — {} min simulated, n ∈ {node_counts:?}",
+        opts.minutes
+    );
+
+    // One work item per (point, mode): both modes of a point are
+    // independent runs of the same seed, so they parallelize too.
+    let work: Vec<(usize, bool)> = node_counts
+        .iter()
+        .flat_map(|&n| [(n, true), (n, false)])
+        .collect();
+    let opts_ref = &opts;
+    let results = pool::parallel_map(&work, usize::MAX, |&(n, cached)| {
+        run_point(n, cached, opts_ref, 0)
+    });
+
+    let mut registry = telemetry::Registry::new();
+    for r in &results {
+        registry.merge(&r.registry);
+    }
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for pair in results.chunks(2) {
+        let [fast, base] = pair else { unreachable!() };
+        assert!(fast.cached && !base.cached, "work list order");
+        // The telemetry snapshots legitimately differ (the fast path counts
+        // cache hits instead of repeated solver calls); every simulation
+        // outcome must match exactly.
+        let mut fast_report = fast.report.clone();
+        let mut base_report = base.report.clone();
+        fast_report.telemetry = None;
+        base_report.telemetry = None;
+        assert_eq!(
+            fast_report, base_report,
+            "n={}: cached run diverged from the one-shot path",
+            fast.nodes
+        );
+        let per_block = |r: &PointResult| r.ufl_ns / r.blocks.max(1) as f64;
+        let speedup = per_block(base) / per_block(fast).max(1.0);
+        speedups.push((fast.nodes, speedup));
+        rows.push(vec![
+            fast.blocks as f64,
+            fast.blocks as f64 / fast.wall_secs.max(1e-9),
+            per_block(fast) / 1e6,
+            per_block(base) / 1e6,
+            speedup,
+        ]);
+    }
+
+    print_table(
+        "Allocation fast path (per node count; reports verified identical)",
+        "nodes",
+        node_counts,
+        &[
+            "blocks",
+            "blocks/sec",
+            "ufl ms/blk fast",
+            "ufl ms/blk base",
+            "speedup",
+        ],
+        &rows,
+        2,
+    );
+
+    write_perf_json(&opts, node_counts, &results, &speedups, &mut registry);
+
+    for &(n, speedup) in &speedups {
+        println!("n={n}: ufl wall time per block {speedup:.2}× faster with the allocation cache");
+    }
+}
+
+/// `BENCH_perf.json`: per-point wall/solver timings for both modes plus the
+/// merged registry dump.
+fn write_perf_json(
+    opts: &FigureOptions,
+    node_counts: &[usize],
+    results: &[PointResult],
+    speedups: &[(usize, f64)],
+    registry: &mut telemetry::Registry,
+) {
+    let mut out = String::from("{\n  \"bench\": \"perf\",\n");
+    out.push_str(&format!("  \"minutes\": {},\n", opts.minutes));
+    out.push_str(&format!("  \"node_counts\": {node_counts:?},\n"));
+    out.push_str("  \"points\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"nodes\": {}, \"cached\": {}, \"wall_secs\": {:.6}, \"blocks\": {}, \"blocks_per_sec\": {:.3}, \"ufl_ns\": {:.0}, \"ufl_ns_per_block\": {:.0}}}",
+            r.nodes,
+            r.cached,
+            r.wall_secs,
+            r.blocks,
+            r.blocks as f64 / r.wall_secs.max(1e-9),
+            r.ufl_ns,
+            r.ufl_ns / r.blocks.max(1) as f64,
+        ));
+    }
+    out.push_str("\n  ],\n  \"speedup_per_block\": {");
+    for (i, (n, s)) in speedups.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{n}\": {s:.3}"));
+    }
+    out.push_str("},\n");
+    let registry_json = registry.to_json();
+    out.push_str("  \"registry\": ");
+    for (i, line) in registry_json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    let path = "BENCH_perf.json";
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+    }
+}

@@ -60,7 +60,7 @@ pub mod pow;
 pub mod storage;
 
 pub use account::{AccountId, Identity, Ledger};
-pub use alloc::{build_instance, select_storers, Placement};
+pub use alloc::{build_instance, select_storers, AllocationContext, Placement};
 pub use block::{Block, BlockError};
 pub use chain::{Blockchain, ChainError, CheckpointPolicy};
 pub use invariant::{InvariantChecker, InvariantView};

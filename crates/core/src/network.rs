@@ -23,7 +23,7 @@
 //!   loses the longest-chain race).
 
 use crate::account::{AccountId, Identity, Ledger};
-use crate::alloc::{select_storers_scaled, Placement};
+use crate::alloc::{select_storers_scaled, AllocationContext, Placement};
 use crate::block::Block;
 use crate::chain::Blockchain;
 use crate::invariant::{InvariantChecker, InvariantView};
@@ -128,6 +128,13 @@ pub struct NetworkConfig {
     /// (charged as real transport traffic). Only consulted when
     /// `fault_plan` schedules something.
     pub replica_repair: bool,
+    /// Route allocations through the cached [`AllocationContext`] (ISSUE 3
+    /// fast path): the UFL instance is built once per topology/storage
+    /// state and solutions are reused across a block's items. Output is
+    /// observationally identical to the uncached path (same reports, same
+    /// rng stream, byte-identical traces); disabling it is a debugging /
+    /// equivalence-testing aid, not a feature switch.
+    pub allocation_cache: bool,
     /// Master RNG seed; identical configs+seeds give identical runs.
     pub seed: u64,
 }
@@ -163,6 +170,7 @@ impl Default for NetworkConfig {
             fetch_retries: 3,
             retry_backoff_ms: 500,
             replica_repair: true,
+            allocation_cache: true,
             seed: 0xED6E,
         }
     }
@@ -391,6 +399,9 @@ pub struct EdgeNetwork {
     checker: InvariantChecker,
     retries: u64,
     repairs_triggered: u64,
+    /// Cached UFL instance/solution shared by all allocation call sites
+    /// (consulted when `config.allocation_cache` is on).
+    alloc_ctx: AllocationContext,
 
     // metrics
     delivery: RunningStats,
@@ -502,6 +513,7 @@ impl EdgeNetwork {
             checker: InvariantChecker::new(SimTime::ZERO),
             retries: 0,
             repairs_triggered: 0,
+            alloc_ctx: AllocationContext::new(config.fdc_scale),
             replica_total: 0,
             replica_items: 0,
             block_timestamps: vec![0],
@@ -786,6 +798,29 @@ impl EdgeNetwork {
         self.queue.schedule(next, Event::GenerateData);
     }
 
+    /// The single allocation entry point for every call site (item packing,
+    /// block storers, recent-block growth, replica repair): the cached
+    /// [`AllocationContext`] when `config.allocation_cache` is on, the
+    /// one-shot solver otherwise. Both paths are observationally identical;
+    /// the toggle exists for the equivalence tests.
+    fn select_storers_now(
+        &mut self,
+        placement: Placement,
+    ) -> Result<Vec<NodeId>, edgechain_facility::SolveError> {
+        if self.config.allocation_cache {
+            self.alloc_ctx
+                .select_storers(placement, &self.topo, &self.storage, &mut self.rng)
+        } else {
+            select_storers_scaled(
+                placement,
+                &self.topo,
+                &self.storage,
+                self.config.fdc_scale,
+                &mut self.rng,
+            )
+        }
+    }
+
     fn on_mine_block(&mut self, now: SimTime) {
         // Re-run the round to identify the winner (deterministic). Nodes
         // the fault injector took down since the round was scheduled drop
@@ -814,13 +849,7 @@ impl EdgeNetwork {
         // The miner packs pending metadata and allocates storers per item.
         let mut packed = std::mem::take(&mut self.pending_metadata);
         for item in &mut packed {
-            match select_storers_scaled(
-                self.config.placement,
-                &self.topo,
-                &self.storage,
-                self.config.fdc_scale,
-                &mut self.rng,
-            ) {
+            match self.select_storers_now(self.config.placement) {
                 Ok(storers) => {
                     trace_event!(
                         "ufl.alloc",
@@ -841,23 +870,12 @@ impl EdgeNetwork {
         // The placement strategy under study (Fig. 5) varies only *data*
         // placement; block storage always uses the paper's allocation so
         // the chain itself stays retrievable.
-        let block_storers = select_storers_scaled(
-            Placement::Optimal,
-            &self.topo,
-            &self.storage,
-            self.config.fdc_scale,
-            &mut self.rng,
-        )
-        .unwrap_or_default();
+        let block_storers = self
+            .select_storers_now(Placement::Optimal)
+            .unwrap_or_default();
         let recent_growers = if self.config.recent_block_allocation {
-            select_storers_scaled(
-                Placement::Optimal,
-                &self.topo,
-                &self.storage,
-                self.config.fdc_scale,
-                &mut self.rng,
-            )
-            .unwrap_or_default()
+            self.select_storers_now(Placement::Optimal)
+                .unwrap_or_default()
         } else {
             Vec::new()
         };
@@ -1035,13 +1053,7 @@ impl EdgeNetwork {
             if sources.is_empty() {
                 continue;
             }
-            let Ok(new_set) = select_storers_scaled(
-                self.config.placement,
-                &self.topo,
-                &self.storage,
-                self.config.fdc_scale,
-                &mut self.rng,
-            ) else {
+            let Ok(new_set) = self.select_storers_now(self.config.placement) else {
                 continue;
             };
             let mut repaired = false;

@@ -35,6 +35,11 @@ fn solve_exact_inner(instance: &UflInstance) -> Result<UflSolution, SolveError> 
         return Err(SolveError::NoFeasibleFacility);
     }
     let k = instance.clients();
+    // Hoist the row slices: the subset loop below touches every
+    // (facility, client) cell up to 2^m times, and going through the
+    // bounds-checked `connect_cost(i, j)` accessor each time dominates
+    // the oracle's runtime on test-sized instances.
+    let rows: Vec<&[f64]> = (0..m).map(|i| instance.connect_row(i)).collect();
     let mut best_cost = f64::INFINITY;
     let mut best_mask: u32 = 0;
     for mask in 1u32..(1 << m) {
@@ -49,9 +54,9 @@ fn solve_exact_inner(instance: &UflInstance) -> Result<UflSolution, SolveError> 
         }
         for j in 0..k {
             let mut cheapest = f64::INFINITY;
-            for i in 0..m {
+            for (i, row) in rows.iter().enumerate() {
                 if mask & (1 << i) != 0 {
-                    cheapest = cheapest.min(instance.connect_cost(i, j));
+                    cheapest = cheapest.min(row[j]);
                 }
             }
             cost += cheapest;

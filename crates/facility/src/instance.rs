@@ -124,9 +124,70 @@ impl UflInstance {
         self.connect[i][j]
     }
 
+    /// Facility `i`'s whole connection-cost row (`row[j] ==
+    /// connect_cost(i, j)`). The solvers' inner loops iterate rows; a
+    /// slice borrow beats `clients()` individual `connect_cost` calls.
+    pub fn connect_row(&self, i: usize) -> &[f64] {
+        &self.connect[i]
+    }
+
+    /// Overwrites facility `i`'s opening cost in place — the incremental
+    /// update used by the allocation cache when a node's storage usage
+    /// (hence FDC) changed but the topology (hence RDC) did not.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost` is NaN or negative (same contract as
+    /// [`UflInstance::new`]).
+    pub fn set_open_cost(&mut self, i: usize, cost: f64) {
+        assert!(
+            !cost.is_nan() && cost >= 0.0,
+            "open_cost[{i}] invalid: {cost}"
+        );
+        self.open_cost[i] = cost;
+    }
+
     /// Whether at least one facility has finite opening cost.
     pub fn has_finite_facility(&self) -> bool {
         self.open_cost.iter().any(|f| f.is_finite())
+    }
+
+    /// Per-client cheapest/second-cheapest bookkeeping over the facilities
+    /// marked `open`: returns `(b1, c1, c2)` where `b1[j]` is the
+    /// lowest-index open facility achieving the minimum connection cost
+    /// `c1[j]`, and `c2[j]` is the cheapest cost among the *other* open
+    /// facilities (`+∞` with a single open facility).
+    ///
+    /// This is the data the close/swap trial costs of
+    /// [`crate::local_search::improve`] and the greedy pruning pass need:
+    /// dropping facility `i` re-routes client `j` to `c2[j]` when
+    /// `b1[j] == i` and leaves it at `c1[j]` otherwise — no per-trial
+    /// solution clone or reassignment required.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no facility is marked open.
+    pub(crate) fn two_cheapest_open(&self, open: &[bool]) -> (Vec<usize>, Vec<f64>, Vec<f64>) {
+        let k = self.clients();
+        let mut open_facilities = (0..self.facilities()).filter(|&i| open[i]);
+        let first = open_facilities.next().expect("at least one facility open");
+        let mut b1 = vec![first; k];
+        let mut c1 = self.connect_row(first).to_vec();
+        let mut c2 = vec![f64::INFINITY; k];
+        for i in open_facilities {
+            let row = self.connect_row(i);
+            for j in 0..k {
+                let c = row[j];
+                if c < c1[j] {
+                    c2[j] = c1[j];
+                    c1[j] = c;
+                    b1[j] = i;
+                } else if c < c2[j] {
+                    c2[j] = c;
+                }
+            }
+        }
+        (b1, c1, c2)
     }
 }
 
@@ -186,19 +247,26 @@ impl UflSolution {
 
     /// Reassigns every client to its cheapest open facility and recomputes
     /// the cost. Any solver may call this as a cleanup step.
+    ///
+    /// Ties go to the lowest-index open facility. Row-major over
+    /// [`UflInstance::connect_row`] so the client loop is a contiguous
+    /// scan; the strict `<` keeps the first-minimal tie-break.
     pub fn reassign_best(&mut self, instance: &UflInstance) {
-        for j in 0..self.assignment.len() {
-            let best = (0..instance.facilities())
-                .filter(|&i| self.open[i])
-                .min_by(|&a, &b| {
-                    instance
-                        .connect_cost(a, j)
-                        .partial_cmp(&instance.connect_cost(b, j))
-                        .expect("costs are not NaN")
-                })
-                .expect("at least one facility open");
-            self.assignment[j] = best;
+        let k = self.assignment.len();
+        let mut open_facilities = (0..instance.facilities()).filter(|&i| self.open[i]);
+        let first = open_facilities.next().expect("at least one facility open");
+        let mut best_cost = instance.connect_row(first)[..k].to_vec();
+        let mut best_fac = vec![first; k];
+        for i in open_facilities {
+            let row = instance.connect_row(i);
+            for j in 0..k {
+                if row[j] < best_cost[j] {
+                    best_cost[j] = row[j];
+                    best_fac[j] = i;
+                }
+            }
         }
+        self.assignment = best_fac;
         self.cost = self
             .validate(instance)
             .expect("reassigned solution is feasible");

@@ -38,4 +38,4 @@ pub mod local_search;
 pub use exact::{solve_exact, MAX_EXACT_FACILITIES};
 pub use greedy::solve_greedy;
 pub use instance::{fdc, SolutionError, SolveError, UflInstance, UflSolution, FDC_SCALE};
-pub use local_search::{improve, solve};
+pub use local_search::{improve, solve, solve_warm};

@@ -40,6 +40,7 @@ pub mod event;
 pub mod fault;
 pub mod geometry;
 pub mod metrics;
+pub mod pool;
 pub mod topology;
 pub mod transport;
 

@@ -43,6 +43,11 @@ impl From<usize> for NodeId {
 /// Hop count marker for unreachable node pairs.
 pub const UNREACHABLE: u32 = u32::MAX;
 
+/// Below this node count the per-source BFS fan-out runs serially: the
+/// whole rebuild is a few hundred microseconds and thread spawns would
+/// dominate.
+const PARALLEL_BFS_MIN_NODES: usize = 64;
+
 /// Configuration for generating a [`Topology`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopologyConfig {
@@ -86,6 +91,13 @@ pub struct Topology {
     hops: Vec<Vec<u32>>,
     /// `next_hop[i][j]` — first hop on a shortest path from `i` to `j`.
     next_hop: Vec<Vec<Option<NodeId>>>,
+    /// Dense Range-Distance Cost matrix (`n × n`, row-major), precomputed
+    /// at rebuild time so the allocation hot path reads instead of
+    /// recomputing Eq. 2 per pair.
+    rdc_cache: Vec<f64>,
+    /// Bumped on every routing/RDC change; lets callers detect staleness
+    /// of anything they derived from this topology snapshot.
+    epoch: u64,
 }
 
 impl Topology {
@@ -153,6 +165,8 @@ impl Topology {
             adjacency: Vec::new(),
             hops: Vec::new(),
             next_hop: Vec::new(),
+            rdc_cache: Vec::new(),
+            epoch: 0,
         };
         topo.rebuild_routes();
         topo
@@ -193,9 +207,26 @@ impl Topology {
         self.mobility[node.0]
     }
 
-    /// Overrides the mobility radius of `node`.
+    /// Overrides the mobility radius of `node`. Refreshes the node's row
+    /// and column of the cached RDC matrix (Eq. 2 depends on both
+    /// endpoints' ranges) and bumps [`Topology::epoch`].
     pub fn set_mobility_range(&mut self, node: NodeId, range: f64) {
         self.mobility[node.0] = range;
+        let n = self.len();
+        let i = node.0;
+        for j in 0..n {
+            self.rdc_cache[i * n + j] = self.compute_rdc(i, j);
+            self.rdc_cache[j * n + i] = self.compute_rdc(j, i);
+        }
+        self.epoch += 1;
+    }
+
+    /// Monotone change counter: incremented whenever routes or RDC values
+    /// change (route rebuilds, activation flips, partitions, mobility
+    /// steps, range overrides). Two reads returning the same epoch
+    /// guarantee every `hops`/`rdc` query in between saw identical state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether `node` is up (not crashed by fault injection).
@@ -325,13 +356,55 @@ impl Topology {
                 }
             }
         }
-        self.hops = vec![vec![UNREACHABLE; n]; n];
-        self.next_hop = vec![vec![None; n]; n];
-        for src in 0..n {
-            if self.active[src] {
-                self.bfs_from(NodeId(src));
+        // Per-source BFS trees are independent; fan them out over the
+        // worker pool on larger topologies. The pool returns rows in
+        // source order, so the tables are identical to a serial build.
+        let adjacency = &self.adjacency;
+        let active = &self.active;
+        let workers = if n >= PARALLEL_BFS_MIN_NODES {
+            usize::MAX
+        } else {
+            1
+        };
+        let rows = crate::pool::parallel_map_range(n, workers, |src| {
+            if active[src] {
+                bfs_rows(adjacency, n, src)
+            } else {
+                (vec![UNREACHABLE; n], vec![None; n])
+            }
+        });
+        self.hops = Vec::with_capacity(n);
+        self.next_hop = Vec::with_capacity(n);
+        for (hops_row, next_row) in rows {
+            self.hops.push(hops_row);
+            self.next_hop.push(next_row);
+        }
+        self.rebuild_rdc();
+        self.epoch += 1;
+    }
+
+    /// Recomputes the dense RDC matrix from the fresh hop tables.
+    fn rebuild_rdc(&mut self) {
+        let n = self.len();
+        self.rdc_cache = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                self.rdc_cache[i * n + j] = self.compute_rdc(i, j);
             }
         }
+    }
+
+    /// Eq. 2 from current hops and mobility state (uncached form).
+    fn compute_rdc(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let hop_cost = match self.hops[i][j] {
+            UNREACHABLE => self.len() as f64,
+            h => h as f64,
+        };
+        let norm = self.config.comm_range;
+        hop_cost + self.mobility[i] / norm + self.mobility[j] / norm
     }
 
     /// Whether the imposed partition cut severs the `i`–`j` link.
@@ -342,58 +415,65 @@ impl Topology {
         }
     }
 
-    fn bfs_from(&mut self, src: NodeId) {
-        let s = src.0;
-        self.hops[s][s] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(src);
-        // parent[v] = predecessor of v on the BFS tree rooted at src.
-        let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
-        while let Some(u) = queue.pop_front() {
-            let du = self.hops[s][u.0];
-            for &v in &self.adjacency[u.0].clone() {
-                if self.hops[s][v.0] == UNREACHABLE {
-                    self.hops[s][v.0] = du + 1;
-                    parent[v.0] = Some(u);
-                    queue.push_back(v);
-                }
-            }
-        }
-        // next_hop[src][dst]: walk the parent chain from dst back to src.
-        for dst in 0..self.len() {
-            if dst == s || self.hops[s][dst] == UNREACHABLE {
-                continue;
-            }
-            let mut cur = NodeId(dst);
-            let mut prev = cur;
-            while let Some(p) = parent[cur.0] {
-                prev = cur;
-                cur = p;
-                if cur == src {
-                    break;
-                }
-            }
-            self.next_hop[s][dst] = Some(prev);
-        }
-    }
-
     /// Range-Distance Cost between two nodes (paper Eq. 2):
     /// `c_ij = d(i,j) + range(i) + range(j)` with hop-count distance and
     /// mobility ranges normalized to hop-equivalents (`range / comm_range`)
     /// so the units are commensurate. `c_ii = 0`. Unreachable pairs get a
     /// large finite penalty (`n` hops) so the facility-location solver can
     /// still run on temporarily partitioned snapshots.
+    ///
+    /// Served from the dense matrix precomputed at rebuild time.
     pub fn rdc(&self, i: NodeId, j: NodeId) -> f64 {
-        if i == j {
-            return 0.0;
-        }
-        let hop_cost = match self.hops(i, j) {
-            UNREACHABLE => self.len() as f64,
-            h => h as f64,
-        };
-        let norm = self.config.comm_range;
-        hop_cost + self.mobility[i.0] / norm + self.mobility[j.0] / norm
+        self.rdc_cache[i.0 * self.len() + j.0]
     }
+
+    /// Row `i` of the cached RDC matrix: `row[j] == rdc(i, j)` for every
+    /// `j`. Lets instance builders copy or gather whole rows instead of
+    /// issuing `n` individual lookups.
+    pub fn rdc_row(&self, i: NodeId) -> &[f64] {
+        let n = self.len();
+        &self.rdc_cache[i.0 * n..(i.0 + 1) * n]
+    }
+}
+
+/// One source's BFS outputs: the hop-count row and the next-hop row.
+/// A free function over the borrowed adjacency list (rather than a
+/// `&mut self` method) so the per-source fan-out can run on pool workers.
+fn bfs_rows(adjacency: &[Vec<NodeId>], n: usize, src: usize) -> (Vec<u32>, Vec<Option<NodeId>>) {
+    let mut hops = vec![UNREACHABLE; n];
+    let mut next_hop: Vec<Option<NodeId>> = vec![None; n];
+    hops[src] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(NodeId(src));
+    // parent[v] = predecessor of v on the BFS tree rooted at src.
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    while let Some(u) = queue.pop_front() {
+        let du = hops[u.0];
+        for &v in &adjacency[u.0] {
+            if hops[v.0] == UNREACHABLE {
+                hops[v.0] = du + 1;
+                parent[v.0] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    // next_hop[dst]: walk the parent chain from dst back to src.
+    for dst in 0..n {
+        if dst == src || hops[dst] == UNREACHABLE {
+            continue;
+        }
+        let mut cur = NodeId(dst);
+        let mut prev = cur;
+        while let Some(p) = parent[cur.0] {
+            prev = cur;
+            cur = p;
+            if cur.0 == src {
+                break;
+            }
+        }
+        next_hop[dst] = Some(prev);
+    }
+    (hops, next_hop)
 }
 
 /// Errors from topology generation.
@@ -582,5 +662,80 @@ mod tests {
         let after = t.rdc(NodeId(0), NodeId(1));
         assert!(after > before);
         assert_eq!(t.mobility_range(NodeId(0)), 70.0);
+    }
+
+    #[test]
+    fn rdc_row_matches_pointwise_lookups() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = Topology::random_connected(25, TopologyConfig::default(), &mut rng).unwrap();
+        for i in t.nodes() {
+            let row = t.rdc_row(i);
+            assert_eq!(row.len(), t.len());
+            for j in t.nodes() {
+                assert_eq!(row[j.0].to_bits(), t.rdc(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_rdc_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut t = Topology::random_connected(12, TopologyConfig::default(), &mut rng).unwrap();
+        t.set_active(NodeId(3), false);
+        t.set_mobility_range(NodeId(5), 45.0);
+        let norm = t.config().comm_range;
+        for i in t.nodes() {
+            for j in t.nodes() {
+                let expect = if i == j {
+                    0.0
+                } else {
+                    let hop_cost = match t.hops(i, j) {
+                        UNREACHABLE => t.len() as f64,
+                        h => h as f64,
+                    };
+                    hop_cost + t.mobility_range(i) / norm + t.mobility_range(j) / norm
+                };
+                assert_eq!(t.rdc(i, j).to_bits(), expect.to_bits(), "{i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_route_or_rdc_change() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut t = line_topology(4, 60.0);
+        let e0 = t.epoch();
+        t.set_active(NodeId(1), false);
+        assert!(t.epoch() > e0);
+        let e1 = t.epoch();
+        t.set_active(NodeId(1), false); // no-op flip
+        assert_eq!(t.epoch(), e1);
+        t.set_active(NodeId(1), true);
+        assert!(t.epoch() > e1);
+        let e2 = t.epoch();
+        t.set_partition(Some(&[NodeId(0)]));
+        assert!(t.epoch() > e2);
+        let e3 = t.epoch();
+        t.set_mobility_range(NodeId(0), 10.0);
+        assert!(t.epoch() > e3);
+        let e4 = t.epoch();
+        t.mobility_step(&mut rng);
+        assert!(t.epoch() > e4);
+    }
+
+    /// Above the parallel-BFS threshold, the tables must be exactly what a
+    /// serial per-source BFS would produce (index-order merge).
+    #[test]
+    fn parallel_rebuild_matches_serial_bfs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 96;
+        let t = Topology::random_connected(n, TopologyConfig::default(), &mut rng).unwrap();
+        for src in 0..n {
+            let (hops_row, next_row) = super::bfs_rows(&t.adjacency, n, src);
+            for dst in 0..n {
+                assert_eq!(t.hops(NodeId(src), NodeId(dst)), hops_row[dst]);
+                assert_eq!(t.next_hop[src][dst], next_row[dst]);
+            }
+        }
     }
 }

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(acct, bal)| (acct.to_string(), bal.saturating_sub(1)))
         .collect();
-    miners.sort_by_key(|m| std::cmp::Reverse(m.1));
+    // Tie-break equal balances by account so the listing is deterministic
+    // (ledger iteration order is per-process random).
+    miners.sort_by_key(|m| (std::cmp::Reverse(m.1), m.0.clone()));
     for (acct, mined) in miners.iter().take(5) {
         println!("  {acct}…  {mined} blocks");
     }

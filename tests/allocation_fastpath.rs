@@ -1,0 +1,178 @@
+//! Allocation fast-path equivalence: the cached [`AllocationContext`]
+//! route (`allocation_cache: true`, the default) must be observationally
+//! identical to the one-shot per-call solver — same `RunReport`, same
+//! allocations, byte-identical telemetry traces — across figure-sized
+//! runs, the Random-placement baseline, and a chaos run that exercises
+//! crashes, repair re-allocations, and topology churn.
+//!
+//! [`AllocationContext`]: edgechain::core::AllocationContext
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, Placement, RunReport};
+use edgechain::sim::{FaultEvent, FaultPlan, NodeId, SimTime};
+use edgechain::telemetry;
+
+fn run(cfg: NetworkConfig) -> RunReport {
+    EdgeNetwork::new(cfg).expect("valid config").run()
+}
+
+/// Fig. 4-sized cell: 30 nodes, 2 items/min, 40 simulated minutes.
+fn fig4_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 30,
+        data_items_per_min: 2.0,
+        sim_minutes: 40,
+        seed: 0xFA57_0004,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Fig. 5-sized cell under the Random baseline — the placement that
+/// draws from the run's rng, so any extra/missing draw on the fast path
+/// would cascade into a visibly different run.
+fn fig5_random_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 2.0,
+        sim_minutes: 40,
+        placement: Placement::Random,
+        seed: 0xFA57_0005,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Chaos run: crashes (one permanent, triggering UFL repair sweeps), a
+/// restart, and a lossy window — every topology change invalidates the
+/// cached instance, every repair re-solves it.
+fn chaos_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 2.0,
+        sim_minutes: 25,
+        request_interval_secs: 60,
+        fault_plan: FaultPlan::new(vec![
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: SimTime::from_secs(500),
+            },
+            FaultEvent::Restart {
+                node: NodeId(3),
+                at: SimTime::from_secs(900),
+            },
+            FaultEvent::Crash {
+                node: NodeId(11),
+                at: SimTime::from_secs(650),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.05,
+                from: SimTime::from_secs(200),
+                until: SimTime::from_secs(1_000),
+            },
+        ]),
+        seed: 0xFA57_C405,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Same config, cache on vs off, telemetry disarmed (solver-call counters
+/// legitimately differ between the paths): the full reports must be equal
+/// — every allocation decision, rng draw, and transport byte included.
+fn assert_paths_equivalent(label: &str, cfg: NetworkConfig) {
+    let fast = run(NetworkConfig {
+        allocation_cache: true,
+        ..cfg.clone()
+    });
+    let baseline = run(NetworkConfig {
+        allocation_cache: false,
+        ..cfg
+    });
+    assert!(fast.telemetry.is_none() && baseline.telemetry.is_none());
+    assert_eq!(fast, baseline, "{label}: fast path diverged");
+}
+
+#[test]
+fn fig4_sized_run_is_equivalent() {
+    assert_paths_equivalent("fig4", fig4_config());
+}
+
+#[test]
+fn fig5_random_placement_is_equivalent() {
+    assert_paths_equivalent("fig5-random", fig5_random_config());
+}
+
+#[test]
+fn chaos_run_is_equivalent() {
+    assert_paths_equivalent("chaos", chaos_config());
+}
+
+/// Runs with telemetry armed; returns the JSONL trace and the report.
+fn run_traced(cfg: NetworkConfig) -> (String, RunReport) {
+    telemetry::enable();
+    let report = run(cfg);
+    let session = telemetry::finish().expect("telemetry was enabled");
+    (session.trace_jsonl(), report)
+}
+
+/// The sim-clock trace (including every `ufl.alloc` event) must be
+/// byte-identical between the two paths — the solvers emit no trace events
+/// of their own, so arming tracing cannot mask a divergence.
+#[test]
+fn traces_are_byte_identical_across_paths() {
+    let (trace_fast, mut report_fast) = run_traced(NetworkConfig {
+        allocation_cache: true,
+        ..chaos_config()
+    });
+    let (trace_base, mut report_base) = run_traced(NetworkConfig {
+        allocation_cache: false,
+        ..chaos_config()
+    });
+    assert!(
+        trace_fast.contains("ufl.alloc"),
+        "the run must allocate storers"
+    );
+    assert_eq!(
+        trace_fast.as_bytes(),
+        trace_base.as_bytes(),
+        "traces must match byte for byte"
+    );
+    // Reports agree on everything except the solver-call accounting.
+    report_fast.telemetry = None;
+    report_base.telemetry = None;
+    assert_eq!(report_fast, report_base);
+}
+
+/// The fast path itself stays deterministic: seeded reruns produce
+/// byte-identical traces and equal reports (telemetry snapshot included).
+#[test]
+fn fast_path_reruns_are_byte_identical() {
+    let (trace_a, report_a) = run_traced(chaos_config());
+    let (trace_b, report_b) = run_traced(chaos_config());
+    assert_eq!(trace_a.as_bytes(), trace_b.as_bytes());
+    assert!(report_a.telemetry.is_some());
+    assert_eq!(report_a, report_b);
+}
+
+/// The cache must actually work: a chaos run (faults → topology churn →
+/// rebuilds; item stores → incremental cost patches; block-time triple
+/// allocation → solution reuse) must exercise all three counters.
+#[test]
+fn cache_counters_show_hits_misses_and_patches() {
+    let (_, report) = run_traced(chaos_config());
+    let snapshot = report.telemetry.expect("telemetry was armed");
+    let hit = snapshot.counter("ufl.cache_hit").unwrap_or(0);
+    let miss = snapshot.counter("ufl.cache_miss").unwrap_or(0);
+    let patched = snapshot.counter("ufl.incremental_updates").unwrap_or(0);
+    assert!(hit > 0, "expected solution reuse, got {hit} hits");
+    assert!(miss > 0, "expected topology-driven rebuilds, got {miss}");
+    assert!(
+        patched > 0,
+        "expected incremental FDC patches, got {patched}"
+    );
+    // The cache replaces full solves: every mined block triggers at least
+    // two allocation calls (block storers + recent growth) beyond the
+    // per-item ones, so hits must be a substantial share of the calls.
+    let solves = snapshot.counter("ufl.solve_calls").unwrap_or(0);
+    assert!(
+        hit >= solves / 4,
+        "cache barely used: {hit} hits vs {solves} solves"
+    );
+}
