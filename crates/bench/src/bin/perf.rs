@@ -1,25 +1,26 @@
-//! Allocation fast-path benchmark: cached [`AllocationContext`] vs the
-//! one-shot per-call solver.
+//! Fast-path benchmark: the cached allocation, PoS, and block-encoding
+//! routes vs their one-shot reference paths.
 //!
 //! For each node count the same seeded simulation is run twice — once with
-//! `allocation_cache: true` (the default fast path) and once with it off —
-//! and the run reports are compared field-for-field: the fast path must be
-//! observationally identical, only cheaper. Per-run wall time and the
-//! summed `ufl.*_ns` solver profile go to `BENCH_perf.json`.
+//! every cache on (`allocation_cache`, `pos_hit_cache`,
+//! `block_seal_cache`: the defaults) and once with all of them off — and
+//! the run reports are compared field-for-field: the fast paths must be
+//! observationally identical, only cheaper. Per-run wall time, the summed
+//! `ufl.*_ns` solver profile, and the consensus/propagation profile
+//! (`pos.round_ns`, `block.assemble_ns`, `block.verify_ns`,
+//! `codec.encode_ns`, `codec.block_encodes`) go to `BENCH_perf.json`.
 //!
-//! The parameter points are independent, so they fan out on the worker
-//! pool with one thread-local telemetry session per (point, mode) run,
-//! merged in index order afterwards.
+//! The parameter points run serially — the whole sweep costs seconds,
+//! and concurrent simulations would contend for cores and contaminate
+//! each other's wall-clock phase timings — each under its own telemetry
+//! session, merged in order afterwards.
 //!
 //! `cargo run --release -p edgechain-bench --bin perf` (default: n ∈
-//! {50, 100, 200} at 20 simulated minutes; `--small` keeps only the first
-//! point for CI smoke runs; `--minutes N` / `--seeds N` as usual).
-//!
-//! [`AllocationContext`]: edgechain_core::AllocationContext
+//! {50, 100, 200, 400} at 30 simulated minutes; `--small` keeps only the
+//! first point for CI smoke runs; `--minutes N` / `--seeds N` as usual).
 
 use edgechain_bench::{parse_options, print_table, FigureOptions};
 use edgechain_core::network::{EdgeNetwork, NetworkConfig, RunReport};
-use edgechain_sim::pool;
 use edgechain_telemetry as telemetry;
 use std::time::Instant;
 
@@ -31,8 +32,27 @@ struct PointResult {
     blocks: u64,
     /// Summed `ufl.*_ns` wall time across the run's solver activity.
     ufl_ns: f64,
+    /// Summed `pos.round_ns` across every PoS round.
+    pos_ns: f64,
+    /// Summed `block.assemble_ns` (sealing, incl. Merkle leaf hashing).
+    assemble_ns: f64,
+    /// Summed `block.verify_ns` (tip validation at push time).
+    verify_ns: f64,
+    /// Summed `codec.encode_ns` across every block serialization.
+    encode_ns: f64,
+    /// Number of `encode_block` invocations.
+    encodes: u64,
     report: RunReport,
     registry: telemetry::Registry,
+}
+
+impl PointResult {
+    /// Consensus + propagation work per mined block: PoS rounds, block
+    /// assembly, tip verification, and every block serialization.
+    fn consensus_ns_per_block(&self) -> f64 {
+        (self.pos_ns + self.assemble_ns + self.verify_ns + self.encode_ns)
+            / self.blocks.max(1) as f64
+    }
 }
 
 fn run_point(nodes: usize, cached: bool, opts: &FigureOptions, seed_index: u64) -> PointResult {
@@ -42,52 +62,72 @@ fn run_point(nodes: usize, cached: bool, opts: &FigureOptions, seed_index: u64) 
         data_items_per_min: 3.0,
         sim_minutes: opts.minutes,
         allocation_cache: cached,
+        pos_hit_cache: cached,
+        block_seal_cache: cached,
         seed: 0x9EBF_0000 + seed_index * 1000 + nodes as u64,
         ..NetworkConfig::default()
     };
     let start = Instant::now();
     let report = EdgeNetwork::new(cfg).expect("connected topology").run();
     let wall_secs = start.elapsed().as_secs_f64();
-    let session = telemetry::finish().unwrap_or_default();
-    let ufl_ns: f64 = session
+    let mut session = telemetry::finish().unwrap_or_default();
+    let sum_ns = |session: &telemetry::Session, which: &str| -> f64 {
+        session
+            .registry
+            .wall_ns_entries()
+            .filter(|(name, _)| name.starts_with(which))
+            .map(|(_, stats)| stats.sum())
+            .sum()
+    };
+    let ufl_ns = sum_ns(&session, "ufl.");
+    let pos_ns = sum_ns(&session, "pos.round_ns");
+    let assemble_ns = sum_ns(&session, "block.assemble_ns");
+    let verify_ns = sum_ns(&session, "block.verify_ns");
+    let encode_ns = sum_ns(&session, "codec.encode_ns");
+    let encodes = session
         .registry
-        .wall_ns_entries()
-        .filter(|(name, _)| name.starts_with("ufl."))
-        .map(|(_, stats)| stats.sum())
-        .sum();
+        .snapshot()
+        .counter("codec.block_encodes")
+        .unwrap_or(0);
     PointResult {
         nodes,
         cached,
         wall_secs,
         blocks: report.blocks_mined,
         ufl_ns,
+        pos_ns,
+        assemble_ns,
+        verify_ns,
+        encode_ns,
+        encodes,
         report,
         registry: session.registry,
     }
 }
 
 fn main() {
-    let mut opts = parse_options(20, 1);
+    let mut opts = parse_options(30, 1);
     let small = std::env::args().any(|a| a == "--small");
-    let node_counts: &[usize] = if small { &[50] } else { &[50, 100, 200] };
+    let node_counts: &[usize] = if small { &[50] } else { &[50, 100, 200, 400] };
     if small {
         opts.minutes = opts.minutes.min(10);
     }
     println!(
-        "Allocation fast-path benchmark — {} min simulated, n ∈ {node_counts:?}",
+        "Fast-path benchmark — {} min simulated, n ∈ {node_counts:?}",
         opts.minutes
     );
 
-    // One work item per (point, mode): both modes of a point are
-    // independent runs of the same seed, so they parallelize too.
+    // The points run serially on purpose: the whole sweep costs seconds,
+    // and concurrent simulations would contend for cores and contaminate
+    // each other's wall-clock phase timings.
     let work: Vec<(usize, bool)> = node_counts
         .iter()
         .flat_map(|&n| [(n, true), (n, false)])
         .collect();
-    let opts_ref = &opts;
-    let results = pool::parallel_map(&work, usize::MAX, |&(n, cached)| {
-        run_point(n, cached, opts_ref, 0)
-    });
+    let results: Vec<PointResult> = work
+        .iter()
+        .map(|&(n, cached)| run_point(n, cached, &opts, 0))
+        .collect();
 
     let mut registry = telemetry::Registry::new();
     for r in &results {
@@ -95,12 +135,13 @@ fn main() {
     }
 
     let mut rows = Vec::new();
-    let mut speedups = Vec::new();
+    let mut ufl_speedups = Vec::new();
+    let mut consensus_speedups = Vec::new();
     for pair in results.chunks(2) {
         let [fast, base] = pair else { unreachable!() };
         assert!(fast.cached && !base.cached, "work list order");
-        // The telemetry snapshots legitimately differ (the fast path counts
-        // cache hits instead of repeated solver calls); every simulation
+        // The telemetry snapshots legitimately differ (the fast paths count
+        // cache hits instead of repeated hashing/encoding); every simulation
         // outcome must match exactly.
         let mut fast_report = fast.report.clone();
         let mut base_report = base.report.clone();
@@ -108,50 +149,67 @@ fn main() {
         base_report.telemetry = None;
         assert_eq!(
             fast_report, base_report,
-            "n={}: cached run diverged from the one-shot path",
+            "n={}: cached run diverged from the reference path",
             fast.nodes
         );
-        let per_block = |r: &PointResult| r.ufl_ns / r.blocks.max(1) as f64;
-        let speedup = per_block(base) / per_block(fast).max(1.0);
-        speedups.push((fast.nodes, speedup));
+        println!("n={}: reports identical across cache modes", fast.nodes);
+        let ufl_per_block = |r: &PointResult| r.ufl_ns / r.blocks.max(1) as f64;
+        let ufl_speedup = ufl_per_block(base) / ufl_per_block(fast).max(1.0);
+        let cons_speedup = base.consensus_ns_per_block() / fast.consensus_ns_per_block().max(1.0);
+        ufl_speedups.push((fast.nodes, ufl_speedup));
+        consensus_speedups.push((fast.nodes, cons_speedup));
         rows.push(vec![
             fast.blocks as f64,
-            fast.blocks as f64 / fast.wall_secs.max(1e-9),
-            per_block(fast) / 1e6,
-            per_block(base) / 1e6,
-            speedup,
+            ufl_speedup,
+            fast.pos_ns / fast.blocks.max(1) as f64 / 1e3,
+            base.pos_ns / base.blocks.max(1) as f64 / 1e3,
+            fast.consensus_ns_per_block() / 1e3,
+            base.consensus_ns_per_block() / 1e3,
+            cons_speedup,
         ]);
     }
 
     print_table(
-        "Allocation fast path (per node count; reports verified identical)",
+        "Fast paths (per node count; reports verified identical)",
         "nodes",
         node_counts,
         &[
             "blocks",
-            "blocks/sec",
-            "ufl ms/blk fast",
-            "ufl ms/blk base",
-            "speedup",
+            "ufl speedup",
+            "pos µs/blk fast",
+            "pos µs/blk base",
+            "cons µs/blk fast",
+            "cons µs/blk base",
+            "cons speedup",
         ],
         &rows,
         2,
     );
 
-    write_perf_json(&opts, node_counts, &results, &speedups, &mut registry);
+    write_perf_json(
+        &opts,
+        node_counts,
+        &results,
+        &ufl_speedups,
+        &consensus_speedups,
+        &mut registry,
+    );
 
-    for &(n, speedup) in &speedups {
-        println!("n={n}: ufl wall time per block {speedup:.2}× faster with the allocation cache");
+    for (&(n, ufl), &(_, cons)) in ufl_speedups.iter().zip(&consensus_speedups) {
+        println!(
+            "n={n}: ufl {ufl:.2}× faster, consensus+propagation {cons:.2}× faster with caches on"
+        );
     }
 }
 
-/// `BENCH_perf.json`: per-point wall/solver timings for both modes plus the
-/// merged registry dump.
+/// `BENCH_perf.json`: per-point wall/solver/consensus timings for both
+/// modes plus the merged registry dump.
 fn write_perf_json(
     opts: &FigureOptions,
     node_counts: &[usize],
     results: &[PointResult],
-    speedups: &[(usize, f64)],
+    ufl_speedups: &[(usize, f64)],
+    consensus_speedups: &[(usize, f64)],
     registry: &mut telemetry::Registry,
 ) {
     let mut out = String::from("{\n  \"bench\": \"perf\",\n");
@@ -163,7 +221,7 @@ fn write_perf_json(
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"nodes\": {}, \"cached\": {}, \"wall_secs\": {:.6}, \"blocks\": {}, \"blocks_per_sec\": {:.3}, \"ufl_ns\": {:.0}, \"ufl_ns_per_block\": {:.0}}}",
+            "\n    {{\"nodes\": {}, \"cached\": {}, \"wall_secs\": {:.6}, \"blocks\": {}, \"blocks_per_sec\": {:.3}, \"ufl_ns\": {:.0}, \"ufl_ns_per_block\": {:.0}, \"pos_round_ns\": {:.0}, \"block_assemble_ns\": {:.0}, \"block_verify_ns\": {:.0}, \"codec_encode_ns\": {:.0}, \"block_encodes\": {}, \"consensus_ns_per_block\": {:.0}}}",
             r.nodes,
             r.cached,
             r.wall_secs,
@@ -171,10 +229,23 @@ fn write_perf_json(
             r.blocks as f64 / r.wall_secs.max(1e-9),
             r.ufl_ns,
             r.ufl_ns / r.blocks.max(1) as f64,
+            r.pos_ns,
+            r.assemble_ns,
+            r.verify_ns,
+            r.encode_ns,
+            r.encodes,
+            r.consensus_ns_per_block(),
         ));
     }
     out.push_str("\n  ],\n  \"speedup_per_block\": {");
-    for (i, (n, s)) in speedups.iter().enumerate() {
+    for (i, (n, s)) in ufl_speedups.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{n}\": {s:.3}"));
+    }
+    out.push_str("},\n  \"consensus_speedup_per_block\": {");
+    for (i, (n, s)) in consensus_speedups.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }

@@ -12,10 +12,11 @@
 use crate::account::AccountId;
 use crate::metadata::MetadataItem;
 use crate::pos::Amendment;
-use edgechain_crypto::{Digest, MerkleTree, Sha256};
+use edgechain_crypto::{leaf_hash, Digest, MerkleTree, Sha256};
 use edgechain_sim::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A block in the edge blockchain.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +48,53 @@ pub struct Block {
     pub recent_cache_nodes: Vec<NodeId>,
     /// Hash of this block (over every field above).
     pub hash: Digest,
+    /// Lazily-filled derived data (wire encoding, Merkle leaf digests);
+    /// invisible to equality and the codec.
+    pub(crate) cache: SealCache,
+}
+
+/// Per-block caches of derived data: the wire encoding (shared as one
+/// `Arc<[u8]>` by every consumer) and the Merkle leaf digests over the
+/// metadata items.
+///
+/// Both caches are filled lazily on first use and assume the usual
+/// blockchain invariant that a **sealed block is immutable**. The honest
+/// recomputation paths ([`Block::compute_hash`],
+/// [`Block::compute_merkle_root`], [`Block::is_well_formed`]) never read
+/// them, so tamper detection on a mutated block is unaffected; only the
+/// explicitly-named `*_sealed` fast paths and [`Block::wire_size`] /
+/// [`Block::encoded`] trust them. Equality ignores the cache (a decoded
+/// block equals the sealed original), as does the codec.
+#[derive(Default)]
+pub(crate) struct SealCache {
+    encoded: OnceLock<Arc<[u8]>>,
+    leaves: OnceLock<Arc<[Digest]>>,
+}
+
+impl Clone for SealCache {
+    fn clone(&self) -> Self {
+        SealCache {
+            encoded: self.encoded.clone(),
+            leaves: self.leaves.clone(),
+        }
+    }
+}
+
+impl PartialEq for SealCache {
+    /// Caches are derived data: two blocks are equal iff their fields are,
+    /// regardless of which caches happen to be filled.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for SealCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SealCache")
+            .field("encoded", &self.encoded.get().map(|e| e.len()))
+            .field("leaves", &self.leaves.get().map(|l| l.len()))
+            .finish()
+    }
 }
 
 impl Block {
@@ -66,6 +114,7 @@ impl Block {
             prev_storing_nodes: Vec::new(),
             recent_cache_nodes: Vec::new(),
             hash: Digest::ZERO,
+            cache: SealCache::default(),
         };
         b.hash = b.compute_hash();
         b
@@ -86,8 +135,13 @@ impl Block {
         prev_storing_nodes: Vec<NodeId>,
         recent_cache_nodes: Vec<NodeId>,
     ) -> Self {
-        let merkle_root =
-            MerkleTree::from_leaves(metadata.iter().map(|m| m.canonical_bytes())).root();
+        // Hash each item once, keep the leaf digests: the root is built
+        // from them here and the sealed-path verification reuses them.
+        let leaves: Arc<[Digest]> = metadata
+            .iter()
+            .map(|m| leaf_hash(&m.canonical_bytes()))
+            .collect();
+        let merkle_root = MerkleTree::from_leaf_hashes(leaves.to_vec()).root();
         let mut block = Block {
             index,
             prev_hash,
@@ -102,7 +156,9 @@ impl Block {
             prev_storing_nodes,
             recent_cache_nodes,
             hash: Digest::ZERO,
+            cache: SealCache::default(),
         };
+        let _ = block.cache.leaves.set(leaves);
         block.hash = block.compute_hash();
         block
     }
@@ -133,7 +189,10 @@ impl Block {
         h.finalize()
     }
 
-    /// Recomputes the Merkle root over the metadata items.
+    /// Recomputes the Merkle root over the metadata items, rehashing every
+    /// item from its canonical bytes. This is the honest reference path:
+    /// it never consults the leaf cache, so it detects any post-seal
+    /// mutation.
     pub fn compute_merkle_root(&self) -> Digest {
         MerkleTree::from_leaves(self.metadata.iter().map(|m| m.canonical_bytes())).root()
     }
@@ -141,6 +200,57 @@ impl Block {
     /// Structural self-check: hash and Merkle root match the contents.
     pub fn is_well_formed(&self) -> bool {
         self.hash == self.compute_hash() && self.merkle_root == self.compute_merkle_root()
+    }
+
+    /// The Merkle leaf digests over the metadata items, hashed at seal
+    /// time by [`Block::new`] (or on first use for decoded blocks) and
+    /// cached. Index `i` commits to `metadata[i].canonical_bytes()`.
+    pub fn leaf_digests(&self) -> &[Digest] {
+        self.cache.leaves.get_or_init(|| {
+            self.metadata
+                .iter()
+                .map(|m| leaf_hash(&m.canonical_bytes()))
+                .collect()
+        })
+    }
+
+    /// Structural self-check for a block this process sealed: recomputes
+    /// the block hash and rebuilds the Merkle root from the **cached leaf
+    /// digests** ([`Block::leaf_digests`]), skipping the per-item
+    /// rehashing of [`Block::is_well_formed`]. Sound only under the
+    /// sealed-block immutability invariant the cache documents; code
+    /// validating blocks of unknown provenance (decode paths, fork
+    /// adoption) must keep using [`Block::is_well_formed`].
+    pub fn is_well_formed_sealed(&self) -> bool {
+        self.hash == self.compute_hash()
+            && self.merkle_root == MerkleTree::from_leaf_hashes(self.leaf_digests().to_vec()).root()
+    }
+
+    /// [`Block::validate_against`] with the sealed-path structural check
+    /// ([`Block::is_well_formed_sealed`]) — same linkage errors, leaf
+    /// hashing skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`BlockError`] exactly as
+    /// [`Block::validate_against`] does.
+    pub fn validate_sealed_against(&self, prev: &Block) -> Result<(), BlockError> {
+        if self.index != prev.index + 1 {
+            return Err(BlockError::BadIndex {
+                expected: prev.index + 1,
+                got: self.index,
+            });
+        }
+        if self.prev_hash != prev.hash {
+            return Err(BlockError::BrokenHashLink { index: self.index });
+        }
+        if self.timestamp_secs < prev.timestamp_secs {
+            return Err(BlockError::TimestampRegression { index: self.index });
+        }
+        if !self.is_well_formed_sealed() {
+            return Err(BlockError::Malformed { index: self.index });
+        }
+        Ok(())
     }
 
     /// Validates the linkage to the previous block.
@@ -168,11 +278,24 @@ impl Block {
         Ok(())
     }
 
+    /// The block's wire encoding, computed once and shared as an
+    /// `Arc<[u8]>`: broadcast, `fetch_data` replies, and replica repair
+    /// all hand out clones of the same allocation instead of re-running
+    /// [`crate::codec::encode_block`] per consumer.
+    pub fn encoded(&self) -> Arc<[u8]> {
+        self.cache
+            .encoded
+            .get_or_init(|| crate::codec::encode_block(self).into())
+            .clone()
+    }
+
     /// Exact wire size in bytes (the length of
-    /// [`crate::codec::encode_block`]'s output). Blocks stay well under
-    /// the paper's "average block size is less than 10 KB".
+    /// [`crate::codec::encode_block`]'s output), read from the cached
+    /// encoding — repeated calls cost one encode total, not one each.
+    /// Blocks stay well under the paper's "average block size is less
+    /// than 10 KB".
     pub fn wire_size(&self) -> u64 {
-        crate::codec::encode_block(self).len() as u64
+        self.encoded().len() as u64
     }
 }
 
@@ -401,5 +524,72 @@ mod tests {
     fn display_mentions_index() {
         let g = Block::genesis();
         assert!(format!("{g}").contains("block #0"));
+    }
+
+    #[test]
+    fn wire_size_encodes_exactly_once() {
+        use edgechain_telemetry as telemetry;
+        let g = Block::genesis();
+        let b = child_of(&g, 60);
+        let expected = crate::codec::encode_block(&b).len() as u64;
+        // Fresh clone so the reference encode above hasn't warmed the cache.
+        let b = child_of(&g, 60);
+        telemetry::enable();
+        let first = b.wire_size();
+        let again = b.wire_size();
+        let enc = b.encoded();
+        let mut session = telemetry::finish().expect("enabled");
+        let snap = session.registry.snapshot();
+        assert_eq!(first, expected);
+        assert_eq!(again, expected);
+        assert_eq!(enc.len() as u64, expected);
+        assert_eq!(
+            snap.counter("codec.block_encodes"),
+            Some(1),
+            "repeated wire_size/encoded calls must reuse one encode"
+        );
+    }
+
+    #[test]
+    fn encoded_shares_one_allocation() {
+        let b = child_of(&Block::genesis(), 60);
+        let a1 = b.encoded();
+        let a2 = b.encoded();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(a1.as_ref(), crate::codec::encode_block(&b).as_slice());
+    }
+
+    #[test]
+    fn sealed_checks_match_honest_paths() {
+        let g = Block::genesis();
+        let b = child_of(&g, 60);
+        assert!(b.is_well_formed_sealed());
+        assert_eq!(b.validate_sealed_against(&g), b.validate_against(&g));
+
+        // Decoded blocks start with an empty cache and must still agree.
+        let decoded = crate::codec::decode_block(&crate::codec::encode_block(&b)).unwrap();
+        assert!(decoded.is_well_formed_sealed());
+        assert_eq!(decoded.leaf_digests(), b.leaf_digests());
+
+        // Linkage errors come out identically on both paths.
+        let mut bad = child_of(&g, 60);
+        bad.index = 5;
+        bad.hash = bad.compute_hash();
+        assert_eq!(bad.validate_sealed_against(&g), bad.validate_against(&g));
+    }
+
+    #[test]
+    fn leaf_digests_commit_to_canonical_bytes() {
+        let b = child_of(&Block::genesis(), 60);
+        let expect: Vec<Digest> = b
+            .metadata
+            .iter()
+            .map(|m| leaf_hash(&m.canonical_bytes()))
+            .collect();
+        assert_eq!(b.leaf_digests(), expect.as_slice());
+        assert_eq!(
+            MerkleTree::from_leaf_hashes(expect).root(),
+            b.compute_merkle_root()
+        );
     }
 }

@@ -116,6 +116,22 @@ impl Blockchain {
         Ok(())
     }
 
+    /// [`Blockchain::push`] for a block **this process sealed**: linkage
+    /// is validated in full, but the structural check reuses the block's
+    /// cached Merkle leaf digests ([`Block::validate_sealed_against`])
+    /// instead of rehashing every metadata item. Blocks of unknown
+    /// provenance (decoded from the wire, fork candidates) must go
+    /// through [`Blockchain::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BlockError`] from [`Block::validate_sealed_against`].
+    pub fn push_sealed(&mut self, block: Block) -> Result<(), BlockError> {
+        block.validate_sealed_against(self.tip())?;
+        self.blocks.push(block);
+        Ok(())
+    }
+
     /// Verifies every metadata producer signature in `block`.
     ///
     /// # Errors
@@ -330,6 +346,26 @@ mod tests {
         let orphan = mined_block(chain.get(0).unwrap(), 1, 300);
         assert!(chain.push(orphan).is_err());
         assert_eq!(chain.height(), 2);
+    }
+
+    #[test]
+    fn push_sealed_matches_push() {
+        let mut honest = Blockchain::new();
+        let mut sealed = Blockchain::new();
+        for i in 0..4 {
+            let b = mined_block(honest.tip(), i % 3, (i + 1) * 60);
+            honest.push(b.clone()).unwrap();
+            sealed.push_sealed(b).unwrap();
+        }
+        assert_eq!(honest, sealed);
+
+        let orphan = mined_block(sealed.get(0).unwrap(), 1, 600);
+        assert_eq!(
+            sealed.push_sealed(orphan.clone()),
+            honest.push(orphan),
+            "linkage errors must be identical on both paths"
+        );
+        assert_eq!(sealed.height(), 4);
     }
 
     #[test]

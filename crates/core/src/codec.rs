@@ -279,7 +279,18 @@ pub fn decode_metadata(data: &[u8]) -> Result<MetadataItem, DecodeError> {
 }
 
 /// Encodes a block (header, PoS credentials, node lists, metadata items).
+///
+/// Counts each invocation under the `codec.block_encodes` telemetry
+/// counter (and its wall time under `codec.encode_ns`) so tests and the
+/// perf bench can assert how many times a path actually serialized a
+/// block — [`Block::encoded`](crate::Block::encoded) exists to keep this
+/// at one per sealed block.
 pub fn encode_block(block: &Block) -> Vec<u8> {
+    edgechain_telemetry::counter_add("codec.block_encodes", 1);
+    edgechain_telemetry::time_wall("codec.encode_ns", || encode_block_inner(block))
+}
+
+fn encode_block_inner(block: &Block) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(512);
     buf.put_u8(FORMAT_VERSION);
     buf.put_u64_le(block.index);
@@ -353,6 +364,7 @@ pub fn decode_block(data: &[u8]) -> Result<Block, DecodeError> {
         prev_storing_nodes,
         recent_cache_nodes,
         hash,
+        cache: Default::default(),
     })
 }
 

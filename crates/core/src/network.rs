@@ -28,7 +28,7 @@ use crate::block::Block;
 use crate::chain::Blockchain;
 use crate::invariant::{InvariantChecker, InvariantView};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
-use crate::pos::{run_round, Candidate};
+use crate::pos::{run_round, run_round_cached, Candidate, HitTable};
 use crate::storage::NodeStorage;
 use edgechain_energy::{Battery, DeviceProfile, EnergyCategory, EnergyMeter};
 use edgechain_sim::{
@@ -135,6 +135,21 @@ pub struct NetworkConfig {
     /// rng stream, byte-identical traces); disabling it is a debugging /
     /// equivalence-testing aid, not a feature switch.
     pub allocation_cache: bool,
+    /// Route PoS rounds through the per-height [`crate::pos::HitTable`]
+    /// (ISSUE 4 fast path): each candidate's hit `Hash(POSHash_prev ‖
+    /// Account)` is computed once per block height and reused by every
+    /// round at that height (a block takes ~2 rounds: schedule + mine).
+    /// Output is bit-identical to [`crate::pos::run_round`] — same
+    /// winners, same telemetry shape, no rng consumed — so disabling it
+    /// is a debugging / equivalence-testing aid, not a feature switch.
+    pub pos_hit_cache: bool,
+    /// Trust seal-time block caches on the hot path (ISSUE 4 fast path):
+    /// locally sealed blocks keep their wire encoding (`Arc<[u8]>`) and
+    /// Merkle leaf digests, so `wire_size`, broadcast, `fetch_data`,
+    /// block recovery, and tip validation stop re-encoding / re-hashing
+    /// per call. Honest validation of foreign blocks is untouched;
+    /// output is observationally identical with the flag off.
+    pub block_seal_cache: bool,
     /// Master RNG seed; identical configs+seeds give identical runs.
     pub seed: u64,
 }
@@ -171,6 +186,8 @@ impl Default for NetworkConfig {
             retry_backoff_ms: 500,
             replica_repair: true,
             allocation_cache: true,
+            pos_hit_cache: true,
+            block_seal_cache: true,
             seed: 0xED6E,
         }
     }
@@ -402,6 +419,9 @@ pub struct EdgeNetwork {
     /// Cached UFL instance/solution shared by all allocation call sites
     /// (consulted when `config.allocation_cache` is on).
     alloc_ctx: AllocationContext,
+    /// Per-height PoS hit cache shared by every round at one height
+    /// (consulted when `config.pos_hit_cache` is on).
+    pos_hits: HitTable,
 
     // metrics
     delivery: RunningStats,
@@ -514,6 +534,7 @@ impl EdgeNetwork {
             retries: 0,
             repairs_triggered: 0,
             alloc_ctx: AllocationContext::new(config.fdc_scale),
+            pos_hits: HitTable::new(),
             replica_total: 0,
             replica_items: 0,
             block_timestamps: vec![0],
@@ -639,11 +660,7 @@ impl EdgeNetwork {
             return;
         }
         let candidates = self.pos_candidates(&miners);
-        let outcome = run_round(
-            &self.chain.tip().pos_hash,
-            &candidates,
-            self.config.block_interval_secs,
-        );
+        let outcome = self.pos_round(&candidates);
         // Every live node runs the per-second check loop until the round
         // ends: charge PoS checking energy (Fig. 6's PoS cost model).
         for &i in &miners {
@@ -821,6 +838,24 @@ impl EdgeNetwork {
         }
     }
 
+    /// The single PoS entry point for both rounds of a block (schedule +
+    /// mine): the per-height [`HitTable`] when `config.pos_hit_cache` is
+    /// on, the straight [`run_round`] otherwise. Both paths are
+    /// bit-identical; the toggle exists for the equivalence tests.
+    fn pos_round(&mut self, candidates: &[Candidate]) -> crate::pos::MiningOutcome {
+        let prev = self.chain.tip().pos_hash;
+        if self.config.pos_hit_cache {
+            run_round_cached(
+                &prev,
+                candidates,
+                self.config.block_interval_secs,
+                &mut self.pos_hits,
+            )
+        } else {
+            run_round(&prev, candidates, self.config.block_interval_secs)
+        }
+    }
+
     fn on_mine_block(&mut self, now: SimTime) {
         // Re-run the round to identify the winner (deterministic). Nodes
         // the fault injector took down since the round was scheduled drop
@@ -832,11 +867,7 @@ impl EdgeNetwork {
             return;
         }
         let candidates = self.pos_candidates(&miners);
-        let outcome = run_round(
-            &self.chain.tip().pos_hash,
-            &candidates,
-            self.config.block_interval_secs,
-        );
+        let outcome = self.pos_round(&candidates);
         let miner = NodeId(miners[outcome.winner]);
         trace_event!(
             "pos.round",
@@ -882,25 +913,40 @@ impl EdgeNetwork {
 
         let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
         let amendment = crate::pos::Amendment::compute(&us, self.config.block_interval_secs);
-        let block = Block::new(
-            self.chain.height() + 1,
-            self.chain.tip().hash,
-            now.as_secs(),
-            outcome.new_pos_hash,
-            self.account_of[miner.0],
-            outcome.delay_secs.max(1),
-            amendment,
-            packed,
-            block_storers.clone(),
-            self.chain.tip().storing_nodes.clone(),
-            recent_growers.clone(),
-        );
+        let block = telemetry::time_wall("block.assemble_ns", || {
+            Block::new(
+                self.chain.height() + 1,
+                self.chain.tip().hash,
+                now.as_secs(),
+                outcome.new_pos_hash,
+                self.account_of[miner.0],
+                outcome.delay_secs.max(1),
+                amendment,
+                packed,
+                block_storers.clone(),
+                self.chain.tip().storing_nodes.clone(),
+                recent_growers.clone(),
+            )
+        });
         let block_index = block.index;
-        let block_size = block.wire_size();
+        // With the seal cache the encode below is the block's one and only
+        // serialization, shared from here on; without it every consumer
+        // re-encodes, as the pre-cache code did.
+        let (block_size, payload) = if self.config.block_seal_cache {
+            let payload = edgechain_sim::Payload::new(block.encoded());
+            (payload.len() as u64, Some(payload))
+        } else {
+            (crate::codec::encode_block(&block).len() as u64, None)
+        };
         let metadata_of_block = block.metadata.clone();
-        self.chain
-            .push(block)
-            .expect("self-mined block extends the tip");
+        telemetry::time_wall("block.verify_ns", || {
+            if self.config.block_seal_cache {
+                self.chain.push_sealed(block)
+            } else {
+                self.chain.push(block)
+            }
+        })
+        .expect("self-mined block extends the tip");
         telemetry::counter_add("block.mined", 1);
         if telemetry::is_enabled() {
             telemetry::record("block.items", metadata_of_block.len() as f64);
@@ -924,9 +970,21 @@ impl EdgeNetwork {
         self.block_timestamps.push(now.as_secs());
 
         // Broadcast the block; deliveries reveal who is currently connected.
-        let deliveries = self.transport.broadcast(&self.topo, miner, block_size, now);
+        // The payload path shares one Arc of the sealed encoding across all
+        // deliveries (batched per arrival instant); the count-based path is
+        // the pre-cache reference. Both charge identical bytes and flatten
+        // to the same delivery order.
         let mut received: Vec<NodeId> = vec![miner];
-        received.extend(deliveries.iter().map(|(v, _)| *v));
+        match &payload {
+            Some(p) => {
+                let deliveries = self.transport.broadcast_payload(&self.topo, miner, p, now);
+                received.extend(deliveries.iter().map(|(v, _)| v));
+            }
+            None => {
+                let deliveries = self.transport.broadcast(&self.topo, miner, block_size, now);
+                received.extend(deliveries.iter().map(|(v, _)| *v));
+            }
+        }
 
         // Verify-on-receive (optional, costs CPU not network).
         if self.config.verify_signatures {
@@ -1138,7 +1196,17 @@ impl EdgeNetwork {
                 unserved = true;
                 continue;
             };
-            let block_size = self.chain.get(idx).map_or(1000, |b| b.wire_size());
+            // Served block size: one cached encode per block under the seal
+            // cache, a fresh encode per recovery otherwise (the pre-cache
+            // behavior, kept as the equivalence reference).
+            let seal_cache = self.config.block_seal_cache;
+            let block_size = self.chain.get(idx).map_or(1000, |b| {
+                if seal_cache {
+                    b.wire_size()
+                } else {
+                    crate::codec::encode_block(b).len() as u64
+                }
+            });
             match self
                 .transport
                 .unicast(&self.topo, holder, v, block_size, req.arrival)

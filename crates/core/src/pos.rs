@@ -23,9 +23,10 @@
 //! the same winner.
 
 use crate::account::AccountId;
-use edgechain_crypto::{sha256_pair, Digest};
+use edgechain_crypto::{sha256_many_pair64, sha256_pair64, Digest};
 use edgechain_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// The hit modulus `M = 2^64`: hits are uniform on `[0, 2^64)`.
@@ -36,9 +37,21 @@ pub const HIT_MODULUS: u128 = 1 << 64;
 pub const MAX_DELAY_SECS: u64 = 7 * 24 * 3600;
 
 /// Chains the PoS hash: `POSHash(t+1, i) = Hash(POSHash(t) ‖ Account_i)`
-/// (paper Eq. 7).
+/// (paper Eq. 7). Two 32-byte inputs make exactly one 64-byte message, so
+/// this takes the fixed-shape SHA-256 fast path (padding schedule
+/// precomputed at compile time); the streaming reference below pins
+/// bit-identity.
 pub fn next_pos_hash(prev: &Digest, account: &AccountId) -> Digest {
-    sha256_pair(prev.as_bytes(), account.as_bytes())
+    sha256_pair64(prev.as_bytes(), account.as_bytes())
+}
+
+/// The pre-fast-path implementation — the generic streaming hasher —
+/// kept as the uncached runtime reference: [`run_round`] chains hashes
+/// through it so the `pos_hit_cache: false` path runs the code exactly as
+/// it stood before the fixed-shape fast path landed. Bit-identical to
+/// [`next_pos_hash`] (pinned by `next_pos_hash_matches_streaming_reference`).
+fn next_pos_hash_streaming(prev: &Digest, account: &AccountId) -> Digest {
+    edgechain_crypto::sha256_pair(prev.as_bytes(), account.as_bytes())
 }
 
 /// A node's hit for the current round: `POSHash(t+1, i) mod M`, taken as
@@ -143,6 +156,37 @@ impl Amendment {
         let t = numer.div_ceil(denom);
         (t.max(1)).min(MAX_DELAY_SECS as u128) as u64
     }
+
+    /// [`Amendment::mining_delay_secs`] without the 128-bit division: a
+    /// floating-point estimate of the quotient, fixed up to the exact
+    /// ceiling by at most a handful of 128-bit multiplications. Division
+    /// by a non-constant `u128` costs an order of magnitude more than
+    /// multiplication, and the cached PoS round pays it once per
+    /// candidate. Bit-identical to the exact form (pinned by
+    /// `fast_delay_matches_exact`).
+    pub fn mining_delay_secs_fast(&self, hit: u64, u_i: u64) -> u64 {
+        let u = u_i.max(1) as u128;
+        let denom = u.saturating_mul(self.num);
+        if denom == 0 {
+            return MAX_DELAY_SECS;
+        }
+        let numer = (hit as u128).saturating_mul(self.den);
+        // The estimate's relative error is ~2⁻⁵², so anything safely past
+        // the delay cap is the cap — no exact quotient needed.
+        let est = (numer as f64 / denom as f64) as u128;
+        if est > 2 * MAX_DELAY_SECS as u128 {
+            return MAX_DELAY_SECS;
+        }
+        // est is within ±2 of the true floor here; start just below and
+        // walk up to the least t with t·denom ≥ numer (the ceiling). A
+        // saturated product is a true "≥ numer" (the real value is even
+        // larger), so saturating_mul keeps the comparison exact.
+        let mut t = est.saturating_sub(2);
+        while t.saturating_mul(denom) < numer {
+            t += 1;
+        }
+        (t.max(1)).min(MAX_DELAY_SECS as u128) as u64
+    }
 }
 
 impl fmt::Display for Amendment {
@@ -208,7 +252,7 @@ pub fn run_round(prev_pos_hash: &Digest, candidates: &[Candidate], t0_secs: u64)
         let b = Amendment::compute(&us, t0_secs);
         let mut best: Option<(u64, u64, usize)> = None; // (delay, hit, idx)
         for (idx, c) in candidates.iter().enumerate() {
-            let h = hit(prev_pos_hash, &c.account);
+            let h = next_pos_hash_streaming(prev_pos_hash, &c.account).to_u64();
             let delay = b.mining_delay_secs(h, us[idx]);
             let key = (delay, h, idx);
             if best.is_none_or(|cur| key < cur) {
@@ -220,8 +264,261 @@ pub fn run_round(prev_pos_hash: &Digest, candidates: &[Candidate], t0_secs: u64)
             winner,
             delay_secs,
             hit: winner_hit,
-            new_pos_hash: next_pos_hash(prev_pos_hash, &candidates[winner].account),
+            new_pos_hash: next_pos_hash_streaming(prev_pos_hash, &candidates[winner].account),
         }
+    });
+    if telemetry::is_enabled() {
+        telemetry::record("pos.delay_secs", outcome.delay_secs as f64);
+        telemetry::record("pos.hits_per_round", candidates.len() as f64);
+    }
+    outcome
+}
+
+/// Memoized PoS hits for one chain height, keyed by `POSHash_prev`.
+///
+/// A hit depends only on `(POSHash_prev, Account_i)` — not on tokens,
+/// stored items, or time — and the network runs **two** rounds per block
+/// against the same previous hash (one to schedule the mining event, one
+/// to elect the winner when it fires; more under churn-driven reruns). The
+/// table computes each candidate's chained digest once per height and
+/// replays it for every later round; a round against a *different*
+/// previous hash (a new block arrived) invalidates everything.
+///
+/// Purely deterministic: no RNG is consulted, and [`run_round_cached`]
+/// returns bit-identical [`MiningOutcome`]s to [`run_round`] (pinned by
+/// tests). Cache traffic lands on the `pos.hit_cache_hit` /
+/// `pos.hit_cache_miss` counters.
+#[derive(Debug, Clone, Default)]
+pub struct HitTable {
+    prev: Option<Digest>,
+    digests: HashMap<AccountId, Digest, DigestKeyState>,
+    /// The candidate account list served by the most recent call at this
+    /// height, with its digests: the mine-round almost always repeats the
+    /// schedule-round's list verbatim, which short-circuits to one vector
+    /// comparison instead of per-account map lookups.
+    last_accounts: Vec<AccountId>,
+    last_digests: Vec<Digest>,
+    /// The full outcome of the most recent cached round. A round is a pure
+    /// function of `(POSHash_prev, candidates, t0)`, so when the mine-round
+    /// repeats the schedule-round's inputs exactly (the common case — churn
+    /// between the two only happens on crashes or expiry sweeps) the whole
+    /// selection replays from here: no hashing *and* no target arithmetic.
+    /// An empty candidate list marks the memo invalid (rounds are never
+    /// empty), which lets invalidation keep the allocations.
+    last_round: Option<LastRound>,
+    /// Reused suffix buffer for the cold-height shared-prefix batch hash.
+    scratch_suffixes: Vec<[u8; 32]>,
+    /// Reused contribution buffer for the selection loop.
+    scratch_us: Vec<u64>,
+}
+
+/// Memoized inputs → outcome of one full cached round.
+#[derive(Debug, Clone)]
+struct LastRound {
+    candidates: Vec<Candidate>,
+    t0_secs: u64,
+    outcome: MiningOutcome,
+}
+
+/// Accounts are SHA-256 outputs — already uniformly distributed — so the
+/// hit table's map keys on their first eight bytes directly instead of
+/// paying SipHash per probe. Iteration order is never consulted, keeping
+/// runs deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+struct DigestKeyState;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DigestKeyHasher(u64);
+
+impl std::hash::Hasher for DigestKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut buf = [0u8; 8];
+        let n = bytes.len().min(8);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        self.0 ^= u64::from_le_bytes(buf);
+    }
+}
+
+impl std::hash::BuildHasher for DigestKeyState {
+    type Hasher = DigestKeyHasher;
+
+    fn build_hasher(&self) -> DigestKeyHasher {
+        DigestKeyHasher(0)
+    }
+}
+
+impl HitTable {
+    /// An empty table (no height keyed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of accounts whose digest is cached for the current height.
+    /// (On a cold height the digests live only in the last-round vectors;
+    /// the map is materialized lazily on the first partial-overlap round.)
+    pub fn len(&self) -> usize {
+        self.digests.len().max(self.last_accounts.len())
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty() && self.last_accounts.is_empty()
+    }
+
+    /// Drops every cached digest (e.g. after adopting a foreign chain).
+    pub fn invalidate(&mut self) {
+        self.prev = None;
+        self.digests.clear();
+        self.last_accounts.clear();
+        self.last_digests.clear();
+        if let Some(last) = &mut self.last_round {
+            last.candidates.clear();
+        }
+    }
+
+    /// Keys the table to `prev`, dropping stale entries, then leaves the
+    /// chained digest per candidate (in candidate order) in
+    /// `last_digests`, computing the missing ones with the shared-prefix
+    /// batch hash. Callers borrow the slice afterwards — no per-round
+    /// digest vector is allocated or cloned.
+    fn prepare(&mut self, prev: &Digest, candidates: &[Candidate]) {
+        if self.prev != Some(*prev) {
+            self.prev = Some(*prev);
+            self.digests.clear();
+            self.last_accounts.clear();
+            self.last_digests.clear();
+            if let Some(last) = &mut self.last_round {
+                last.candidates.clear();
+            }
+        }
+        // Verbatim repeat of the last round's candidate list (the common
+        // mine-after-schedule case): one vector comparison, zero hashing.
+        if self.last_accounts.len() == candidates.len()
+            && candidates
+                .iter()
+                .zip(&self.last_accounts)
+                .all(|(c, a)| c.account == *a)
+        {
+            telemetry::counter_add("pos.hit_cache_hit", candidates.len() as u64);
+            return;
+        }
+        // Cold height: batch-hash the whole list straight into the
+        // last-round vectors and skip the map — it only materializes when
+        // a later round at this height overlaps partially (churn).
+        if self.digests.is_empty() && self.last_accounts.is_empty() {
+            self.scratch_suffixes.clear();
+            self.scratch_suffixes
+                .extend(candidates.iter().map(|c| *c.account.as_bytes()));
+            telemetry::counter_add("pos.hit_cache_miss", candidates.len() as u64);
+            self.last_accounts
+                .extend(candidates.iter().map(|c| c.account));
+            self.last_digests = sha256_many_pair64(prev.as_bytes(), &self.scratch_suffixes);
+            return;
+        }
+        // Partially overlapping list: fold the cold round's vectors into
+        // the map first so its digests still count as cached.
+        for (a, d) in self.last_accounts.iter().zip(&self.last_digests) {
+            self.digests.entry(*a).or_insert(*d);
+        }
+        let missing: Vec<usize> = (0..candidates.len())
+            .filter(|&i| !self.digests.contains_key(&candidates[i].account))
+            .collect();
+        if !missing.is_empty() {
+            let suffixes: Vec<[u8; 32]> = missing
+                .iter()
+                .map(|&i| *candidates[i].account.as_bytes())
+                .collect();
+            for (&i, digest) in missing
+                .iter()
+                .zip(sha256_many_pair64(prev.as_bytes(), &suffixes))
+            {
+                self.digests.insert(candidates[i].account, digest);
+            }
+        }
+        telemetry::counter_add(
+            "pos.hit_cache_hit",
+            (candidates.len() - missing.len()) as u64,
+        );
+        telemetry::counter_add("pos.hit_cache_miss", missing.len() as u64);
+        self.last_accounts.clear();
+        self.last_accounts
+            .extend(candidates.iter().map(|c| c.account));
+        let map = &self.digests;
+        self.last_digests.clear();
+        self.last_digests
+            .extend(candidates.iter().map(|c| map[&c.account]));
+    }
+}
+
+/// [`run_round`] through the [`HitTable`]: bit-identical outcome, but each
+/// candidate's chained hash is computed at most once per chain height
+/// instead of once per round, and cold heights hash in one batch.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or `t0_secs` is zero.
+pub fn run_round_cached(
+    prev_pos_hash: &Digest,
+    candidates: &[Candidate],
+    t0_secs: u64,
+    table: &mut HitTable,
+) -> MiningOutcome {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    telemetry::counter_add("pos.rounds", 1);
+    let outcome = telemetry::time_wall("pos.round_ns", || {
+        // The round is a pure function of its inputs: an exact repeat of
+        // the previous cached round (same prev hash, candidates, and t0)
+        // replays the memoized outcome wholesale.
+        if table.prev == Some(*prev_pos_hash) {
+            if let Some(last) = &table.last_round {
+                if last.t0_secs == t0_secs && last.candidates == candidates {
+                    telemetry::counter_add("pos.hit_cache_hit", candidates.len() as u64);
+                    return last.outcome.clone();
+                }
+            }
+        }
+        table.prepare(prev_pos_hash, candidates);
+        table.scratch_us.clear();
+        table
+            .scratch_us
+            .extend(candidates.iter().map(|c| c.contribution()));
+        let b = Amendment::compute(&table.scratch_us, t0_secs);
+        let mut best: Option<(u64, u64, usize)> = None; // (delay, hit, idx)
+        for (idx, digest) in table.last_digests.iter().enumerate() {
+            let h = digest.to_u64();
+            let delay = b.mining_delay_secs_fast(h, table.scratch_us[idx]);
+            let key = (delay, h, idx);
+            if best.is_none_or(|cur| key < cur) {
+                best = Some(key);
+            }
+        }
+        let (delay_secs, winner_hit, winner) = best.expect("nonempty candidates");
+        let outcome = MiningOutcome {
+            winner,
+            delay_secs,
+            hit: winner_hit,
+            new_pos_hash: table.last_digests[winner],
+        };
+        match &mut table.last_round {
+            Some(last) => {
+                last.candidates.clear();
+                last.candidates.extend_from_slice(candidates);
+                last.t0_secs = t0_secs;
+                last.outcome = outcome.clone();
+            }
+            None => {
+                table.last_round = Some(LastRound {
+                    candidates: candidates.to_vec(),
+                    t0_secs,
+                    outcome: outcome.clone(),
+                });
+            }
+        }
+        outcome
     });
     if telemetry::is_enabled() {
         telemetry::record("pos.delay_secs", outcome.delay_secs as f64);
@@ -470,6 +767,118 @@ mod tests {
         assert!(!verify_claim(&prev, &cheater, &us, 60, forged_delay));
         // The honest delay still verifies.
         assert!(verify_claim(&prev, &cheater, &us, 60, honest_delay));
+    }
+
+    #[test]
+    fn next_pos_hash_matches_streaming_reference() {
+        let mut prev = sha256(b"pin");
+        for seed in 0..32u64 {
+            let acct = account(seed);
+            assert_eq!(
+                next_pos_hash(&prev, &acct),
+                next_pos_hash_streaming(&prev, &acct)
+            );
+            prev = next_pos_hash(&prev, &acct);
+        }
+    }
+
+    fn round_candidates(n: u64) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate {
+                account: account(i),
+                tokens: i % 7 + 1,
+                stored_items: i % 3 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_round_is_bit_identical_to_reference() {
+        let mut table = HitTable::new();
+        let mut prev = sha256(b"cache-pin");
+        for height in 0..50u64 {
+            let candidates = round_candidates(height % 13 + 1);
+            let reference = run_round(&prev, &candidates, 60);
+            // Two rounds per height, like the live network: the second is
+            // served wholly from the table.
+            assert_eq!(
+                run_round_cached(&prev, &candidates, 60, &mut table),
+                reference,
+                "height {height}, cold"
+            );
+            assert_eq!(
+                run_round_cached(&prev, &candidates, 60, &mut table),
+                reference,
+                "height {height}, warm"
+            );
+            prev = reference.new_pos_hash;
+        }
+    }
+
+    #[test]
+    fn hit_table_invalidates_on_new_prev() {
+        let mut table = HitTable::new();
+        let candidates = round_candidates(8);
+        let _ = run_round_cached(&sha256(b"h1"), &candidates, 60, &mut table);
+        assert_eq!(table.len(), 8);
+        // Same prev: entries survive. New prev: table rekeys from scratch.
+        let _ = run_round_cached(&sha256(b"h1"), &candidates[..3], 60, &mut table);
+        assert_eq!(table.len(), 8);
+        let _ = run_round_cached(&sha256(b"h2"), &candidates[..3], 60, &mut table);
+        assert_eq!(table.len(), 3);
+        table.invalidate();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn hit_cache_counters_track_hits_and_misses() {
+        telemetry::enable();
+        let mut table = HitTable::new();
+        let candidates = round_candidates(5);
+        let prev = sha256(b"counted");
+        let _ = run_round_cached(&prev, &candidates, 60, &mut table);
+        let _ = run_round_cached(&prev, &candidates, 60, &mut table);
+        let mut session = telemetry::finish().expect("enabled");
+        let snap = session.registry.snapshot();
+        assert_eq!(snap.counter("pos.hit_cache_miss"), Some(5));
+        assert_eq!(snap.counter("pos.hit_cache_hit"), Some(5));
+    }
+
+    #[test]
+    fn fast_delay_matches_exact() {
+        // Sweep amendments from tiny to extreme fractions against hits
+        // covering the edges and a deterministic pseudo-random spread: the
+        // multiplicative fix-up must land on div_ceil's answer every time.
+        let fractions = [
+            (1u128, 1u128),
+            (HIT_MODULUS, 1),
+            (1, HIT_MODULUS),
+            (HIT_MODULUS * 50, 51 * 60 * 1000),
+            (u128::MAX / 2, 3),
+            (3, u128::MAX / 2),
+            (u128::MAX, u128::MAX),
+        ];
+        let mut hits: Vec<u64> = vec![0, 1, 2, 1000, u64::MAX - 1, u64::MAX];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            hits.push(x);
+        }
+        let us = [0u64, 1, 2, 7, 1 << 20, u64::MAX];
+        for &(num, den) in &fractions {
+            let b = Amendment::from_fraction(num, den);
+            for &h in &hits {
+                for &u in &us {
+                    assert_eq!(
+                        b.mining_delay_secs_fast(h, u),
+                        b.mining_delay_secs(h, u),
+                        "B={num}/{den}, h={h}, u={u}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,11 +22,21 @@
 use crate::sha256::{Digest, Sha256};
 use serde::{Deserialize, Serialize};
 
-fn hash_leaf(data: &[u8]) -> Digest {
+/// Hashes one leaf with the tree's `0x00` domain-separation prefix.
+///
+/// Public so callers can hash leaves once, cache the digests, and later
+/// rebuild the tree with [`MerkleTree::from_leaf_hashes`] — the identity
+/// `from_leaves(L) == from_leaf_hashes(L.map(leaf_hash))` is pinned by
+/// tests.
+pub fn leaf_hash(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update([0x00u8]);
     h.update(data);
     h.finalize()
+}
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    leaf_hash(data)
 }
 
 fn hash_node(left: &Digest, right: &Digest) -> Digest {

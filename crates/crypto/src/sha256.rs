@@ -5,6 +5,21 @@
 //! the FIPS 180-4 / NIST test vectors in the unit tests and against a
 //! `incremental == one-shot` property test.
 //!
+//! Three fast paths support the consensus hot loop (all bit-identical to
+//! the one-shot function, pinned by unit and property tests):
+//!
+//! - [`Midstate`] captures the compression state at a 64-byte block
+//!   boundary so a shared message prefix is compressed once and resumed
+//!   per suffix.
+//! - [`sha256_fixed64`] hashes exactly-64-byte messages — the PoS shape
+//!   `Hash(POSHash_prev ‖ Account_i)`, two 32-byte halves — using a
+//!   **compile-time message schedule for the padding block**: a 64-byte
+//!   message always pads to the same second block (`0x80`, zeros, bit
+//!   length 512), so its 64-entry schedule expansion is a `const`.
+//! - [`sha256_many`] / [`sha256_many_fixed64`] hash a batch, fanning out
+//!   on [`edgechain_sim::pool`] with index-ordered joins above a size
+//!   threshold; output order and bytes are identical to the serial map.
+//!
 //! # Examples
 //!
 //! ```
@@ -238,21 +253,202 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
+        compress_block(&mut self.state, block);
+    }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
+    /// Captures the compression state, provided the hasher sits exactly at
+    /// a 64-byte block boundary (no buffered partial block); `None`
+    /// otherwise. Resuming the returned [`Midstate`] lets many messages
+    /// that share a block-aligned prefix pay for the prefix only once.
+    pub fn midstate(&self) -> Option<Midstate> {
+        if self.buffer_len != 0 {
+            return None;
+        }
+        Some(Midstate {
+            state: self.state,
+            bytes: self.total_len,
+        })
+    }
+
+    /// Rebuilds a hasher from a captured [`Midstate`]; subsequent
+    /// [`Sha256::update`]/[`Sha256::finalize`] calls behave exactly as if
+    /// the original prefix had been absorbed by this instance.
+    pub fn from_midstate(m: Midstate) -> Self {
+        Sha256 {
+            state: m.state,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: m.bytes,
+        }
+    }
+}
+
+/// The SHA-256 compression state at a 64-byte block boundary, captured
+/// with [`Sha256::midstate`] and resumed with [`Sha256::from_midstate`].
+///
+/// # Examples
+///
+/// ```
+/// use edgechain_crypto::{sha256, Sha256};
+///
+/// let mut prefix = Sha256::new();
+/// prefix.update([7u8; 64]); // one full block
+/// let mid = prefix.midstate().expect("block-aligned");
+/// let mut resumed = Sha256::from_midstate(mid);
+/// resumed.update(b"suffix");
+/// let mut oneshot = Vec::from([7u8; 64]);
+/// oneshot.extend_from_slice(b"suffix");
+/// assert_eq!(resumed.finalize(), sha256(&oneshot));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Midstate {
+    state: [u32; 8],
+    bytes: u64,
+}
+
+impl Midstate {
+    /// Number of prefix bytes already absorbed (a multiple of 64).
+    pub fn bytes_absorbed(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// One compression round over the 16-word block `block`, expanding the
+/// message schedule on the fly.
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    compress_scheduled(state, &w);
+}
+
+/// The 64 compression rounds over an already-expanded message schedule.
+fn compress_scheduled(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Expands a 16-word block into the full 64-entry message schedule at
+/// compile time (used for the constant padding block of 64-byte messages).
+const fn expand_schedule(first16: [u32; 16]) -> [u32; 64] {
+    let mut w = [0u32; 64];
+    let mut i = 0;
+    while i < 16 {
+        w[i] = first16[i];
+        i += 1;
+    }
+    while i < 64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+        i += 1;
+    }
+    w
+}
+
+/// Message schedule of the padding block every 64-byte message shares:
+/// `0x80`, 55 zero bytes, then the 64-bit big-endian bit length (512).
+/// Precomputing it at compile time removes the schedule expansion — close
+/// to half the work — from the second compression of [`sha256_fixed64`].
+const PAD64_SCHEDULE: [u32; 64] = {
+    let mut first16 = [0u32; 16];
+    first16[0] = 0x8000_0000;
+    first16[15] = 512;
+    expand_schedule(first16)
+};
+
+/// One-shot SHA-256 of an exactly-64-byte message: one on-the-fly
+/// compression for the message block, one schedule-precomputed compression
+/// for the constant padding block. Bit-identical to `sha256(block)`.
+pub fn sha256_fixed64(block: &[u8; 64]) -> Digest {
+    let mut state = H0;
+    compress_block(&mut state, block);
+    compress_scheduled(&mut state, &PAD64_SCHEDULE);
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+/// [`sha256_fixed64`] over the concatenation of two 32-byte halves — the
+/// PoS hit shape `Hash(POSHash_prev ‖ Account_i)` (paper Eq. 7).
+pub fn sha256_pair64(a: &[u8; 32], b: &[u8; 32]) -> Digest {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(a);
+    block[32..].copy_from_slice(b);
+    sha256_fixed64(&block)
+}
+
+/// Precomputed compression state for 64-byte messages that all share the
+/// same 32-byte **prefix** — one PoS round hashes
+/// `Hash(POSHash_prev ‖ Account_i)` for every candidate with the same
+/// `POSHash_prev`. Round `t` of the message-block compression consumes
+/// schedule word `W[t]`, and `W[0..8]` come entirely from the prefix, so
+/// the first eight rounds (and the prefix-only parts of the schedule
+/// expansion, `W[i−16] + σ₀(W[i−15])` for `i ≤ 22`) are identical across
+/// the batch and run once here instead of once per suffix. Bit-identical
+/// to [`sha256_pair64`] (pinned by unit and property tests).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedPrefix32 {
+    /// `W[0..8]`: the prefix's schedule words.
+    w: [u32; 8],
+    /// Working variables `a..h` after round 7 (from the `H0` start).
+    vars: [u32; 8],
+    /// `W[i−16] + σ₀(W[i−15])` for `i = 16..=22` — the expansion terms
+    /// that depend only on the prefix.
+    partial: [u32; 7],
+}
+
+impl SharedPrefix32 {
+    /// Absorbs the shared 32-byte prefix: eight compression rounds plus
+    /// the prefix-only schedule partials, done once per batch.
+    pub fn new(prefix: &[u8; 32]) -> Self {
+        let mut w = [0u32; 8];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u32::from_be_bytes(prefix[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = H0;
+        for i in 0..8 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let temp1 = h
@@ -272,16 +468,117 @@ impl Sha256 {
             b = a;
             a = temp1.wrapping_add(temp2);
         }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        let mut partial = [0u32; 7];
+        for (k, p) in partial.iter_mut().enumerate() {
+            let i = k + 16;
+            let prev = w[i - 15];
+            let s0 = prev.rotate_right(7) ^ prev.rotate_right(18) ^ (prev >> 3);
+            *p = w[i - 16].wrapping_add(s0);
+        }
+        SharedPrefix32 {
+            w,
+            vars: [a, b, c, d, e, f, g, h],
+            partial,
+        }
     }
+
+    /// `sha256(prefix ‖ suffix)` resuming from the shared prefix state:
+    /// rounds 8–63 of the message block, then the schedule-precomputed
+    /// padding block.
+    pub fn pair(&self, suffix: &[u8; 32]) -> Digest {
+        let mut w = [0u32; 64];
+        w[..8].copy_from_slice(&self.w);
+        for i in 0..8 {
+            w[i + 8] = u32::from_be_bytes(suffix[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            let head = if i <= 22 {
+                self.partial[i - 16]
+            } else {
+                let prev = w[i - 15];
+                let s0 = prev.rotate_right(7) ^ prev.rotate_right(18) ^ (prev >> 3);
+                w[i - 16].wrapping_add(s0)
+            };
+            w[i] = head.wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.vars;
+        for i in 8..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        // The message block started from the constant `H0`, so the
+        // feed-forward is `H0 + vars`; the padding block then finishes.
+        let mut state = H0;
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+        compress_scheduled(&mut state, &PAD64_SCHEDULE);
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+}
+
+/// `sha256(prefix ‖ suffix_i)` for every suffix, in order — the
+/// whole-round PoS batch: one [`SharedPrefix32`] absorption, then one
+/// resumed compression per suffix, fanned out on the worker pool only for
+/// batches big enough to amortize thread spawns.
+pub fn sha256_many_pair64(prefix: &[u8; 32], suffixes: &[[u8; 32]]) -> Vec<Digest> {
+    let shared = SharedPrefix32::new(prefix);
+    if suffixes.len() < PARALLEL_MIN_PAIR {
+        return suffixes.iter().map(|s| shared.pair(s)).collect();
+    }
+    edgechain_sim::pool::parallel_map(suffixes, usize::MAX, |s| shared.pair(s))
+}
+
+/// Batches below this size are hashed serially: scoped-thread spawning
+/// costs more than a few hundred compressions, and the worker pool caps at
+/// 8 threads anyway. Above it, [`sha256_many`] fans out on
+/// [`edgechain_sim::pool`] with index-ordered joins, so the output is
+/// byte-identical either way.
+const PARALLEL_MIN: usize = 256;
+
+/// A resumed shared-prefix compression is under half a microsecond, so a
+/// pair batch must be far larger than the generic threshold before eight
+/// scoped-thread spawns pay for themselves.
+const PARALLEL_MIN_PAIR: usize = 2048;
+
+/// SHA-256 of every input, in input order — exactly
+/// `inputs.iter().map(sha256).collect()`, computed on the deterministic
+/// worker pool when the batch is large enough to amortize thread spawns.
+pub fn sha256_many<T: AsRef<[u8]> + Sync>(inputs: &[T]) -> Vec<Digest> {
+    if inputs.len() < PARALLEL_MIN {
+        return inputs.iter().map(sha256).collect();
+    }
+    edgechain_sim::pool::parallel_map(inputs, usize::MAX, |d| sha256(d))
+}
+
+/// [`sha256_many`] over exactly-64-byte messages, taking the
+/// [`sha256_fixed64`] fast path per item.
+pub fn sha256_many_fixed64(blocks: &[[u8; 64]]) -> Vec<Digest> {
+    if blocks.len() < PARALLEL_MIN {
+        return blocks.iter().map(sha256_fixed64).collect();
+    }
+    edgechain_sim::pool::parallel_map(blocks, usize::MAX, sha256_fixed64)
 }
 
 /// One-shot SHA-256 of `data`.
@@ -383,5 +680,110 @@ mod tests {
     #[test]
     fn sha256_pair_equals_concat() {
         assert_eq!(sha256_pair(b"foo", b"bar"), sha256(b"foobar"));
+    }
+
+    // Fixed vector for the 64-byte fast shape (cross-checked against
+    // hashlib): sha256("a" × 64).
+    #[test]
+    fn fixed64_known_vector() {
+        let block = [b'a'; 64];
+        assert_eq!(
+            sha256_fixed64(&block).to_hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn fixed64_matches_oneshot() {
+        let mut block = [0u8; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        assert_eq!(sha256_fixed64(&block), sha256(block));
+        assert_eq!(
+            sha256_fixed64(&block).to_hex(),
+            "fdeab9acf3710362bd2658cdc9a29e8f9c757fcf9811603a8c447cd1d9151108"
+        );
+    }
+
+    #[test]
+    fn pair64_matches_pair() {
+        let a = sha256(b"prev").0;
+        let b = sha256(b"account").0;
+        assert_eq!(sha256_pair64(&a, &b), sha256_pair(a, b));
+    }
+
+    #[test]
+    fn midstate_resumes_exactly() {
+        let prefix = [0x42u8; 128]; // two full blocks
+        for suffix_len in [0usize, 1, 55, 64, 200] {
+            let suffix: Vec<u8> = (0..suffix_len).map(|i| i as u8).collect();
+            let mut h = Sha256::new();
+            h.update(prefix);
+            let mid = h.midstate().expect("aligned after full blocks");
+            assert_eq!(mid.bytes_absorbed(), 128);
+            let mut resumed = Sha256::from_midstate(mid);
+            resumed.update(&suffix);
+            let mut full = prefix.to_vec();
+            full.extend_from_slice(&suffix);
+            assert_eq!(resumed.finalize(), sha256(&full), "suffix {suffix_len}");
+        }
+    }
+
+    #[test]
+    fn midstate_unavailable_mid_block() {
+        let mut h = Sha256::new();
+        h.update(b"partial");
+        assert!(h.midstate().is_none());
+        h.update(vec![0u8; 57]); // tops the buffer up to one full block
+        assert!(h.midstate().is_some());
+    }
+
+    #[test]
+    fn shared_prefix_matches_pair64() {
+        let prefixes = [
+            sha256(b"prev-a").0,
+            sha256(b"prev-b").0,
+            [0u8; 32],
+            [0xFF; 32],
+        ];
+        for prefix in &prefixes {
+            let shared = SharedPrefix32::new(prefix);
+            for seed in 0..16u8 {
+                let suffix = sha256([seed]).0;
+                assert_eq!(shared.pair(&suffix), sha256_pair64(prefix, &suffix));
+            }
+        }
+    }
+
+    #[test]
+    fn many_pair64_matches_serial_on_both_sides_of_threshold() {
+        let prefix = sha256(b"height").0;
+        for n in [0usize, 1, 7, PARALLEL_MIN_PAIR - 1, PARALLEL_MIN_PAIR + 3] {
+            let suffixes: Vec<[u8; 32]> = (0..n).map(|i| sha256(i.to_le_bytes()).0).collect();
+            let expect: Vec<Digest> = suffixes.iter().map(|s| sha256_pair64(&prefix, s)).collect();
+            assert_eq!(sha256_many_pair64(&prefix, &suffixes), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn many_matches_serial_on_both_sides_of_threshold() {
+        for n in [
+            0usize,
+            1,
+            7,
+            PARALLEL_MIN - 1,
+            PARALLEL_MIN,
+            2 * PARALLEL_MIN + 3,
+        ] {
+            let inputs: Vec<Vec<u8>> = (0..n)
+                .map(|i| format!("msg-{i}").repeat(i % 5 + 1).into_bytes())
+                .collect();
+            let expect: Vec<Digest> = inputs.iter().map(|d| sha256(d)).collect();
+            assert_eq!(sha256_many(&inputs), expect, "n={n}");
+            let blocks: Vec<[u8; 64]> = (0..n).map(|i| [i as u8; 64]).collect();
+            let expect64: Vec<Digest> = blocks.iter().map(|b| sha256(b)).collect();
+            assert_eq!(sha256_many_fixed64(&blocks), expect64, "n={n}");
+        }
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the crypto primitives.
 
-use edgechain_crypto::{sha256, KeyPair, MerkleTree, Sha256, U256};
+use edgechain_crypto::{
+    leaf_hash, sha256, sha256_fixed64, sha256_many, sha256_pair64, KeyPair, MerkleTree, Sha256,
+    SharedPrefix32, U256,
+};
 use proptest::prelude::*;
 
 fn arb_u256() -> impl Strategy<Value = U256> {
@@ -105,6 +108,46 @@ proptest! {
         if a != b {
             prop_assert_ne!(sha256(&a), sha256(&b));
         }
+    }
+
+    #[test]
+    fn sha_midstate_resumes_anywhere(data in prop::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        // Round the split down to a block boundary: midstates exist only
+        // there, and resuming from one must equal the one-shot digest.
+        let at = if data.is_empty() { 0 } else { split.index(data.len()) } / 64 * 64;
+        let mut h = Sha256::new();
+        h.update(&data[..at]);
+        let m = h.midstate().expect("block-aligned prefix has a midstate");
+        prop_assert_eq!(m.bytes_absorbed(), at as u64);
+        let mut resumed = Sha256::from_midstate(m);
+        resumed.update(&data[at..]);
+        prop_assert_eq!(resumed.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha_fixed64_matches_oneshot(bytes in prop::collection::vec(any::<u8>(), 64usize)) {
+        let full: [u8; 64] = bytes.as_slice().try_into().unwrap();
+        let a: [u8; 32] = full[..32].try_into().unwrap();
+        let b: [u8; 32] = full[32..].try_into().unwrap();
+        prop_assert_eq!(sha256_fixed64(&full), sha256(full));
+        prop_assert_eq!(sha256_pair64(&a, &b), sha256(full));
+        prop_assert_eq!(SharedPrefix32::new(&a).pair(&b), sha256(full));
+    }
+
+    #[test]
+    fn sha_many_matches_map(inputs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 0..40)) {
+        let batched = sha256_many(&inputs);
+        let serial: Vec<_> = inputs.iter().map(sha256).collect();
+        prop_assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn merkle_leaf_hash_identity(leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..24)) {
+        let direct = MerkleTree::from_leaves(&leaves);
+        let prehashed = MerkleTree::from_leaf_hashes(
+            leaves.iter().map(|l| leaf_hash(l)).collect()
+        );
+        prop_assert_eq!(direct.root(), prehashed.root());
     }
 
     #[test]

@@ -49,4 +49,7 @@ pub use fault::{ChurnConfig, FaultAction, FaultEvent, FaultInjector, FaultPlan, 
 pub use geometry::{Field, Point};
 pub use metrics::{gini, gini_counts, RunningStats, SampleSet};
 pub use topology::{NodeId, Topology, TopologyConfig, TopologyError, UNREACHABLE};
-pub use transport::{Delivery, TrafficStats, Transport, TransportConfig, TransportError};
+pub use transport::{
+    BroadcastDeliveries, Delivery, Payload, TrafficStats, Transport, TransportConfig,
+    TransportError,
+};

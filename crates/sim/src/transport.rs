@@ -12,6 +12,111 @@ use crate::topology::{NodeId, Topology};
 use edgechain_telemetry::{self as telemetry, trace_event};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// An immutable message payload shared by reference: every consumer of a
+/// broadcast (each delivery, each store, each re-serve) clones the `Arc`,
+/// not the bytes. Built once from a block's wire encoding and handed to
+/// [`Transport::broadcast_payload`].
+#[derive(Debug, Clone)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Wraps already-shared bytes without copying.
+    pub fn new(bytes: Arc<[u8]>) -> Self {
+        Payload(bytes)
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Another handle to the same allocation (an `Arc` clone).
+    pub fn shared(&self) -> Arc<[u8]> {
+        Arc::clone(&self.0)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(bytes.into())
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(bytes: Arc<[u8]>) -> Self {
+        Payload(bytes)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Payload {}
+
+/// The deliveries of one broadcast, batched by arrival time: every node in
+/// a group receives the message at the same instant (one transmission — or
+/// several whose arrivals coincide — covers them all), so a scheduler can
+/// insert one queue event per group instead of one per recipient.
+/// Flattening ([`BroadcastDeliveries::iter`] /
+/// [`BroadcastDeliveries::flatten`]) yields exactly the per-recipient
+/// `(node, arrival)` sequence [`Transport::broadcast`] returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastDeliveries {
+    payload: Option<Payload>,
+    groups: Vec<(SimTime, Vec<NodeId>)>,
+}
+
+impl BroadcastDeliveries {
+    /// Arrival-time groups in delivery order.
+    pub fn groups(&self) -> &[(SimTime, Vec<NodeId>)] {
+        &self.groups
+    }
+
+    /// The shared payload, when the broadcast carried one
+    /// ([`Transport::broadcast_payload`]); byte-count-only broadcasts
+    /// return `None`.
+    pub fn payload(&self) -> Option<&Payload> {
+        self.payload.as_ref()
+    }
+
+    /// Total number of nodes reached.
+    pub fn reached(&self) -> usize {
+        self.groups.iter().map(|(_, nodes)| nodes.len()).sum()
+    }
+
+    /// Whether the broadcast reached no one.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Per-recipient deliveries in the exact order
+    /// [`Transport::broadcast`] reports them.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, SimTime)> + '_ {
+        self.groups
+            .iter()
+            .flat_map(|(t, nodes)| nodes.iter().map(move |&v| (v, *t)))
+    }
+
+    /// [`BroadcastDeliveries::iter`] collected into a vector.
+    pub fn flatten(&self) -> Vec<(NodeId, SimTime)> {
+        self.iter().collect()
+    }
+}
 
 /// Transport parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -361,6 +466,39 @@ impl Transport {
         bytes: u64,
         now: SimTime,
     ) -> Vec<(NodeId, SimTime)> {
+        self.flood(topo, src, bytes, now, None).flatten()
+    }
+
+    /// [`Transport::broadcast`] carrying an actual payload: byte
+    /// accounting, queueing, loss draws, and telemetry are identical to
+    /// the count-based variant for `bytes == payload.len()`, but the
+    /// result hands every recipient the **same** `Arc<[u8]>` (no
+    /// per-recipient byte copies) with deliveries batched per arrival
+    /// time (one queue insertion per group).
+    pub fn broadcast_payload(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        payload: &Payload,
+        now: SimTime,
+    ) -> BroadcastDeliveries {
+        self.flood(topo, src, payload.len() as u64, now, Some(payload.clone()))
+    }
+
+    /// Shared flooding core: BFS by arrival time, one transmission per
+    /// node with uncovered neighbors, deliveries grouped by arrival
+    /// instant. All neighbors newly covered by one transmission share its
+    /// `reach` time, so they land in one group (groups with coinciding
+    /// arrivals merge); flattening restores the historical per-recipient
+    /// order because coverage order within a group is BFS push order.
+    fn flood(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        bytes: u64,
+        now: SimTime,
+        payload: Option<Payload>,
+    ) -> BroadcastDeliveries {
         self.ensure(topo.len());
         let tx = self.tx_time(bytes);
         let hop_delay = self.hop_delay();
@@ -369,7 +507,8 @@ impl Transport {
         // BFS by arrival time: process nodes in nondecreasing arrival order.
         let mut order: Vec<NodeId> = vec![src];
         let mut head = 0;
-        let mut out = Vec::new();
+        let mut reached = 0usize;
+        let mut groups: Vec<(SimTime, Vec<NodeId>)> = Vec::new();
         while head < order.len() {
             let u = order[head];
             head += 1;
@@ -397,22 +536,26 @@ impl Transport {
                     arrival[v.0] = Some(reach);
                     self.stats.received[v.0] += bytes;
                     order.push(v);
-                    out.push((v, reach));
+                    reached += 1;
+                    match groups.last_mut() {
+                        Some((t, nodes)) if *t == reach => nodes.push(v),
+                        _ => groups.push((reach, vec![v])),
+                    }
                 }
             }
         }
         telemetry::counter_add("transport.broadcasts", 1);
         if telemetry::is_enabled() {
-            telemetry::record("transport.broadcast_reach", out.len() as f64);
+            telemetry::record("transport.broadcast_reach", reached as f64);
         }
         trace_event!(
             "transport.broadcast",
             now.as_millis(),
             src = src.0,
             bytes = bytes,
-            reached = out.len()
+            reached = reached
         );
-        out
+        BroadcastDeliveries { payload, groups }
     }
 }
 
@@ -760,6 +903,90 @@ mod tests {
     #[should_panic(expected = "latency factor")]
     fn latency_factor_below_one_rejected() {
         Transport::new(TransportConfig::default()).set_latency_factor(0.5);
+    }
+
+    #[test]
+    fn broadcast_payload_matches_count_based_broadcast() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let topo = crate::topology::Topology::random_connected(
+            25,
+            crate::topology::TopologyConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let bytes = vec![0xABu8; 1000];
+        for loss in [0.0, 0.3] {
+            let mut by_count = Transport::new(TransportConfig::default());
+            let mut by_payload = Transport::new(TransportConfig::default());
+            for tr in [&mut by_count, &mut by_payload] {
+                tr.seed_faults(77);
+                tr.set_loss_prob(loss);
+            }
+            let flat = by_count.broadcast(&topo, NodeId(0), 1000, SimTime::ZERO);
+            let grouped = by_payload.broadcast_payload(
+                &topo,
+                NodeId(0),
+                &Payload::from(bytes.clone()),
+                SimTime::ZERO,
+            );
+            assert_eq!(grouped.flatten(), flat, "loss={loss}");
+            assert_eq!(grouped.reached(), flat.len());
+            assert_eq!(
+                by_count.stats().total_sent(),
+                by_payload.stats().total_sent()
+            );
+            assert_eq!(by_count.messages_dropped(), by_payload.messages_dropped());
+        }
+    }
+
+    #[test]
+    fn deliveries_batch_same_arrival_into_one_group() {
+        // A star: the centre's single transmission covers all three leaves
+        // at the same instant — one group, not three.
+        let topo = Topology::from_positions(vec![
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+            Point::new(-60.0, 0.0),
+            Point::new(0.0, 60.0),
+        ]);
+        let mut tr = Transport::new(TransportConfig::default());
+        let d = tr.broadcast_payload(
+            &topo,
+            NodeId(0),
+            &Payload::from(vec![1u8; 100]),
+            SimTime::ZERO,
+        );
+        assert_eq!(d.reached(), 3);
+        assert_eq!(d.groups().len(), 1, "one arrival instant, one group");
+        assert_eq!(d.groups()[0].1.len(), 3);
+        // A line delivers hop by hop: one group per hop.
+        let line_topo = line(4);
+        let mut tr = Transport::new(TransportConfig::default());
+        let d = tr.broadcast_payload(
+            &line_topo,
+            NodeId(0),
+            &Payload::from(vec![1u8; 100]),
+            SimTime::ZERO,
+        );
+        assert_eq!(d.reached(), 3);
+        assert_eq!(d.groups().len(), 3);
+    }
+
+    #[test]
+    fn payload_is_shared_not_copied() {
+        let payload = Payload::from(vec![7u8; 64]);
+        let topo = line(3);
+        let mut tr = Transport::new(TransportConfig::default());
+        let d = tr.broadcast_payload(&topo, NodeId(0), &payload, SimTime::ZERO);
+        let delivered = d.payload().expect("payload broadcast carries payload");
+        assert!(
+            Arc::ptr_eq(&delivered.shared(), &payload.shared()),
+            "deliveries must share the sender's allocation"
+        );
+        assert_eq!(delivered.bytes(), payload.bytes());
+        assert_eq!(delivered.len(), 64);
+        assert!(!delivered.is_empty());
     }
 
     #[test]

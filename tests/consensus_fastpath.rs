@@ -1,0 +1,250 @@
+//! Consensus & propagation fast-path equivalence: the cached PoS hit
+//! table (`pos_hit_cache: true`, the default) and the seal-time block
+//! caches (`block_seal_cache: true`) must be observationally identical to
+//! the uncached reference paths — same `RunReport`, same mined chain,
+//! byte-identical telemetry traces — across figure-sized runs, the
+//! Random-placement baseline, and a chaos run that exercises crashes,
+//! block recovery (the per-recovery re-encode path), and lossy broadcast.
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, Placement, RunReport};
+use edgechain::sim::{FaultEvent, FaultPlan, NodeId, SimTime};
+use edgechain::telemetry;
+
+fn run(cfg: NetworkConfig) -> RunReport {
+    EdgeNetwork::new(cfg).expect("valid config").run()
+}
+
+/// Fig. 4-sized cell: 30 nodes, 2 items/min, 40 simulated minutes.
+fn fig4_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 30,
+        data_items_per_min: 2.0,
+        sim_minutes: 40,
+        seed: 0xFA57_0004,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Fig. 5-sized cell under the Random baseline — the placement that
+/// draws from the run's rng, so any extra/missing draw on the fast paths
+/// (neither consumes rng) would cascade into a visibly different run.
+fn fig5_random_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 2.0,
+        sim_minutes: 40,
+        placement: Placement::Random,
+        seed: 0xFA57_0005,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Chaos run: crashes (dropping candidates out of PoS rounds mid-height),
+/// a restart, and a lossy window (per-reception broadcast loss draws plus
+/// block recovery, which serves chain blocks over unicast).
+fn chaos_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 2.0,
+        sim_minutes: 25,
+        request_interval_secs: 60,
+        fault_plan: FaultPlan::new(vec![
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: SimTime::from_secs(500),
+            },
+            FaultEvent::Restart {
+                node: NodeId(3),
+                at: SimTime::from_secs(900),
+            },
+            FaultEvent::Crash {
+                node: NodeId(11),
+                at: SimTime::from_secs(650),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.05,
+                from: SimTime::from_secs(200),
+                until: SimTime::from_secs(1_000),
+            },
+        ]),
+        seed: 0xFA57_C405,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Same config, both consensus caches on vs off, telemetry disarmed
+/// (hit/encode counters legitimately differ between the paths): the full
+/// reports must be equal — every winner, delay, rng draw, and transport
+/// byte included.
+fn assert_paths_equivalent(label: &str, cfg: NetworkConfig) {
+    let fast = run(NetworkConfig {
+        pos_hit_cache: true,
+        block_seal_cache: true,
+        ..cfg.clone()
+    });
+    let baseline = run(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: false,
+        ..cfg
+    });
+    assert!(fast.telemetry.is_none() && baseline.telemetry.is_none());
+    assert_eq!(fast, baseline, "{label}: consensus fast path diverged");
+}
+
+#[test]
+fn fig4_sized_run_is_equivalent() {
+    assert_paths_equivalent("fig4", fig4_config());
+}
+
+#[test]
+fn fig5_random_placement_is_equivalent() {
+    assert_paths_equivalent("fig5-random", fig5_random_config());
+}
+
+#[test]
+fn chaos_run_is_equivalent() {
+    assert_paths_equivalent("chaos", chaos_config());
+}
+
+/// Flipping each cache on its own must also be invisible — the two fast
+/// paths are independent and neither may lean on the other for
+/// equivalence.
+#[test]
+fn each_cache_is_independently_equivalent() {
+    let reference = run(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: false,
+        ..fig4_config()
+    });
+    let pos_only = run(NetworkConfig {
+        pos_hit_cache: true,
+        block_seal_cache: false,
+        ..fig4_config()
+    });
+    let seal_only = run(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: true,
+        ..fig4_config()
+    });
+    assert_eq!(pos_only, reference, "pos_hit_cache alone diverged");
+    assert_eq!(seal_only, reference, "block_seal_cache alone diverged");
+}
+
+/// The mined chains themselves must be identical block for block, not
+/// just the aggregate report.
+#[test]
+fn chains_are_identical_across_paths() {
+    let (_, fast) = EdgeNetwork::new(NetworkConfig {
+        pos_hit_cache: true,
+        block_seal_cache: true,
+        ..fig4_config()
+    })
+    .expect("valid config")
+    .run_with_chain();
+    let (_, base) = EdgeNetwork::new(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: false,
+        ..fig4_config()
+    })
+    .expect("valid config")
+    .run_with_chain();
+    assert!(fast.height() > 0, "the run must mine blocks");
+    assert_eq!(fast, base);
+}
+
+/// Runs with telemetry armed; returns the JSONL trace and the report.
+fn run_traced(cfg: NetworkConfig) -> (String, RunReport) {
+    telemetry::enable();
+    let report = run(cfg);
+    let session = telemetry::finish().expect("telemetry was enabled");
+    (session.trace_jsonl(), report)
+}
+
+/// The sim-clock trace (every `pos.round`, `block.mined`, and
+/// `transport.broadcast` event) must be byte-identical between the two
+/// paths — the caches emit no trace events of their own, so arming
+/// tracing cannot mask a divergence.
+#[test]
+fn traces_are_byte_identical_across_paths() {
+    let (trace_fast, mut report_fast) = run_traced(NetworkConfig {
+        pos_hit_cache: true,
+        block_seal_cache: true,
+        ..chaos_config()
+    });
+    let (trace_base, mut report_base) = run_traced(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: false,
+        ..chaos_config()
+    });
+    assert!(trace_fast.contains("pos.round"), "the run must mine");
+    assert!(
+        trace_fast.contains("transport.broadcast"),
+        "the run must broadcast blocks"
+    );
+    assert_eq!(
+        trace_fast.as_bytes(),
+        trace_base.as_bytes(),
+        "traces must match byte for byte"
+    );
+    // Reports agree on everything except the hit/encode accounting.
+    report_fast.telemetry = None;
+    report_base.telemetry = None;
+    assert_eq!(report_fast, report_base);
+}
+
+/// The fast path itself stays deterministic: seeded reruns produce
+/// byte-identical traces and equal reports (telemetry snapshot included).
+#[test]
+fn fast_path_reruns_are_byte_identical() {
+    let (trace_a, report_a) = run_traced(chaos_config());
+    let (trace_b, report_b) = run_traced(chaos_config());
+    assert_eq!(trace_a.as_bytes(), trace_b.as_bytes());
+    assert!(report_a.telemetry.is_some());
+    assert_eq!(report_a, report_b);
+}
+
+/// The caches must actually work. Each block takes ~2 PoS rounds at one
+/// height (schedule + mine) over a near-identical candidate set, so round
+/// two should be nearly all hits; and the seal cache should hold block
+/// encodes at roughly one per block where the uncached path pays one per
+/// wire-size query, broadcast, and recovery.
+#[test]
+fn cache_counters_show_reuse() {
+    let (_, report) = run_traced(chaos_config());
+    let snapshot = report.telemetry.expect("telemetry was armed");
+    let hit = snapshot.counter("pos.hit_cache_hit").unwrap_or(0);
+    let miss = snapshot.counter("pos.hit_cache_miss").unwrap_or(0);
+    let rounds = snapshot.counter("pos.rounds").unwrap_or(0);
+    assert!(rounds > 0, "the run must mine");
+    assert!(miss > 0, "first round per height must miss, got {miss}");
+    assert!(
+        hit >= miss / 2,
+        "second round per height should mostly hit: {hit} hits vs {miss} misses"
+    );
+    let mined = snapshot.counter("block.mined").unwrap_or(0);
+    let encodes = snapshot.counter("codec.block_encodes").unwrap_or(0);
+    assert!(mined > 0);
+    // One seal-time encode per mined block, plus item announcements'
+    // metadata encodes don't count here; recovery re-serves reuse it.
+    assert!(
+        encodes <= 2 * mined,
+        "seal cache leaking encodes: {encodes} encodes for {mined} blocks"
+    );
+
+    let (_, uncached) = run_traced(NetworkConfig {
+        pos_hit_cache: false,
+        block_seal_cache: false,
+        ..chaos_config()
+    });
+    let snap_base = uncached.telemetry.expect("telemetry was armed");
+    let encodes_base = snap_base.counter("codec.block_encodes").unwrap_or(0);
+    assert!(
+        encodes < encodes_base,
+        "cached path must encode strictly less: {encodes} vs {encodes_base}"
+    );
+    assert_eq!(
+        snap_base.counter("pos.hit_cache_hit").unwrap_or(0),
+        0,
+        "uncached path must never touch the hit table"
+    );
+}
