@@ -278,6 +278,25 @@ impl Block {
         Ok(())
     }
 
+    /// Checks this block's PoS-hash linkage against its predecessor
+    /// (Eq. 7 chaining: `pos_hash = Hash(prev.pos_hash ‖ miner)`).
+    ///
+    /// This is deliberately *not* part of [`Block::validate_against`]: unit
+    /// fixtures seal blocks with arbitrary pos hashes, and only live wire
+    /// reception — where the sender may be Byzantine — needs the check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::BadPosClaim`] when the chained hash does not
+    /// match, i.e. the miner forged a hit it never earned.
+    pub fn check_pos_link(&self, prev: &Block) -> Result<(), BlockError> {
+        if crate::pos::verify_pos_linkage(&prev.pos_hash, &self.miner, &self.pos_hash) {
+            Ok(())
+        } else {
+            Err(BlockError::BadPosClaim { index: self.index })
+        }
+    }
+
     /// The block's wire encoding, computed once and shared as an
     /// `Arc<[u8]>`: broadcast, `fetch_data` replies, and replica repair
     /// all hand out clones of the same allocation instead of re-running
@@ -432,6 +451,34 @@ mod tests {
         let b = child_of(&g, 60);
         assert!(b.is_well_formed());
         assert_eq!(b.validate_against(&g), Ok(()));
+    }
+
+    #[test]
+    fn pos_linkage_check_accepts_earned_and_rejects_forged() {
+        let g = Block::genesis();
+        let miner = Identity::from_seed(1).account();
+        let mut b = child_of(&g, 60);
+        b.pos_hash = crate::pos::next_pos_hash(&g.pos_hash, &miner);
+        let b = Block::new(
+            b.index,
+            b.prev_hash,
+            b.timestamp_secs,
+            b.pos_hash,
+            miner,
+            b.delay_secs,
+            b.amendment,
+            b.metadata.clone(),
+            b.storing_nodes.clone(),
+            b.prev_storing_nodes.clone(),
+            b.recent_cache_nodes.clone(),
+        );
+        assert_eq!(b.check_pos_link(&g), Ok(()));
+        // The fixture child uses an arbitrary pos hash — a forged claim.
+        let forged = child_of(&g, 60);
+        assert_eq!(
+            forged.check_pos_link(&g),
+            Err(BlockError::BadPosClaim { index: 1 })
+        );
     }
 
     #[test]

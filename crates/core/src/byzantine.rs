@@ -1,0 +1,795 @@
+//! Byzantine adversary engine: per-node chain views, misbehavior
+//! bookkeeping, detection proofs, and quarantine state.
+//!
+//! The paper's threat model (§III-B.2) includes nodes that misbehave in
+//! consensus, not just ones that deny storage service. This module holds
+//! the state the network layer needs to make that real: each node tracks
+//! its *own* adopted chain (so conflicting tips can actually exist),
+//! foreign blocks are verified in full before adoption
+//! ([`crate::chain::verify_wire_block`]), divergent views reconcile
+//! through live [`Blockchain::try_adopt_checkpointed`] fork choice, and
+//! proofs of misbehavior — equivocation (two valid headers, same height
+//! and miner), forged PoS claims, tampered signatures, undecodable
+//! payloads, repeated denials — feed a per-node quarantine with stake
+//! slashing (Eq. 7's `S_i`) and eventual re-admission.
+//!
+//! Everything here is deterministic: the engine's RNG is a dedicated
+//! stream seeded from the run seed, artifacts are counted by identity
+//! (an equivocation pair is *one* injected artifact however many nodes
+//! observe it), and no wall clock is consulted — reruns are bit-identical.
+
+use crate::account::AccountId;
+use crate::block::{Block, BlockError};
+use crate::chain::{verify_wire_block, Blockchain, CheckpointPolicy};
+use edgechain_sim::{ByzantineAction, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// A private fork a withholding miner has sealed but not yet released.
+#[derive(Debug, Clone)]
+pub struct WithheldFork {
+    /// The withholding miner.
+    pub miner: NodeId,
+    /// Canonical height the fork diverges after (the fork's first block
+    /// sits at `base_height + 1`).
+    pub base_height: u64,
+    /// The withheld blocks, in order.
+    pub blocks: Vec<Block>,
+    /// Artifact id counted under `byz.injected`.
+    pub artifact: u64,
+}
+
+/// What happened when a node processed a block received from the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByzantineOutcome {
+    /// The block verified and extended the node's chain.
+    Extended,
+    /// The block is at or below the node's tip and consistent (or from a
+    /// different miner); nothing to do.
+    Stale,
+    /// The block skips ahead of the node's tip; the node must reconcile
+    /// with the canonical chain ([`ByzantineEngine::sync`]).
+    NeedsSync,
+    /// Verification failed — the block is invalid and was dropped.
+    Rejected(BlockError),
+    /// The block conflicts with one the node already holds at the same
+    /// height from the same miner: an equivocation proof.
+    Equivocation {
+        /// Height of the conflicting pair.
+        height: u64,
+        /// The equivocating miner.
+        miner: AccountId,
+    },
+}
+
+/// Verdict on a stashed orphan block once its node has synced far enough
+/// to judge it (see [`ByzantineEngine::resolve_orphans`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrphanVerdict {
+    /// The orphan was a Byzantine wire artifact (forged PoS claim or
+    /// tampered signatures) now disproven by the adopted honest block at
+    /// its height.
+    Forged {
+        /// Artifact id counted under `byz.injected`.
+        artifact: u64,
+        /// Trace kind the artifact was injected under.
+        kind: &'static str,
+        /// The claimed miner, to be quarantined.
+        miner: AccountId,
+    },
+    /// The orphan conflicts with the adopted block at the same height
+    /// from the same miner: a two-headers equivocation proof.
+    Equivocation {
+        /// Height of the conflicting pair.
+        height: u64,
+        /// The equivocating miner.
+        miner: AccountId,
+    },
+}
+
+/// A stashed orphan block plus its injected-artifact tag (`(artifact id,
+/// trace kind)`) when the sender was Byzantine; `None` for honest or
+/// equivocation-variant traffic.
+type StashedOrphan = (Block, Option<(u64, &'static str)>);
+
+/// Result of reconciling one node's chain with the canonical chain.
+#[derive(Debug, Clone, Default)]
+pub struct SyncResult {
+    /// Number of blocks the node discarded, when fork choice adopted the
+    /// canonical branch over a divergent local one.
+    pub reorg_depth: Option<u64>,
+    /// Equivocation proofs surfaced by the reorg: replaced local blocks
+    /// whose canonical counterpart has the same miner but a different
+    /// hash.
+    pub equivocations: Vec<(u64, AccountId)>,
+}
+
+/// Deterministic Byzantine adversary state for one run. Allocated only
+/// when the fault plan schedules Byzantine actions, so honest runs carry
+/// no per-node chains and stay bit-identical to earlier releases.
+#[derive(Debug, Clone)]
+pub struct ByzantineEngine {
+    /// Each node's locally adopted chain, indexed by node id.
+    pub chains: Vec<Blockchain>,
+    /// Whether each node holds any Byzantine role in the plan.
+    pub byz_role: Vec<bool>,
+    /// Armed mining-triggered actions per node, consumed FIFO at the
+    /// node's next election win.
+    pending: Vec<VecDeque<ByzantineAction>>,
+    /// Per-node quarantine expiry (None = not quarantined).
+    quarantined_until: Vec<Option<SimTime>>,
+    /// Per-node denial strikes toward the quarantine threshold.
+    strikes: Vec<u32>,
+    /// Cumulative tokens slashed per node, re-applied after ledger
+    /// re-derivation on trunk reorgs.
+    slashed: Vec<u64>,
+    /// Canonical height at which each node is sitting out elections (a
+    /// failed Byzantine round must not deterministically re-elect its
+    /// author at the same height forever).
+    sit_out: Vec<Option<u64>>,
+    /// The single private fork in flight, if any.
+    pub withheld: Option<WithheldFork>,
+    /// Per-node orphan pool: wire blocks ahead of the node's tip, kept
+    /// until the node syncs far enough to judge them (bounded FIFO).
+    orphans: Vec<VecDeque<StashedOrphan>>,
+    /// Artifact ids of known equivocations, keyed by `(height, miner)`.
+    equivocation_artifacts: HashMap<(u64, AccountId), u64>,
+    detected_artifacts: Vec<bool>,
+    injected: u64,
+    detected: u64,
+    reorgs: u64,
+    max_reorg_depth: u64,
+    quarantine_events: u64,
+    readmissions: u64,
+    rng: StdRng,
+    policy: CheckpointPolicy,
+    quarantine_secs: u64,
+    denial_threshold: u32,
+}
+
+impl ByzantineEngine {
+    /// Builds the engine for a network of `nodes` nodes. `byz_nodes` are
+    /// the nodes the plan names in any Byzantine action; `seed` feeds the
+    /// engine's dedicated RNG stream (forged hashes, garbage bytes).
+    pub fn new(
+        nodes: usize,
+        byz_nodes: &[NodeId],
+        seed: u64,
+        policy: CheckpointPolicy,
+        quarantine_secs: u64,
+        denial_threshold: u32,
+    ) -> Self {
+        let mut byz_role = vec![false; nodes];
+        for v in byz_nodes {
+            byz_role[v.0] = true;
+        }
+        ByzantineEngine {
+            chains: vec![Blockchain::new(); nodes],
+            byz_role,
+            pending: vec![VecDeque::new(); nodes],
+            quarantined_until: vec![None; nodes],
+            strikes: vec![0; nodes],
+            slashed: vec![0; nodes],
+            sit_out: vec![None; nodes],
+            withheld: None,
+            orphans: vec![VecDeque::new(); nodes],
+            equivocation_artifacts: HashMap::new(),
+            detected_artifacts: Vec::new(),
+            injected: 0,
+            detected: 0,
+            reorgs: 0,
+            max_reorg_depth: 0,
+            quarantine_events: 0,
+            readmissions: 0,
+            rng: StdRng::seed_from_u64(seed),
+            policy,
+            quarantine_secs,
+            denial_threshold,
+        }
+    }
+
+    /// The checkpoint policy governing every fork-choice decision.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    // ---- roles & arming -------------------------------------------------
+
+    /// Arms a mining-triggered action for `node` (consumed at its next
+    /// election win).
+    pub fn arm(&mut self, node: NodeId, action: ByzantineAction) {
+        self.pending[node.0].push_back(action);
+    }
+
+    /// Pops the next armed action for a freshly elected miner.
+    /// [`ByzantineAction::TamperSignature`] stays armed until the round
+    /// actually packs metadata (there is no signature to corrupt in an
+    /// empty block).
+    pub fn next_mining_action(
+        &mut self,
+        node: NodeId,
+        has_pending_metadata: bool,
+    ) -> Option<ByzantineAction> {
+        match self.pending[node.0].front() {
+            Some(ByzantineAction::TamperSignature) if !has_pending_metadata => None,
+            Some(_) => self.pending[node.0].pop_front(),
+            None => None,
+        }
+    }
+
+    // ---- artifact accounting -------------------------------------------
+
+    /// Registers one injected Byzantine artifact and returns its id.
+    pub fn note_injected(&mut self) -> u64 {
+        let id = self.detected_artifacts.len() as u64;
+        self.detected_artifacts.push(false);
+        self.injected += 1;
+        id
+    }
+
+    /// Marks an artifact detected; returns `true` the first time.
+    pub fn note_detected(&mut self, artifact: u64) -> bool {
+        let slot = &mut self.detected_artifacts[artifact as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.detected += 1;
+            true
+        }
+    }
+
+    /// Registers (or retrieves) the artifact id of an equivocation pair.
+    pub fn register_equivocation(&mut self, height: u64, miner: AccountId) -> u64 {
+        if let Some(&id) = self.equivocation_artifacts.get(&(height, miner)) {
+            return id;
+        }
+        let id = self.note_injected();
+        self.equivocation_artifacts.insert((height, miner), id);
+        id
+    }
+
+    /// Looks up the artifact id of a proven equivocation, if the pair was
+    /// an injected one.
+    pub fn lookup_equivocation(&self, height: u64, miner: AccountId) -> Option<u64> {
+        self.equivocation_artifacts.get(&(height, miner)).copied()
+    }
+
+    /// Total injected artifacts so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total artifacts detected by at least one honest node.
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    // ---- quarantine ----------------------------------------------------
+
+    /// Quarantines `node` until `now + quarantine_secs`. Returns `true`
+    /// when this is a new quarantine (not an extension of an active one).
+    pub fn quarantine(&mut self, node: NodeId, now: SimTime) -> bool {
+        let fresh = !self.is_quarantined(node, now);
+        if fresh {
+            self.quarantine_events += 1;
+        }
+        self.quarantined_until[node.0] = Some(now + SimTime::from_secs(self.quarantine_secs));
+        fresh
+    }
+
+    /// Whether `node` is quarantined at `now`.
+    pub fn is_quarantined(&self, node: NodeId, now: SimTime) -> bool {
+        matches!(self.quarantined_until[node.0], Some(until) if until > now)
+    }
+
+    /// Clears expired quarantines, counting re-admissions. Returns how
+    /// many nodes were re-admitted at this sweep.
+    pub fn readmit_due(&mut self, now: SimTime) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.quarantined_until {
+            if matches!(slot, Some(until) if *until <= now) {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.readmissions += n;
+        n
+    }
+
+    /// Nodes currently quarantined at `now`.
+    pub fn active_quarantines(&self, now: SimTime) -> usize {
+        (0..self.quarantined_until.len())
+            .filter(|&v| self.is_quarantined(NodeId(v), now))
+            .count()
+    }
+
+    /// Records a denial strike against a storer; returns `true` when the
+    /// strike crosses the quarantine threshold.
+    pub fn strike(&mut self, node: NodeId) -> bool {
+        self.strikes[node.0] += 1;
+        self.strikes[node.0] == self.denial_threshold
+    }
+
+    /// Records `amount` tokens slashed from `node` (re-applied after
+    /// ledger re-derivation on trunk reorgs).
+    pub fn record_slash(&mut self, node: NodeId, amount: u64) {
+        self.slashed[node.0] += amount;
+    }
+
+    /// Cumulative slash per node, indexed by node id.
+    pub fn slashes(&self) -> &[u64] {
+        &self.slashed
+    }
+
+    // ---- election gating -----------------------------------------------
+
+    /// Whether `node` must be excluded from the election at the given
+    /// canonical height (quarantined, or sitting out after a failed
+    /// Byzantine round at this height).
+    pub fn is_excluded(&self, node: NodeId, now: SimTime, canonical_height: u64) -> bool {
+        self.is_quarantined(node, now) || self.sit_out[node.0] == Some(canonical_height)
+    }
+
+    /// Benches `node` from elections while the canonical chain stays at
+    /// `height` (progress guarantee: a failed Byzantine round must hand
+    /// the election to the runner-up instead of re-electing its author in
+    /// an infinite loop at one instant).
+    pub fn bench(&mut self, node: NodeId, height: u64) {
+        self.sit_out[node.0] = Some(height);
+    }
+
+    /// Lifts a bench early (e.g. when the private fork resolves).
+    pub fn unbench(&mut self, node: NodeId) {
+        self.sit_out[node.0] = None;
+    }
+
+    // ---- reorg accounting ----------------------------------------------
+
+    /// Counts one reorg of `depth` discarded blocks.
+    pub fn record_reorg(&mut self, depth: u64) {
+        self.reorgs += 1;
+        self.max_reorg_depth = self.max_reorg_depth.max(depth);
+    }
+
+    /// Total reorgs (per-node adoptions and trunk reorgs).
+    pub fn reorgs(&self) -> u64 {
+        self.reorgs
+    }
+
+    /// Deepest reorg seen, in discarded blocks.
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.max_reorg_depth
+    }
+
+    /// Quarantine events so far.
+    pub fn quarantine_events(&self) -> u64 {
+        self.quarantine_events
+    }
+
+    /// Re-admissions so far.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
+    }
+
+    // ---- adversarial material ------------------------------------------
+
+    /// A fresh digest from the engine's dedicated RNG stream (forged PoS
+    /// claims).
+    pub fn next_digest(&mut self) -> edgechain_crypto::Digest {
+        let mut raw = [0u8; 32];
+        self.rng.fill(&mut raw);
+        edgechain_crypto::Digest(raw)
+    }
+
+    /// `n` deterministic garbage bytes from the engine's RNG stream.
+    pub fn garbage_bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.rng.fill(&mut out[..]);
+        out
+    }
+
+    /// A draw from the engine's RNG in `[0, bound)` (payload-shape
+    /// choices).
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+
+    // ---- per-node chain views ------------------------------------------
+
+    /// Processes a wire-received block against node `v`'s chain view:
+    /// verifies in full when it extends the tip, flags conflicting
+    /// same-height/same-miner headers as equivocation proofs, and asks for
+    /// a sync when the block skips ahead.
+    pub fn deliver(&mut self, v: NodeId, block: &Block) -> ByzantineOutcome {
+        let chain = &mut self.chains[v.0];
+        let tip_index = chain.tip().index;
+        if block.index == tip_index + 1 {
+            match verify_wire_block(chain.tip(), block) {
+                Ok(()) => {
+                    chain
+                        .push(block.clone())
+                        .expect("verified block must push cleanly");
+                    ByzantineOutcome::Extended
+                }
+                Err(e) => ByzantineOutcome::Rejected(e),
+            }
+        } else if block.index <= tip_index {
+            match chain.get(block.index) {
+                Some(ours)
+                    if ours.hash != block.hash
+                        && ours.miner == block.miner
+                        && block.is_well_formed() =>
+                {
+                    ByzantineOutcome::Equivocation {
+                        height: block.index,
+                        miner: block.miner,
+                    }
+                }
+                _ => ByzantineOutcome::Stale,
+            }
+        } else {
+            ByzantineOutcome::NeedsSync
+        }
+    }
+
+    /// Stashes a wire block that skipped ahead of node `v`'s tip. A
+    /// lagging node cannot verify such a block yet (its parent is
+    /// unknown), so it is kept — with the injected-artifact tag when the
+    /// sender was Byzantine — until a later [`Self::sync`] lands the
+    /// honest block at that height and [`Self::resolve_orphans`] can
+    /// judge it. The pool is a small FIFO; honest traffic cycles through
+    /// it without growing it.
+    pub fn stash_orphan(&mut self, v: NodeId, block: Block, artifact: Option<(u64, &'static str)>) {
+        let pool = &mut self.orphans[v.0];
+        if pool.iter().any(|(b, _)| b.hash == block.hash) {
+            return;
+        }
+        pool.push_back((block, artifact));
+        while pool.len() > 8 {
+            // Evict an untagged (honest-looking) orphan first: tagged
+            // ones are the proofs-in-waiting and there are at most a
+            // handful per run.
+            match pool.iter().position(|(_, a)| a.is_none()) {
+                Some(i) => {
+                    pool.remove(i);
+                }
+                None => {
+                    pool.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Judges node `v`'s stashed orphans against its (freshly synced)
+    /// chain: an orphan matching the adopted block at its height was
+    /// honest and is dropped; a mismatching one is proof — of forgery or
+    /// tampering when it carries an artifact tag, of equivocation when
+    /// the adopted block has the same miner. A mismatching untagged
+    /// orphan from a *different* miner is a block displaced by a trunk
+    /// reorg: honest, dropped. Orphans still ahead of the tip stay
+    /// stashed.
+    pub fn resolve_orphans(&mut self, v: NodeId) -> Vec<OrphanVerdict> {
+        let height = self.chains[v.0].height();
+        let mut verdicts = Vec::new();
+        let pool = std::mem::take(&mut self.orphans[v.0]);
+        for (block, artifact) in pool {
+            if block.index > height {
+                self.orphans[v.0].push_back((block, artifact));
+                continue;
+            }
+            let ours = self.chains[v.0]
+                .get(block.index)
+                .expect("index at or below the chain height");
+            if ours.hash == block.hash {
+                continue;
+            }
+            match artifact {
+                Some((artifact, kind)) => verdicts.push(OrphanVerdict::Forged {
+                    artifact,
+                    kind,
+                    miner: block.miner,
+                }),
+                None if ours.miner == block.miner => {
+                    verdicts.push(OrphanVerdict::Equivocation {
+                        height: block.index,
+                        miner: block.miner,
+                    });
+                }
+                None => {}
+            }
+        }
+        verdicts
+    }
+
+    /// Reconciles node `v`'s chain with the canonical chain up to block
+    /// `target` (the node's contiguous recovered height): extends with
+    /// canonical blocks while the linkage holds, and on divergence runs
+    /// checkpointed fork choice over the canonical prefix, surfacing any
+    /// equivocation proofs among the replaced blocks.
+    pub fn sync(&mut self, v: NodeId, canonical: &Blockchain, target: u64) -> SyncResult {
+        let mut result = SyncResult::default();
+        let target = target.min(canonical.height());
+        let chain = &mut self.chains[v.0];
+        while chain.height() < target {
+            let next = canonical
+                .get(chain.height() + 1)
+                .expect("target within canonical chain");
+            if next.prev_hash == chain.tip().hash {
+                chain
+                    .push(next.clone())
+                    .expect("canonical block must extend a canonical prefix");
+            } else {
+                break;
+            }
+        }
+        if chain.height() >= target || chain.fork_point(canonical.as_slice()) > chain.height() {
+            return result;
+        }
+        // Divergence: the node sits on a fork. Adopt the canonical prefix
+        // up to `target` under checkpoint rules.
+        let candidate = &canonical.as_slice()[..=(target as usize)];
+        let fork_point = chain.fork_point(candidate);
+        for h in fork_point..=chain.height() {
+            let (ours, canon) = (chain.get(h), canonical.get(h));
+            if let (Some(a), Some(b)) = (ours, canon) {
+                if a.miner == b.miner && a.hash != b.hash {
+                    result.equivocations.push((h, a.miner));
+                }
+            }
+        }
+        let depth = chain.divergence_depth(candidate);
+        if chain.try_adopt_checkpointed(candidate, self.policy) {
+            result.reorg_depth = Some(depth);
+            self.record_reorg(depth);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Identity;
+    use crate::pos::{next_pos_hash, Amendment};
+
+    fn mined(prev: &Block, seed: u64, ts: u64) -> Block {
+        let account = Identity::from_seed(seed).account();
+        Block::new(
+            prev.index + 1,
+            prev.hash,
+            ts,
+            next_pos_hash(&prev.pos_hash, &account),
+            account,
+            60,
+            Amendment::from_fraction(1, 1000),
+            Vec::new(),
+            vec![NodeId(0)],
+            prev.storing_nodes.clone(),
+            Vec::new(),
+        )
+    }
+
+    fn engine(nodes: usize) -> ByzantineEngine {
+        ByzantineEngine::new(
+            nodes,
+            &[NodeId(0)],
+            7,
+            CheckpointPolicy { interval: 4 },
+            600,
+            3,
+        )
+    }
+
+    #[test]
+    fn deliver_extends_rejects_and_proves_equivocation() {
+        let mut eng = engine(2);
+        let genesis = Block::genesis();
+        let good = mined(&genesis, 1, 60);
+        assert_eq!(eng.deliver(NodeId(1), &good), ByzantineOutcome::Extended);
+        assert_eq!(eng.chains[1].height(), 1);
+
+        // A forged PoS claim is rejected at the wire.
+        let mut forged = mined(&good, 2, 120);
+        forged.pos_hash = edgechain_crypto::sha256(b"never earned");
+        let forged = Block::new(
+            forged.index,
+            forged.prev_hash,
+            forged.timestamp_secs,
+            forged.pos_hash,
+            forged.miner,
+            forged.delay_secs,
+            forged.amendment,
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(
+            eng.deliver(NodeId(1), &forged),
+            ByzantineOutcome::Rejected(BlockError::BadPosClaim { .. })
+        ));
+
+        // Same height, same miner, different hash: equivocation proof.
+        let variant = {
+            let account = Identity::from_seed(1).account();
+            Block::new(
+                1,
+                genesis.hash,
+                61,
+                next_pos_hash(&genesis.pos_hash, &account),
+                account,
+                60,
+                Amendment::from_fraction(1, 1000),
+                Vec::new(),
+                Vec::new(),
+                genesis.storing_nodes.clone(),
+                Vec::new(),
+            )
+        };
+        assert_eq!(
+            eng.deliver(NodeId(1), &variant),
+            ByzantineOutcome::Equivocation {
+                height: 1,
+                miner: Identity::from_seed(1).account()
+            }
+        );
+
+        // A block far ahead asks for a sync.
+        let mut canonical = Blockchain::new();
+        for i in 0..4 {
+            let b = mined(canonical.tip(), 1, (i + 1) * 60);
+            canonical.push(b).unwrap();
+        }
+        assert_eq!(
+            eng.deliver(NodeId(1), canonical.get(4).unwrap()),
+            ByzantineOutcome::NeedsSync
+        );
+    }
+
+    #[test]
+    fn sync_reorgs_a_divergent_view_and_surfaces_equivocations() {
+        let mut eng = engine(2);
+        let mut canonical = Blockchain::new();
+        for i in 0..3 {
+            let b = mined(canonical.tip(), 1, (i + 1) * 60);
+            canonical.push(b).unwrap();
+        }
+        // Node 1 adopted an equivocating variant at height 1 (same miner).
+        let variant = {
+            let account = Identity::from_seed(1).account();
+            Block::new(
+                1,
+                Block::genesis().hash,
+                61,
+                next_pos_hash(&Block::genesis().pos_hash, &account),
+                account,
+                60,
+                Amendment::from_fraction(1, 1000),
+                Vec::new(),
+                Vec::new(),
+                Block::genesis().storing_nodes.clone(),
+                Vec::new(),
+            )
+        };
+        assert_eq!(eng.deliver(NodeId(1), &variant), ByzantineOutcome::Extended);
+        let result = eng.sync(NodeId(1), &canonical, 3);
+        assert_eq!(result.reorg_depth, Some(1));
+        assert_eq!(
+            result.equivocations,
+            vec![(1, Identity::from_seed(1).account())]
+        );
+        assert_eq!(eng.chains[1], canonical);
+        assert_eq!(eng.reorgs(), 1);
+        assert_eq!(eng.max_reorg_depth(), 1);
+
+        // A lagging prefix syncs without a reorg.
+        let r2 = eng.sync(NodeId(0), &canonical, 2);
+        assert_eq!(r2.reorg_depth, None);
+        assert!(r2.equivocations.is_empty());
+        assert_eq!(eng.chains[0].height(), 2);
+    }
+
+    #[test]
+    fn quarantine_strikes_and_readmission() {
+        let mut eng = engine(3);
+        let now = SimTime::from_secs(100);
+        assert!(!eng.strike(NodeId(2)));
+        assert!(!eng.strike(NodeId(2)));
+        assert!(eng.strike(NodeId(2)), "third strike crosses the threshold");
+        assert!(eng.quarantine(NodeId(2), now));
+        assert!(!eng.quarantine(NodeId(2), now), "already quarantined");
+        assert!(eng.is_quarantined(NodeId(2), now));
+        assert!(eng.is_excluded(NodeId(2), now, 0));
+        assert_eq!(eng.active_quarantines(now), 1);
+        assert_eq!(eng.quarantine_events(), 1);
+        let later = now + SimTime::from_secs(600);
+        assert!(!eng.is_quarantined(NodeId(2), later));
+        assert_eq!(eng.readmit_due(later), 1);
+        assert_eq!(eng.readmissions(), 1);
+        assert_eq!(eng.active_quarantines(later), 0);
+    }
+
+    #[test]
+    fn artifact_accounting_counts_each_artifact_once() {
+        let mut eng = engine(2);
+        let a = eng.note_injected();
+        let b = eng.register_equivocation(5, Identity::from_seed(1).account());
+        assert_eq!(
+            eng.register_equivocation(5, Identity::from_seed(1).account()),
+            b
+        );
+        assert_eq!(eng.injected(), 2);
+        assert!(eng.note_detected(a));
+        assert!(!eng.note_detected(a), "second observation does not recount");
+        assert!(eng.note_detected(b));
+        assert_eq!(eng.detected(), 2);
+        assert_eq!(
+            eng.lookup_equivocation(5, Identity::from_seed(1).account()),
+            Some(b)
+        );
+        assert_eq!(
+            eng.lookup_equivocation(6, Identity::from_seed(1).account()),
+            None
+        );
+    }
+
+    #[test]
+    fn bench_excludes_only_at_the_benched_height() {
+        let mut eng = engine(2);
+        eng.bench(NodeId(0), 7);
+        assert!(eng.is_excluded(NodeId(0), SimTime::ZERO, 7));
+        assert!(!eng.is_excluded(NodeId(0), SimTime::ZERO, 8));
+        eng.unbench(NodeId(0));
+        assert!(!eng.is_excluded(NodeId(0), SimTime::ZERO, 7));
+    }
+
+    #[test]
+    fn adversarial_material_is_deterministic() {
+        let mut a = engine(2);
+        let mut b = engine(2);
+        assert_eq!(a.next_digest(), b.next_digest());
+        assert_eq!(a.garbage_bytes(64), b.garbage_bytes(64));
+        assert_eq!(a.draw(10), b.draw(10));
+    }
+
+    #[test]
+    fn orphan_pool_defers_judgement_and_keeps_tagged_entries() {
+        let mut eng = engine(2);
+        let genesis = Block::genesis();
+        let honest = mined(&genesis, 1, 60);
+
+        // Node 1 is still at genesis; a forged block claiming height 1
+        // lands as a tagged orphan, then a flood of competing height-1
+        // claims churns the FIFO — untagged entries must be evicted
+        // before the tagged proof-in-waiting.
+        let forged = mined(&genesis, 2, 61);
+        eng.stash_orphan(NodeId(1), forged.clone(), Some((9, "byz_forge")));
+        eng.stash_orphan(NodeId(1), forged, Some((9, "byz_forge"))); // dedup
+        for seed in 3..13 {
+            eng.stash_orphan(NodeId(1), mined(&genesis, seed, 60 + seed), None);
+        }
+        // A stashed copy of the block the node will adopt is dropped
+        // silently at resolution (same hash ⇒ honest).
+        eng.stash_orphan(NodeId(1), honest.clone(), None);
+        // Nothing resolvable while the node is still behind.
+        assert!(eng.resolve_orphans(NodeId(1)).is_empty());
+
+        // Sync the honest block, then judge: the tagged forgery survived
+        // the FIFO churn and is disproven; untagged blocks from other
+        // miners count as reorg-displaced and are dropped.
+        assert_eq!(eng.deliver(NodeId(1), &honest), ByzantineOutcome::Extended);
+        let verdicts = eng.resolve_orphans(NodeId(1));
+        assert!(
+            verdicts.contains(&OrphanVerdict::Forged {
+                artifact: 9,
+                kind: "byz_forge",
+                miner: Identity::from_seed(2).account(),
+            }),
+            "tagged orphan must survive eviction and be disproven: {verdicts:?}"
+        );
+        // A second resolution pass finds the pool judged and empty.
+        assert!(eng.resolve_orphans(NodeId(1)).is_empty());
+    }
+}

@@ -195,6 +195,27 @@ impl Blockchain {
         self.try_adopt(candidate)
     }
 
+    /// First height at which this chain and `other` disagree — equivalently
+    /// the length of their common prefix. Both start from the same genesis,
+    /// so the result is at least 1 for any two chains built by this crate;
+    /// it equals the shorter length when one is a prefix of the other.
+    pub fn fork_point(&self, other: &[Block]) -> u64 {
+        let shared = self.blocks.len().min(other.len());
+        for (i, theirs) in other.iter().enumerate().take(shared) {
+            if self.blocks[i].hash != theirs.hash {
+                return i as u64;
+            }
+        }
+        shared as u64
+    }
+
+    /// How many of this chain's blocks a reorg onto `candidate` would
+    /// discard: everything above the common prefix. Zero when `candidate`
+    /// extends this chain.
+    pub fn divergence_depth(&self, candidate: &[Block]) -> u64 {
+        self.blocks.len() as u64 - self.fork_point(candidate)
+    }
+
     /// Height of the newest checkpoint block under `policy` (0 when the
     /// chain has not reached the first checkpoint yet). Blocks at or below
     /// this height are final: [`Blockchain::try_adopt_checkpointed`] never
@@ -228,6 +249,21 @@ impl Blockchain {
     pub fn total_metadata_items(&self) -> usize {
         self.blocks.iter().map(|b| b.metadata.len()).sum()
     }
+}
+
+/// Full verification an honest node applies to a block received from the
+/// wire before adopting it onto `prev`: structural linkage
+/// ([`Block::validate_against`]), every metadata producer signature, and
+/// the Eq. 7 PoS-hash chaining ([`Block::check_pos_link`]). Blocks a node
+/// sealed itself skip this — only foreign blocks can lie.
+///
+/// # Errors
+///
+/// Returns the first [`BlockError`] found, in the order above.
+pub fn verify_wire_block(prev: &Block, block: &Block) -> Result<(), BlockError> {
+    block.validate_against(prev)?;
+    Blockchain::verify_block_signatures(block)?;
+    block.check_pos_link(prev)
 }
 
 impl<'a> IntoIterator for &'a Blockchain {
@@ -338,6 +374,24 @@ mod tests {
         assert_eq!(chain.height(), 5);
         assert_eq!(chain.get(3).unwrap().index, 3);
         assert!(chain.get(9).is_none());
+    }
+
+    #[test]
+    fn fork_point_and_divergence_depth() {
+        let trunk = chain_of(5);
+        // Branch that shares the first 3 blocks then diverges.
+        let mut branch = Blockchain::from_blocks(trunk.as_slice()[..4].to_vec()).unwrap();
+        branch
+            .push(mined_block(branch.tip(), 7, 1_000))
+            .expect("divergent block links");
+        assert_eq!(trunk.fork_point(branch.as_slice()), 4);
+        assert_eq!(trunk.divergence_depth(branch.as_slice()), 2);
+        assert_eq!(branch.divergence_depth(trunk.as_slice()), 1);
+        // A strict prefix never diverges.
+        let prefix = &trunk.as_slice()[..3];
+        assert_eq!(trunk.fork_point(prefix), 3);
+        assert_eq!(trunk.divergence_depth(prefix), 3);
+        assert_eq!(trunk.divergence_depth(trunk.as_slice()), 0);
     }
 
     #[test]

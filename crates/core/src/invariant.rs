@@ -20,6 +20,7 @@
 //!   is metered as `under_replicated_item_seconds` and feeds the
 //!   availability figure rather than tripping the checker.
 
+use crate::chain::Blockchain;
 use crate::metadata::MetadataItem;
 use crate::storage::NodeStorage;
 use edgechain_sim::{NodeId, SimTime, Topology};
@@ -56,6 +57,24 @@ pub struct InvariantView<'a> {
     pub node_height: &'a [u64],
     /// Highest block index each node has seen at all.
     pub node_max_known: &'a [u64],
+    /// Per-node fork state, present only when a Byzantine adversary engine
+    /// is live (honest runs never fork, so there is nothing to check).
+    pub forks: Option<ForkView<'a>>,
+}
+
+/// Per-node chain views checked for fork-safety under Byzantine faults.
+pub struct ForkView<'a> {
+    /// The canonical (longest adopted) chain.
+    pub canonical: &'a Blockchain,
+    /// Each node's locally adopted chain, indexed by node id.
+    pub node_chains: &'a [Blockchain],
+    /// Which nodes are honest (no Byzantine role); only honest views are
+    /// held to the fork invariants.
+    pub honest: &'a [bool],
+    /// Checkpoint spacing in blocks: reorgs never cross a checkpoint, and
+    /// honest tips must rejoin the canonical chain within this many
+    /// blocks.
+    pub checkpoint_interval: u64,
 }
 
 impl InvariantChecker {
@@ -98,6 +117,47 @@ impl InvariantChecker {
                 || view.node_max_known[v] > view.chain_height
                 || view.node_height[v] > view.node_max_known[v]
             {
+                self.violations += 1;
+            }
+        }
+
+        if let Some(forks) = &view.forks {
+            self.observe_forks(forks);
+        }
+    }
+
+    /// Fork-safety rules for honest per-node chain views:
+    ///
+    /// 1. *Checkpoint finality*: no honest node finalizes a block below
+    ///    checkpoint depth that conflicts with the canonical chain — every
+    ///    honest chain's latest checkpoint block must equal the canonical
+    ///    block at that height.
+    /// 2. *Bounded divergence*: every honest tip rejoins the canonical
+    ///    chain within one checkpoint interval — walking back at most
+    ///    `checkpoint_interval` blocks from an honest tip must reach a
+    ///    block the canonical chain also contains.
+    fn observe_forks(&mut self, forks: &ForkView<'_>) {
+        let interval = forks.checkpoint_interval.max(1);
+        for (v, chain) in forks.node_chains.iter().enumerate() {
+            if !forks.honest[v] {
+                continue;
+            }
+            let cp = (chain.height() / interval) * interval;
+            match (chain.get(cp), forks.canonical.get(cp)) {
+                (Some(ours), Some(canon)) if ours.hash != canon.hash => {
+                    self.violations += 1;
+                }
+                _ => {}
+            }
+            let tip = chain.height();
+            let floor = tip.saturating_sub(interval);
+            let rejoined = (floor..=tip).rev().any(|h| {
+                matches!(
+                    (chain.get(h), forks.canonical.get(h)),
+                    (Some(a), Some(b)) if a.hash == b.hash
+                )
+            });
+            if !rejoined {
                 self.violations += 1;
             }
         }
@@ -215,6 +275,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0, 0],
                 node_max_known: &[0, 0, 0],
+                forks: None,
             }
         }
         checker.observe(SimTime::ZERO, &view(&topo, &storage, &malicious, &items));
@@ -264,6 +325,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0],
                 node_max_known: &[0, 0],
+                forks: None,
             },
         );
         assert_eq!(checker.violations, 1);
@@ -286,6 +348,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0],
                 node_max_known: &[0, 0],
+                forks: None,
             },
         );
         assert_eq!(checker.violations, 0);
@@ -307,8 +370,75 @@ mod tests {
                 chain_height: 3,
                 node_height: &[5, 2],
                 node_max_known: &[5, 3],
+                forks: None,
             },
         );
         assert_eq!(checker.violations, 1);
+    }
+
+    fn mined(prev: &crate::block::Block, seed: u64, ts: u64) -> crate::block::Block {
+        let account = crate::account::Identity::from_seed(seed).account();
+        crate::block::Block::new(
+            prev.index + 1,
+            prev.hash,
+            ts,
+            crate::pos::next_pos_hash(&prev.pos_hash, &account),
+            account,
+            60,
+            crate::pos::Amendment::from_fraction(1, 1000),
+            Vec::new(),
+            vec![NodeId(0)],
+            prev.storing_nodes.clone(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn fork_rules_catch_checkpoint_conflicts_and_unbounded_divergence() {
+        let mut canonical = Blockchain::new();
+        for i in 0..6u64 {
+            let b = mined(canonical.tip(), i % 2, (i + 1) * 60);
+            canonical.push(b).unwrap();
+        }
+        // Node 0: exact copy (fine). Node 1: lagging prefix (fine).
+        // Node 2: diverges at height 5 only (within the interval bound).
+        let lagging = Blockchain::from_blocks(canonical.as_slice()[..4].to_vec()).unwrap();
+        let mut near_fork = Blockchain::from_blocks(canonical.as_slice()[..5].to_vec()).unwrap();
+        near_fork.push(mined(near_fork.tip(), 3, 900)).unwrap();
+        // Node 3: diverges from genesis — both a checkpoint conflict (its
+        // checkpoint block at height 2 disagrees) and unbounded divergence.
+        let mut alien = Blockchain::new();
+        for i in 0..4u64 {
+            let b = mined(alien.tip(), 9, (i + 1) * 60 + 7);
+            alien.push(b).unwrap();
+        }
+        let chains = vec![canonical.clone(), lagging, near_fork, alien];
+        let topo = line(4);
+        let storage = vec![NodeStorage::new(10); 4];
+        let malicious = vec![false; 4];
+        let view = |honest: &'static [bool]| InvariantView {
+            topo: &topo,
+            storage: &storage,
+            malicious: &malicious,
+            items: &[],
+            chain_height: 6,
+            node_height: &[6, 3, 4, 0],
+            node_max_known: &[6, 3, 5, 0],
+            forks: Some(ForkView {
+                canonical: &canonical,
+                node_chains: &chains,
+                honest,
+                checkpoint_interval: 2,
+            }),
+        };
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(SimTime::from_secs(1), &view(&[true, true, true, false]));
+        assert_eq!(checker.violations, 0, "bounded forks by honest nodes pass");
+        let mut strict = InvariantChecker::new(SimTime::ZERO);
+        strict.observe(SimTime::from_secs(1), &view(&[true, true, true, true]));
+        assert_eq!(
+            strict.violations, 2,
+            "an honest node on an alien fork trips both fork rules"
+        );
     }
 }

@@ -49,6 +49,7 @@
 pub mod account;
 pub mod alloc;
 pub mod block;
+pub mod byzantine;
 pub mod chain;
 pub mod codec;
 pub mod invariant;
@@ -62,8 +63,10 @@ pub mod storage;
 pub use account::{AccountId, Identity, Ledger};
 pub use alloc::{build_instance, select_storers, AllocationContext, Placement};
 pub use block::{Block, BlockError};
+pub use byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, SyncResult, WithheldFork};
+pub use chain::verify_wire_block;
 pub use chain::{Blockchain, ChainError, CheckpointPolicy};
-pub use invariant::{InvariantChecker, InvariantView};
+pub use invariant::{ForkView, InvariantChecker, InvariantView};
 pub use metadata::{DataId, DataType, Location, MetadataItem};
 pub use migration::{
     apply_migration, placement_cost, plan_migration, MigrationConfig, MigrationPlan, Move,

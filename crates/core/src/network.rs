@@ -12,12 +12,17 @@
 //!
 //! ## Fidelity notes (vs. the paper's Docker prototype)
 //!
-//! * The PoS winner is computed from the global round state (every node
-//!   would reach the same verdict by Eq. 7–9), so competing forks never
-//!   arise; what the paper's prototype experienced as "branches" appears
-//!   here as nodes with *missing blocks*, handled by the §IV-D recovery
-//!   protocol. Fork-choice itself is implemented and tested in
-//!   [`crate::chain`].
+//! * On honest runs the PoS winner is computed from the global round
+//!   state (every node would reach the same verdict by Eq. 7–9), so
+//!   competing forks never arise; what the paper's prototype experienced
+//!   as "branches" appears here as nodes with *missing blocks*, handled
+//!   by the §IV-D recovery protocol. When the fault plan schedules
+//!   Byzantine actions, that shortcut is replaced by per-node tip
+//!   tracking through [`crate::byzantine::ByzantineEngine`]: nodes can
+//!   receive conflicting tips (equivocation, withheld private forks),
+//!   every foreign block is verified in full before adoption, and
+//!   divergent views reconcile via live checkpointed fork choice with
+//!   reorg-driven storage/allocation reconciliation.
 //! * Candidates with stale chain views still participate in mining; the
 //!   paper's prototype behaves the same way (a stale miner's block simply
 //!   loses the longest-chain race).
@@ -25,15 +30,16 @@
 use crate::account::{AccountId, Identity, Ledger};
 use crate::alloc::{select_storers_scaled, AllocationContext, Placement};
 use crate::block::Block;
-use crate::chain::Blockchain;
-use crate::invariant::{InvariantChecker, InvariantView};
+use crate::byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, WithheldFork};
+use crate::chain::{Blockchain, CheckpointPolicy};
+use crate::invariant::{ForkView, InvariantChecker, InvariantView};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
 use crate::pos::{run_round, run_round_cached, Candidate, HitTable};
 use crate::storage::NodeStorage;
 use edgechain_energy::{Battery, DeviceProfile, EnergyCategory, EnergyMeter};
 use edgechain_sim::{
-    gini_counts, EventQueue, FaultInjector, FaultPlan, NodeId, RunningStats, SimTime, Topology,
-    TopologyConfig, TopologyError, Transport, TransportConfig,
+    gini_counts, ByzantineAction, EventQueue, FaultInjector, FaultPlan, NodeId, RunningStats,
+    SimTime, Topology, TopologyConfig, TopologyError, Transport, TransportConfig,
 };
 use edgechain_telemetry::{self as telemetry, trace_event, RegistrySnapshot};
 use rand::rngs::StdRng;
@@ -143,6 +149,23 @@ pub struct NetworkConfig {
     /// winners, same telemetry shape, no rng consumed — so disabling it
     /// is a debugging / equivalence-testing aid, not a feature switch.
     pub pos_hit_cache: bool,
+    /// Checkpoint interval in blocks for the live fork-choice rules that
+    /// activate under Byzantine fault plans: honest nodes never reorg a
+    /// block at or below their latest checkpoint
+    /// ([`crate::chain::CheckpointPolicy`]).
+    pub checkpoint_interval: u64,
+    /// How long a node stays quarantined after a proven misbehavior
+    /// (equivocation, forged block, tampered signature, garbage payload,
+    /// repeated denials), in simulated seconds. Quarantined nodes are
+    /// excluded from PoS rounds and from serving fetches, and half their
+    /// stake is slashed (Eq. 7's `S_i`); they are re-admitted when the
+    /// window expires.
+    pub quarantine_secs: u64,
+    /// Service denials a storer gets away with before the denial strikes
+    /// escalate to a quarantine (only metered when a Byzantine engine is
+    /// active; plain `malicious_fraction` runs keep the paper's
+    /// invalidate-and-route-around behavior unchanged).
+    pub denial_quarantine_threshold: u32,
     /// Trust seal-time block caches on the hot path (ISSUE 4 fast path):
     /// locally sealed blocks keep their wire encoding (`Arc<[u8]>`) and
     /// Merkle leaf digests, so `wire_size`, broadcast, `fetch_data`,
@@ -187,6 +210,9 @@ impl Default for NetworkConfig {
             replica_repair: true,
             allocation_cache: true,
             pos_hit_cache: true,
+            checkpoint_interval: 10,
+            quarantine_secs: 900,
+            denial_quarantine_threshold: 3,
             block_seal_cache: true,
             seed: 0xED6E,
         }
@@ -316,6 +342,25 @@ pub struct RunReport {
     /// Fraction of resolved data requests that completed (1.0 when no
     /// request resolved either way).
     pub availability: f64,
+    /// Byzantine artifacts injected by the adversary engine: equivocation
+    /// pairs, forged blocks, withheld forks, tampered signatures, garbage
+    /// payloads. Counted by identity (an equivocation pair observed by
+    /// many nodes is one artifact).
+    pub byz_injected: u64,
+    /// Byzantine artifacts detected by at least one honest node
+    /// (verification failure, equivocation proof, undecodable payload,
+    /// late fork release).
+    pub byz_detected: u64,
+    /// Chain reorganizations performed by live fork choice: per-node
+    /// adoptions of the canonical branch plus trunk reorgs from released
+    /// private forks.
+    pub reorgs: u64,
+    /// Deepest reorg observed, in discarded blocks.
+    pub max_reorg_depth: u64,
+    /// Quarantines imposed on misbehaving nodes.
+    pub quarantine_events: u64,
+    /// Quarantined nodes re-admitted after their window expired.
+    pub readmissions: u64,
     /// Hard safety violations caught by the invariant checker — durable
     /// data loss or a corrupted chain prefix. Must stay 0.
     pub invariant_violations: u64,
@@ -363,6 +408,19 @@ impl fmt::Display for RunReport {
                 self.repairs_triggered,
                 self.availability,
                 self.invariant_violations
+            )?;
+        }
+        if self.byz_injected > 0 || self.quarantine_events > 0 {
+            writeln!(
+                f,
+                "  byzantine: {} injected, {} detected, {} reorgs (max depth {}), \
+                 {} quarantines, {} readmissions",
+                self.byz_injected,
+                self.byz_detected,
+                self.reorgs,
+                self.max_reorg_depth,
+                self.quarantine_events,
+                self.readmissions
             )?;
         }
         if let Some(snap) = &self.telemetry {
@@ -413,6 +471,10 @@ pub struct EdgeNetwork {
     raft_bytes: u64,
 
     injector: FaultInjector,
+    /// Byzantine adversary state: per-node chain views, armed actions,
+    /// quarantine. `Some` only when the fault plan schedules Byzantine
+    /// actions, so honest runs stay bit-identical to earlier releases.
+    byz: Option<ByzantineEngine>,
     checker: InvariantChecker,
     retries: u64,
     repairs_triggered: u64,
@@ -479,12 +541,31 @@ impl EdgeNetwork {
             ids.swap(i, j);
         }
         let requesters: Vec<NodeId> = ids.iter().copied().take(n_requesters).collect();
-        // Malicious nodes are drawn from the non-requester tail so every
-        // request exercises the denial path from the outside.
-        let n_malicious = (config.nodes as f64 * config.malicious_fraction).round() as usize;
+        // Malicious role placement. With a seeded `FaultPlan::roles`
+        // assignment, a dedicated RNG stream draws the roles from the
+        // non-requester pool — the master stream is untouched, so varying
+        // the role seed moves *only* who misbehaves. Without one, the
+        // legacy deterministic tail draw applies (bit-identical to prior
+        // releases): malicious nodes come from the non-requester tail so
+        // every request exercises the denial path from the outside.
         let mut malicious = vec![false; config.nodes];
-        for v in ids.iter().rev().take(n_malicious) {
-            malicious[v.0] = true;
+        match config.fault_plan.roles {
+            Some(roles) => {
+                let n = (config.nodes as f64 * roles.malicious_fraction).round() as usize;
+                let mut role_rng = StdRng::seed_from_u64(roles.seed);
+                let mut pool: Vec<NodeId> = ids.iter().copied().skip(n_requesters).collect();
+                for _ in 0..n.min(pool.len()) {
+                    let j = role_rng.gen_range(0..pool.len());
+                    malicious[pool.swap_remove(j).0] = true;
+                }
+            }
+            None => {
+                let n_malicious =
+                    (config.nodes as f64 * config.malicious_fraction).round() as usize;
+                for v in ids.iter().rev().take(n_malicious) {
+                    malicious[v.0] = true;
+                }
+            }
         }
 
         // Loss draws come from a dedicated stream derived from the master
@@ -493,6 +574,23 @@ impl EdgeNetwork {
         let mut transport = Transport::new(config.transport);
         transport.seed_faults(config.seed ^ 0x70A5_F417);
         let injector = FaultInjector::new(&config.fault_plan);
+        // The Byzantine engine exists only when the plan schedules
+        // adversarial consensus actions; its RNG is a dedicated stream so
+        // forged material never perturbs the honest draws.
+        let byz = if config.fault_plan.has_byzantine() {
+            Some(ByzantineEngine::new(
+                config.nodes,
+                &config.fault_plan.byzantine_nodes(),
+                config.seed ^ 0xB12A_77E1,
+                CheckpointPolicy {
+                    interval: config.checkpoint_interval.max(1),
+                },
+                config.quarantine_secs,
+                config.denial_quarantine_threshold.max(1),
+            ))
+        } else {
+            None
+        };
 
         let mut network = EdgeNetwork {
             topo,
@@ -530,6 +628,7 @@ impl EdgeNetwork {
             raft_heartbeats: 0,
             raft_bytes: 0,
             injector,
+            byz,
             checker: InvariantChecker::new(SimTime::ZERO),
             retries: 0,
             repairs_triggered: 0,
@@ -629,9 +728,16 @@ impl EdgeNetwork {
     /// Nodes currently able to take part in a PoS round: everyone the
     /// fault injector hasn't taken down. A crashed node's tokens and
     /// stored items still exist, but its miner process isn't running.
-    fn live_miners(&self) -> Vec<usize> {
+    /// Under a Byzantine engine, quarantined nodes (and a withholding
+    /// miner sitting out its own failed round) are excluded as well.
+    fn live_miners(&self, now: SimTime) -> Vec<usize> {
         (0..self.config.nodes)
             .filter(|&i| self.topo.is_active(NodeId(i)))
+            .filter(|&i| {
+                self.byz
+                    .as_ref()
+                    .is_none_or(|e| !e.is_excluded(NodeId(i), now, self.chain.height()))
+            })
             .collect()
     }
 
@@ -649,7 +755,7 @@ impl EdgeNetwork {
     /// Runs one PoS round from the live state and schedules the mining
     /// event at the winner's earliest time.
     fn schedule_next_block(&mut self) {
-        let miners = self.live_miners();
+        let miners = self.live_miners(self.queue.now());
         if miners.is_empty() {
             // Everyone is down. Poll again after a block interval; a
             // restart in the meantime revives mining.
@@ -731,6 +837,13 @@ impl EdgeNetwork {
             .iter()
             .map(|known| known.last().copied().unwrap_or(0))
             .collect();
+        // Fork-consistency rules apply only when per-node chains exist;
+        // nodes with a Byzantine role are exempt (their chains are
+        // adversarial by construction).
+        let honest: Vec<bool> = match &self.byz {
+            Some(e) => e.byz_role.iter().map(|&b| !b).collect(),
+            None => Vec::new(),
+        };
         self.checker.observe(
             now,
             &InvariantView {
@@ -741,6 +854,12 @@ impl EdgeNetwork {
                 chain_height: self.chain.height(),
                 node_height: &self.node_height,
                 node_max_known: &node_max_known,
+                forks: self.byz.as_ref().map(|e| ForkView {
+                    canonical: &self.chain,
+                    node_chains: &e.chains,
+                    honest: &honest,
+                    checkpoint_interval: e.policy().interval,
+                }),
             },
         );
     }
@@ -749,6 +868,10 @@ impl EdgeNetwork {
     /// next scheduled action.
     fn on_fault_tick(&mut self, now: SimTime) {
         for action in self.injector.drain_due(now) {
+            if let edgechain_sim::FaultAction::Byzantine(node, act) = action {
+                self.on_byzantine_action(node, act, now);
+                continue;
+            }
             action.apply(&mut self.topo, &mut self.transport);
             if let edgechain_sim::FaultAction::Restart(v) = action {
                 // A node returning from a crash proactively asks neighbors
@@ -766,6 +889,422 @@ impl EdgeNetwork {
         if let Some(t) = self.injector.next_due() {
             self.queue.schedule(t.max(now), Event::FaultTick);
         }
+    }
+
+    /// Routes one scheduled Byzantine action: mining-triggered attacks
+    /// (equivocation, tampering, withholding) are armed for the node's
+    /// next election win; wire-level attacks (forged blocks, garbage
+    /// payloads) execute immediately.
+    fn on_byzantine_action(&mut self, node: NodeId, action: ByzantineAction, now: SimTime) {
+        if self.byz.is_none() {
+            return;
+        }
+        match action {
+            ByzantineAction::Equivocate
+            | ByzantineAction::TamperSignature
+            | ByzantineAction::Withhold { .. } => {
+                if let Some(e) = self.byz.as_mut() {
+                    e.arm(node, action);
+                }
+            }
+            ByzantineAction::ForgeBlock => self.byz_forge_block(node, now),
+            ByzantineAction::GarbagePayload { bytes } => {
+                self.byz_garbage_payload(node, bytes, now);
+            }
+        }
+    }
+
+    /// Counts one injected Byzantine artifact and returns its id.
+    fn note_byz_injected(&mut self, now: SimTime, kind: &'static str) -> u64 {
+        let artifact = self
+            .byz
+            .as_mut()
+            .expect("caller checked the engine exists")
+            .note_injected();
+        telemetry::counter_add("byz.injected", 1);
+        trace_event!(
+            "byz.injected",
+            now.as_millis(),
+            kind = kind,
+            artifact = artifact
+        );
+        artifact
+    }
+
+    /// Counts the first honest detection of an artifact.
+    fn note_byz_detected(&mut self, artifact: u64, now: SimTime, kind: &'static str) {
+        if let Some(e) = self.byz.as_mut() {
+            if e.note_detected(artifact) {
+                telemetry::counter_add("byz.detected", 1);
+                trace_event!(
+                    "byz.detected",
+                    now.as_millis(),
+                    kind = kind,
+                    artifact = artifact
+                );
+            }
+        }
+    }
+
+    /// Quarantines a proven misbehaver and slashes half its stake (the
+    /// PoS target's `S_i`, Eq. 7, shrinks with it). Re-quarantining an
+    /// already quarantined node neither re-counts nor re-slashes.
+    fn punish(&mut self, culprit: NodeId, now: SimTime, reason: &'static str) {
+        let fresh = match self.byz.as_mut() {
+            Some(e) => e.quarantine(culprit, now),
+            None => return,
+        };
+        if !fresh {
+            return;
+        }
+        let account = self.account_of[culprit.0];
+        let slash = self.ledger.balance(&account) / 2;
+        let taken = self.ledger.debit(account, slash);
+        if let Some(e) = self.byz.as_mut() {
+            e.record_slash(culprit, taken);
+        }
+        telemetry::counter_add("byz.quarantines", 1);
+        trace_event!(
+            "byz.quarantine",
+            now.as_millis(),
+            node = culprit.0,
+            reason = reason,
+            slash = taken
+        );
+    }
+
+    /// Handles a two-headers-same-height-same-miner equivocation proof:
+    /// counts the artifact (once) and quarantines the culprit.
+    fn handle_equivocation_proof(&mut self, height: u64, miner: AccountId, now: SimTime) {
+        let artifact = self
+            .byz
+            .as_ref()
+            .and_then(|e| e.lookup_equivocation(height, miner));
+        if let Some(a) = artifact {
+            self.note_byz_detected(a, now, "byz_equivocate");
+        }
+        if let Some(&culprit) = self.node_of_account.get(&miner) {
+            self.punish(culprit, now, "equivocation");
+        }
+    }
+
+    /// Reconciles node `v`'s chain view with the canonical chain,
+    /// counting reorgs and surfacing equivocation proofs.
+    fn byz_sync(&mut self, v: NodeId, now: SimTime) {
+        let target = self.node_height[v.0];
+        let result = match self.byz.as_mut() {
+            Some(e) => e.sync(v, &self.chain, target),
+            None => return,
+        };
+        if let Some(depth) = result.reorg_depth {
+            telemetry::counter_add("chain.reorgs", 1);
+            telemetry::record("chain.reorg_depth", depth as f64);
+            trace_event!("chain.reorg", now.as_millis(), node = v.0, depth = depth);
+        }
+        for (height, miner) in result.equivocations {
+            self.handle_equivocation_proof(height, miner, now);
+        }
+        // A sync may have landed the honest block at a stashed orphan's
+        // height — late proof of forgery, tampering, or equivocation.
+        let verdicts = match self.byz.as_mut() {
+            Some(e) => e.resolve_orphans(v),
+            None => Vec::new(),
+        };
+        for verdict in verdicts {
+            match verdict {
+                OrphanVerdict::Forged {
+                    artifact,
+                    kind,
+                    miner,
+                } => {
+                    self.note_byz_detected(artifact, now, kind);
+                    if let Some(&culprit) = self.node_of_account.get(&miner) {
+                        self.punish(culprit, now, "disproven-orphan");
+                    }
+                }
+                OrphanVerdict::Equivocation { height, miner } => {
+                    self.handle_equivocation_proof(height, miner, now);
+                }
+            }
+        }
+    }
+
+    /// Routes a wire-received block through node `v`'s fork choice.
+    fn byz_deliver(&mut self, v: NodeId, block: &Block, now: SimTime) {
+        let outcome = match self.byz.as_mut() {
+            Some(e) => e.deliver(v, block),
+            None => return,
+        };
+        match outcome {
+            ByzantineOutcome::Extended | ByzantineOutcome::Stale => {}
+            ByzantineOutcome::Equivocation { height, miner } => {
+                self.handle_equivocation_proof(height, miner, now);
+            }
+            ByzantineOutcome::NeedsSync => {
+                // Too far ahead to verify: stash it (an equivocating
+                // variant delivered to a laggard is judged after sync)
+                // and reconcile.
+                if let Some(e) = self.byz.as_mut() {
+                    e.stash_orphan(v, block.clone(), None);
+                }
+                self.byz_sync(v, now);
+            }
+            ByzantineOutcome::Rejected(_) => {
+                self.byz_sync(v, now);
+            }
+        }
+    }
+
+    /// A Byzantine node broadcasts a block with a PoS hit it never earned.
+    /// Honest receivers verify the chained hash and reject it.
+    fn byz_forge_block(&mut self, node: NodeId, now: SimTime) {
+        if !self.topo.is_active(node) || self.byz.is_none() {
+            return;
+        }
+        let prev = self.chain.tip().clone();
+        let pos_hash = self
+            .byz
+            .as_mut()
+            .expect("engine checked above")
+            .next_digest();
+        let block = Block::new(
+            prev.index + 1,
+            prev.hash,
+            now.as_secs().max(prev.timestamp_secs + 1),
+            pos_hash,
+            self.account_of[node.0],
+            1,
+            crate::pos::Amendment::from_fraction(1, 1000),
+            Vec::new(),
+            Vec::new(),
+            prev.storing_nodes.clone(),
+            Vec::new(),
+        );
+        let payload = edgechain_sim::Payload::new(block.encoded());
+        let deliveries = self
+            .transport
+            .broadcast_payload(&self.topo, node, &payload, now);
+        let receivers: Vec<NodeId> = deliveries.iter().map(|(v, _)| v).collect();
+        if receivers.is_empty() {
+            return; // reached nobody: nothing was injected into the network
+        }
+        let artifact = self.note_byz_injected(now, "byz_forge");
+        for v in receivers {
+            let outcome = match self.byz.as_mut() {
+                Some(e) => e.deliver(v, &block),
+                None => return,
+            };
+            match outcome {
+                ByzantineOutcome::Rejected(_) => {
+                    self.note_byz_detected(artifact, now, "byz_forge");
+                    self.punish(node, now, "forged-block");
+                }
+                ByzantineOutcome::NeedsSync => {
+                    // A laggard cannot disprove the claim yet; it keeps
+                    // the orphan and judges it after syncing.
+                    if let Some(e) = self.byz.as_mut() {
+                        e.stash_orphan(v, block.clone(), Some((artifact, "byz_forge")));
+                    }
+                    self.byz_sync(v, now);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A Byzantine node broadcasts bytes that are not a block at all:
+    /// raw garbage, a scrambled encoding, or a truncated one. Every
+    /// receiver's decoder returns an error (never panics) and the sender
+    /// is quarantined.
+    fn byz_garbage_payload(&mut self, node: NodeId, bytes: u64, now: SimTime) {
+        if !self.topo.is_active(node) || self.byz.is_none() {
+            return;
+        }
+        let tip_encoding = edgechain_sim::Payload::new(self.chain.tip().encoded());
+        let engine = self.byz.as_mut().expect("engine checked above");
+        let payload = match engine.draw(3) {
+            0 => {
+                let n = bytes.clamp(8, 65_536) as usize;
+                edgechain_sim::Payload::new(engine.garbage_bytes(n).into())
+            }
+            1 => {
+                let seed = engine.draw(u64::MAX);
+                tip_encoding.scrambled(seed)
+            }
+            _ => tip_encoding.truncated(tip_encoding.len() / 2),
+        };
+        let deliveries = self
+            .transport
+            .broadcast_payload(&self.topo, node, &payload, now);
+        let reached = deliveries.iter().next().is_some();
+        if !reached {
+            return; // reached nobody: nothing was injected into the network
+        }
+        let artifact = self.note_byz_injected(now, "byz_garbage");
+        // The payload is one shared buffer, so decoding once stands for
+        // every receiver's (identical, deterministic) verdict.
+        if crate::codec::decode_block(payload.bytes()).is_err() {
+            self.note_byz_detected(artifact, now, "byz_garbage");
+            self.punish(node, now, "garbage-payload");
+        }
+    }
+
+    /// A freshly elected Byzantine miner seals a private fork on its own
+    /// earned PoS hit and *withholds* it: nothing is broadcast, the
+    /// canonical chain does not advance, and the miner sits out the
+    /// re-election at this height so an honest runner-up makes progress.
+    /// The fork is released once the public chain catches up
+    /// ([`Self::byz_release_withheld`]).
+    fn byz_mine_withheld_fork(&mut self, miner: NodeId, blocks: u64, now: SimTime) {
+        let base_height = self.chain.height();
+        let account = self.account_of[miner.0];
+        let mut prev = self.chain.tip().clone();
+        let mut fork = Vec::new();
+        for i in 0..blocks.max(1) {
+            let b = Block::new(
+                prev.index + 1,
+                prev.hash,
+                now.as_secs() + i + 1,
+                crate::pos::next_pos_hash(&prev.pos_hash, &account),
+                account,
+                1,
+                crate::pos::Amendment::from_fraction(1, 1000),
+                Vec::new(),
+                Vec::new(),
+                prev.storing_nodes.clone(),
+                Vec::new(),
+            );
+            prev = b.clone();
+            fork.push(b);
+        }
+        let artifact = self.note_byz_injected(now, "byz_withhold");
+        trace_event!(
+            "byz.withhold",
+            now.as_millis(),
+            node = miner.0,
+            blocks = blocks.max(1),
+            base = base_height
+        );
+        if let Some(e) = self.byz.as_mut() {
+            e.withheld = Some(WithheldFork {
+                miner,
+                base_height,
+                blocks: fork,
+                artifact,
+            });
+            e.bench(miner, base_height);
+        }
+    }
+
+    /// Releases the private fork once the canonical chain is one block
+    /// short of it: the fork hits the wire, trunk fork choice decides
+    /// under checkpoint rules, and on adoption the displaced metadata
+    /// re-enters the packing pool (fresh UFL allocation next block), the
+    /// ledger follows the adopted chain, and receivers reorg their views.
+    fn byz_release_withheld(&mut self, now: SimTime) {
+        let Some(w) = self.byz.as_ref().and_then(|e| e.withheld.clone()) else {
+            return;
+        };
+        if self.chain.height() < w.base_height + w.blocks.len() as u64 - 1 {
+            return;
+        }
+        if !self.topo.is_active(w.miner) {
+            return; // the release waits until the miner is back up
+        }
+        let bytes: u64 = w.blocks.iter().map(Block::wire_size).sum();
+        let deliveries = self.transport.broadcast(&self.topo, w.miner, bytes, now);
+        let receivers: Vec<NodeId> = deliveries.iter().map(|(v, _)| *v).collect();
+        if receivers.is_empty() {
+            return; // nobody heard the release; try again next block
+        }
+        if let Some(e) = self.byz.as_mut() {
+            e.withheld = None;
+            e.unbench(w.miner);
+        }
+        trace_event!(
+            "byz.release",
+            now.as_millis(),
+            node = w.miner.0,
+            blocks = w.blocks.len(),
+            base = w.base_height
+        );
+        // The late release *is* the observable: honest nodes now hold two
+        // competing branches and the withholding comes to light.
+        self.note_byz_detected(w.artifact, now, "byz_withhold");
+
+        let old_height = self.chain.height();
+        let mut candidate: Vec<Block> = self.chain.as_slice()[..=(w.base_height as usize)].to_vec();
+        candidate.extend(w.blocks.iter().cloned());
+        let displaced_blocks = &self.chain.as_slice()[(w.base_height as usize + 1)..];
+        let displaced_miners: Vec<AccountId> = displaced_blocks.iter().map(|b| b.miner).collect();
+        let displaced_items: Vec<MetadataItem> = displaced_blocks
+            .iter()
+            .flat_map(|b| b.metadata.iter().cloned())
+            .collect();
+        let policy = self.byz.as_ref().expect("engine checked above").policy();
+        if self.chain.try_adopt_checkpointed(&candidate, policy) {
+            let depth = old_height - w.base_height;
+            if let Some(e) = self.byz.as_mut() {
+                e.record_reorg(depth);
+            }
+            telemetry::counter_add("chain.reorgs", 1);
+            telemetry::record("chain.reorg_depth", depth as f64);
+            trace_event!(
+                "chain.trunk_reorg",
+                now.as_millis(),
+                miner = w.miner.0,
+                depth = depth,
+                height = self.chain.height()
+            );
+            // Reorged-away metadata re-enters the packing pool with its
+            // storer assignments cleared: the next honest miner re-runs
+            // the UFL allocation from scratch (the PR 1 repair sweep then
+            // re-replicates data onto the fresh storers).
+            for mut item in displaced_items {
+                self.data_registry.remove(&item.data_id);
+                item.storing_nodes.clear();
+                self.pending_metadata.push(item);
+            }
+            // Mining credit follows the adopted chain; slashes already
+            // applied stay applied (the ledger is adjusted, not rebuilt).
+            for m in displaced_miners {
+                self.ledger.debit(m, 1);
+            }
+            self.ledger
+                .credit(self.account_of[w.miner.0], w.blocks.len() as u64);
+            self.block_timestamps = self
+                .chain
+                .as_slice()
+                .iter()
+                .map(|b| b.timestamp_secs)
+                .collect();
+            // Cached per-height PoS hits keyed on the replaced branch are
+            // stale now.
+            self.pos_hits.invalidate();
+            // The fork's author keeps its own blocks durably, same as an
+            // honest miner would.
+            for b in &w.blocks {
+                self.storage[w.miner.0].store_block(b.index);
+            }
+            for v in receivers {
+                for idx in (w.base_height + 1)..=self.chain.height() {
+                    self.node_known[v.0].insert(idx);
+                }
+                self.advance_height(v);
+                self.storage[v.0].cache_recent(self.chain.height());
+                self.byz_sync(v, now);
+            }
+        } else {
+            // Checkpoint rules refused the fork: every honest node keeps
+            // the canonical branch and the attack fizzles.
+            trace_event!(
+                "byz.fork_rejected",
+                now.as_millis(),
+                miner = w.miner.0,
+                base = w.base_height
+            );
+        }
+        self.punish(w.miner, now, "withheld-fork");
     }
 
     fn on_generate_data(&mut self, now: SimTime) {
@@ -861,7 +1400,16 @@ impl EdgeNetwork {
         // the fault injector took down since the round was scheduled drop
         // out of the candidate set; if the scheduled winner crashed, the
         // re-run simply elects the best surviving node.
-        let miners = self.live_miners();
+        // Quarantine re-admission rides the block cadence.
+        if let Some(e) = self.byz.as_mut() {
+            let readmitted = e.readmit_due(now);
+            if readmitted > 0 {
+                telemetry::counter_add("byz.readmissions", readmitted);
+                trace_event!("byz.readmit", now.as_millis(), nodes = readmitted);
+            }
+            telemetry::gauge_set("quarantine.active", e.active_quarantines(now) as f64);
+        }
+        let miners = self.live_miners(now);
         if miners.is_empty() {
             self.schedule_next_block();
             return;
@@ -876,6 +1424,55 @@ impl EdgeNetwork {
             delay_secs = outcome.delay_secs,
             candidates = candidates.len()
         );
+
+        // A freshly elected adversary may have an armed consensus attack.
+        // Withholding and tampering replace the honest round entirely;
+        // equivocation rides alongside it (two conflicting blocks sealed
+        // on the same earned hit) unless the new height is a checkpoint,
+        // where honest fork choice is first-seen-final and the fork could
+        // never spread — the adversary waits for a later win instead.
+        let byz_action = match self.byz.as_mut() {
+            Some(e) => e.next_mining_action(miner, !self.pending_metadata.is_empty()),
+            None => None,
+        };
+        let mut equivocate = false;
+        match byz_action {
+            Some(ByzantineAction::Withhold { blocks }) => {
+                // A fork spanning a checkpoint height could never win fork
+                // choice (honest nodes refuse to cross a checkpoint), so a
+                // rational withholder waits for a base clear of them.
+                let interval = self.byz.as_ref().map_or(1, |e| e.policy().interval.max(1));
+                let base = self.chain.height();
+                let crosses_checkpoint =
+                    (base + 1..=base + blocks.max(1)).any(|h| h.is_multiple_of(interval));
+                if crosses_checkpoint {
+                    if let Some(e) = self.byz.as_mut() {
+                        e.arm(miner, ByzantineAction::Withhold { blocks });
+                    }
+                } else if self.byz.as_ref().is_some_and(|e| e.withheld.is_none()) {
+                    self.byz_mine_withheld_fork(miner, blocks, now);
+                    self.schedule_next_block();
+                    return;
+                }
+                // A fork already in flight drops the extra action.
+            }
+            Some(ByzantineAction::TamperSignature) => {
+                self.byz_mine_tampered_block(miner, &candidates, &outcome, now);
+                self.schedule_next_block();
+                return;
+            }
+            Some(ByzantineAction::Equivocate) => {
+                let interval = self.byz.as_ref().map_or(1, |e| e.policy().interval.max(1));
+                if (self.chain.height() + 1).is_multiple_of(interval) {
+                    if let Some(e) = self.byz.as_mut() {
+                        e.arm(miner, ByzantineAction::Equivocate);
+                    }
+                } else {
+                    equivocate = true;
+                }
+            }
+            Some(_) | None => {}
+        }
 
         // The miner packs pending metadata and allocates storers per item.
         let mut packed = std::mem::take(&mut self.pending_metadata);
@@ -913,6 +1510,29 @@ impl EdgeNetwork {
 
         let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
         let amendment = crate::pos::Amendment::compute(&us, self.config.block_interval_secs);
+        // An equivocating miner seals a *second*, conflicting block on the
+        // same earned PoS hit: same height, same miner, different content
+        // and timestamp, hence a different hash — the classic two-headers
+        // proof once both land at one honest node.
+        let variant: Option<Block> = if equivocate {
+            let height = self.chain.height() + 1;
+            let account = self.account_of[miner.0];
+            Some(Block::new(
+                height,
+                self.chain.tip().hash,
+                now.as_secs() + 1,
+                outcome.new_pos_hash,
+                account,
+                outcome.delay_secs.max(1),
+                amendment,
+                Vec::new(),
+                Vec::new(),
+                self.chain.tip().storing_nodes.clone(),
+                Vec::new(),
+            ))
+        } else {
+            None
+        };
         let block = telemetry::time_wall("block.assemble_ns", || {
             Block::new(
                 self.chain.height() + 1,
@@ -929,6 +1549,9 @@ impl EdgeNetwork {
             )
         });
         let block_index = block.index;
+        // Per-node fork choice needs the wire block after it moves into
+        // the chain; cloned only on Byzantine runs.
+        let wire_block = self.byz.is_some().then(|| block.clone());
         // With the seal cache the encode below is the block's one and only
         // serialization, shared from here on; without it every consumer
         // re-encodes, as the pre-cache code did.
@@ -961,6 +1584,13 @@ impl EdgeNetwork {
             bytes = block_size,
             delay_secs = outcome.delay_secs
         );
+        // Under an adversarial plan the miner keeps its own sealed block
+        // durably (not just in the FIFO cache): a mobility partition can
+        // otherwise orphan a block that *nobody* stores, leaving lagging
+        // nodes unable to ever verify — or disprove — later wire blocks.
+        if self.byz.is_some() {
+            self.storage[miner.0].store_block(block_index);
+        }
         self.ledger.credit(self.account_of[miner.0], 1);
         if let Some(every) = self.config.token_rescale_blocks {
             if every > 0 && block_index.is_multiple_of(every) {
@@ -1003,6 +1633,50 @@ impl EdgeNetwork {
             self.advance_height(v);
             // Everyone caches the newest block in its recent-cache FIFO.
             self.storage[v.0].cache_recent(block_index);
+        }
+
+        // Per-node fork choice: route the block (and the equivocating
+        // variant, when armed) through each receiver's chain view. With a
+        // variant in play, alternating receivers hear only the conflicting
+        // block and adopt it — a live fork that reconciles (and surfaces
+        // the equivocation proof) at the next sync; the others hear both
+        // and hold the two-headers proof immediately.
+        if let Some(a_block) = &wire_block {
+            // The conflicting variant counts as injected only once it
+            // actually reaches an honest node (a broadcast swallowed by a
+            // transient partition put nothing into the network).
+            let variant = match variant {
+                Some(b) if received.len() > 1 => {
+                    let artifact = self
+                        .byz
+                        .as_mut()
+                        .expect("wire_block implies engine")
+                        .register_equivocation(b.index, b.miner);
+                    telemetry::counter_add("byz.injected", 1);
+                    trace_event!(
+                        "byz.injected",
+                        now.as_millis(),
+                        kind = "byz_equivocate",
+                        artifact = artifact
+                    );
+                    Some(b)
+                }
+                _ => None,
+            };
+            for (i, &v) in received.iter().enumerate() {
+                if v == miner {
+                    self.byz_deliver(v, a_block, now);
+                    continue;
+                }
+                match (&variant, i % 2) {
+                    (Some(b_block), 1) => self.byz_deliver(v, b_block, now),
+                    (Some(b_block), _) => {
+                        self.byz_deliver(v, a_block, now);
+                        self.byz_deliver(v, b_block, now);
+                    }
+                    (None, _) => self.byz_deliver(v, a_block, now),
+                }
+            }
         }
 
         // Recent-block allocation: chosen nodes grow their cache quota.
@@ -1053,11 +1727,83 @@ impl EdgeNetwork {
                 .insert(item.data_id, (item.clone(), block_index));
         }
 
+        // A withheld private fork is released once the public chain is
+        // about to out-grow it; trunk fork choice then decides.
+        self.byz_release_withheld(now);
+
         // The miner also audits replica health and repairs what churn
         // broke since the last block.
         self.repair_replicas(now);
 
         self.schedule_next_block();
+    }
+
+    /// A Byzantine miner assembles the round's block honestly, then
+    /// corrupts one metadata signature before sealing. Receivers verify
+    /// signatures at the wire, reject the block, and quarantine the miner;
+    /// the canonical chain does not advance and the (intact) pending
+    /// metadata survives for the next honest miner, which re-runs the UFL
+    /// allocation from scratch.
+    fn byz_mine_tampered_block(
+        &mut self,
+        miner: NodeId,
+        candidates: &[Candidate],
+        outcome: &crate::pos::MiningOutcome,
+        now: SimTime,
+    ) {
+        let backup = self.pending_metadata.clone();
+        let mut packed = std::mem::take(&mut self.pending_metadata);
+        let victim = &mut packed[0]; // gated on pending metadata existing
+        let mut sig = victim.signature.to_bytes();
+        sig[0] ^= 0x01;
+        victim.signature = edgechain_crypto::Signature::from_bytes(&sig);
+        let us: Vec<u64> = candidates.iter().map(|c| c.contribution()).collect();
+        let amendment = crate::pos::Amendment::compute(&us, self.config.block_interval_secs);
+        let block = Block::new(
+            self.chain.height() + 1,
+            self.chain.tip().hash,
+            now.as_secs(),
+            outcome.new_pos_hash,
+            self.account_of[miner.0],
+            outcome.delay_secs.max(1),
+            amendment,
+            packed,
+            Vec::new(),
+            self.chain.tip().storing_nodes.clone(),
+            Vec::new(),
+        );
+        let payload = edgechain_sim::Payload::new(block.encoded());
+        let deliveries = self
+            .transport
+            .broadcast_payload(&self.topo, miner, &payload, now);
+        let receivers: Vec<NodeId> = deliveries.iter().map(|(v, _)| v).collect();
+        if receivers.is_empty() {
+            // Reached nobody: nothing was injected into the network.
+            self.pending_metadata = backup;
+            return;
+        }
+        let artifact = self.note_byz_injected(now, "byz_tamper");
+        for v in receivers {
+            let delivery = match self.byz.as_mut() {
+                Some(e) => e.deliver(v, &block),
+                None => return,
+            };
+            match delivery {
+                ByzantineOutcome::Rejected(_) => {
+                    self.note_byz_detected(artifact, now, "byz_tamper");
+                    self.punish(miner, now, "tampered-signature");
+                }
+                ByzantineOutcome::NeedsSync => {
+                    if let Some(e) = self.byz.as_mut() {
+                        e.stash_orphan(v, block.clone(), Some((artifact, "byz_tamper")));
+                    }
+                    self.byz_sync(v, now);
+                }
+                _ => {}
+            }
+        }
+        // The un-tampered originals go back in the pool.
+        self.pending_metadata = backup;
     }
 
     /// UFL-driven replica repair: for every valid item whose *live*
@@ -1089,12 +1835,16 @@ impl EdgeNetwork {
             let producer = self.node_of_account.get(&item.producer).copied();
             let data_size = item.data_size;
             let assigned = item.storing_nodes.clone();
+            // A quarantined storer is as good as dead to requesters (they
+            // refuse to fetch from it), so it does not count toward the
+            // replication target and the sweep re-replicates around it.
             let live_holders: Vec<NodeId> = assigned
                 .iter()
                 .copied()
                 .filter(|&h| {
                     self.topo.is_active(h)
                         && (self.storage[h.0].has_data(id) || Some(h) == producer)
+                        && self.byz.as_ref().is_none_or(|e| !e.is_quarantined(h, now))
                 })
                 .collect();
             if live_holders.len() >= target {
@@ -1183,6 +1933,7 @@ impl EdgeNetwork {
                 .map(NodeId)
                 .filter(|&h| h != v && self.storage[h.0].has_block(idx))
                 .filter(|&h| !self.malicious[h.0])
+                .filter(|&h| self.byz.as_ref().is_none_or(|e| !e.is_quarantined(h, now)))
                 .filter(|&h| self.topo.reachable(v, h))
                 .min_by_key(|&h| self.topo.hops(v, h));
             let Some(holder) = holder else {
@@ -1265,6 +2016,11 @@ impl EdgeNetwork {
         // the current height from whichever neighbor answers the probe.
         let upto = self.chain.height() + 1;
         self.recover_missing_attempt(node, upto, now, attempt);
+        // A recovered view may still sit on a reorged-away branch;
+        // reconcile the node's chain with the canonical one.
+        if self.byz.is_some() {
+            self.byz_sync(node, now);
+        }
     }
 
     fn advance_height(&mut self, v: NodeId) {
@@ -1345,6 +2101,7 @@ impl EdgeNetwork {
             .copied()
             .filter(|&h| self.storage[h.0].has_data(item.data_id))
             .filter(|&h| !self.invalid_storers.contains(&(item.data_id, h)))
+            .filter(|&h| self.byz.as_ref().is_none_or(|e| !e.is_quarantined(h, now)))
             .collect();
         if holders.is_empty() {
             // Paper Fig. 3: consumers fetch from the caching nodes; the
@@ -1372,6 +2129,15 @@ impl EdgeNetwork {
                 self.denials += 1;
                 self.invalid_storers.insert((item.data_id, holder));
                 t = req.arrival + DENIAL_TIMEOUT;
+                // Under a Byzantine engine, repeated denials accumulate
+                // strikes and eventually escalate to a quarantine.
+                let crossed = match self.byz.as_mut() {
+                    Some(e) => e.strike(holder),
+                    None => false,
+                };
+                if crossed {
+                    self.punish(holder, t, "repeated-denials");
+                }
                 continue;
             }
             match self
@@ -1647,6 +2413,18 @@ impl EdgeNetwork {
         } else {
             intervals.iter().sum::<f64>() / intervals.len() as f64
         };
+        let (byz_injected, byz_detected, reorgs, max_reorg_depth, quarantine_events, readmissions) =
+            match &self.byz {
+                Some(e) => (
+                    e.injected(),
+                    e.detected(),
+                    e.reorgs(),
+                    e.max_reorg_depth(),
+                    e.quarantine_events(),
+                    e.readmissions(),
+                ),
+                None => (0, 0, 0, 0, 0, 0),
+            };
         RunReport {
             nodes: self.config.nodes,
             blocks_mined: self.chain.height(),
@@ -1691,6 +2469,12 @@ impl EdgeNetwork {
                     self.completed_requests as f64 / resolved as f64
                 }
             },
+            byz_injected,
+            byz_detected,
+            reorgs,
+            max_reorg_depth,
+            quarantine_events,
+            readmissions,
             invariant_violations: self.checker.violations,
             telemetry: telemetry::registry_snapshot(),
         }

@@ -45,6 +45,14 @@ pub fn next_pos_hash(prev: &Digest, account: &AccountId) -> Digest {
     sha256_pair64(prev.as_bytes(), account.as_bytes())
 }
 
+/// Checks a block's claimed PoS hash against the Eq. 7 chaining rule:
+/// `claimed` must equal `Hash(prev_pos ‖ miner)`. A forged block — one
+/// whose miner never earned the hit — fails this because the chained hash
+/// is a pure function of public inputs it cannot choose.
+pub fn verify_pos_linkage(prev_pos: &Digest, miner: &AccountId, claimed: &Digest) -> bool {
+    next_pos_hash(prev_pos, miner) == *claimed
+}
+
 /// The pre-fast-path implementation — the generic streaming hasher —
 /// kept as the uncached runtime reference: [`run_round`] chains hashes
 /// through it so the `pos_hit_cache: false` path runs the code exactly as

@@ -129,4 +129,63 @@ proptest! {
         let _ = decode_metadata(&enc[..t]);
         let _ = decode_chain(&enc[..t]);
     }
+
+    /// Wholly arbitrary byte strings — the garbage-payload attack on the
+    /// wire — must decode to `Err`, never panic, for every decoder.
+    #[test]
+    fn decoding_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_block(&bytes);
+        let _ = decode_metadata(&bytes);
+        let _ = decode_chain(&bytes);
+    }
+}
+
+proptest! {
+    // Rich blocks sign metadata (modexp); keep case counts small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Corrupting a *rich* block (metadata items, storer lists) and
+    /// truncating at an arbitrary point never panics a decoder, and a
+    /// flipped byte never decodes back to the original sealed block.
+    #[test]
+    fn rich_block_corruption_is_total(
+        block in arb_block(),
+        byte in any::<u8>(),
+        pos in any::<prop::sample::Index>(),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let mut enc = encode_block(&block);
+        let p = pos.index(enc.len());
+        let flipped = enc[p] != byte;
+        enc[p] = byte;
+        if let Ok(dec) = decode_block(&enc) {
+            if flipped {
+                prop_assert_ne!(&dec, &block, "corrupt bytes decoded to the original");
+            }
+        }
+        let t = truncate.index(enc.len() + 1);
+        let _ = decode_block(&enc[..t]);
+        let _ = decode_chain(&enc[..t]);
+    }
+
+    /// The sealed fast path (`Block::encoded`, the shared `Arc<[u8]>`
+    /// used by broadcast and replica repair) stays byte-identical to the
+    /// plain codec, roundtrips, and survives truncation without panicking.
+    #[test]
+    fn sealed_encoding_matches_codec_and_decodes_totally(
+        block in arb_block(),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let sealed = block.encoded();
+        prop_assert_eq!(sealed.as_ref(), encode_block(&block).as_slice());
+        prop_assert_eq!(block.wire_size(), sealed.len() as u64);
+        let dec = decode_block(&sealed).unwrap();
+        prop_assert_eq!(&dec, &block);
+        // A decoded copy re-seals to the same bytes (cache is rebuilt).
+        prop_assert_eq!(dec.encoded().as_ref(), sealed.as_ref());
+        let t = truncate.index(sealed.len());
+        let _ = decode_block(&sealed[..t]); // must not panic
+    }
 }

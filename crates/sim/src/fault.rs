@@ -40,6 +40,55 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A Byzantine misbehavior an adversarial node performs at a scheduled
+/// instant. Unlike crash/loss faults these are *protocol-level*: the
+/// substrate [`FaultAction::apply`] is a no-op and the network layer
+/// interprets the action (sealing conflicting blocks, withholding a
+/// private fork, corrupting payloads, …).
+///
+/// Mining-triggered actions ([`Equivocate`](ByzantineAction::Equivocate),
+/// [`Withhold`](ByzantineAction::Withhold),
+/// [`TamperSignature`](ByzantineAction::TamperSignature)) arm the node and
+/// fire the next time it wins a PoS election; wire-level actions
+/// ([`ForgeBlock`](ByzantineAction::ForgeBlock),
+/// [`GarbagePayload`](ByzantineAction::GarbagePayload)) execute
+/// immediately at the scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByzantineAction {
+    /// Seal two conflicting blocks at one height and broadcast both
+    /// (different receivers see different tips).
+    Equivocate,
+    /// Broadcast a block claiming a PoS hit the node never earned.
+    ForgeBlock,
+    /// Mine a private fork of `blocks` blocks, withholding them, then
+    /// release the fork once it is longer than the public chain.
+    Withhold {
+        /// Length of the private fork (>= 1).
+        blocks: u64,
+    },
+    /// Seal a block whose packed metadata carries a corrupted signature.
+    TamperSignature,
+    /// Broadcast `bytes` of garbage (or a truncated block prefix) that no
+    /// receiver can decode.
+    GarbagePayload {
+        /// Payload size in bytes (>= 1).
+        bytes: u64,
+    },
+}
+
+impl ByzantineAction {
+    /// Short stable label used in telemetry traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ByzantineAction::Equivocate => "byz_equivocate",
+            ByzantineAction::ForgeBlock => "byz_forge",
+            ByzantineAction::Withhold { .. } => "byz_withhold",
+            ByzantineAction::TamperSignature => "byz_tamper",
+            ByzantineAction::GarbagePayload { .. } => "byz_garbage",
+        }
+    }
+}
+
 /// One scheduled fault in a [`FaultPlan`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultEvent {
@@ -88,13 +137,25 @@ pub enum FaultEvent {
         /// Window end (exclusive).
         until: SimTime,
     },
+    /// `node` performs a [`ByzantineAction`] at (or armed from) `at`.
+    Byzantine {
+        /// The adversarial node.
+        node: NodeId,
+        /// What it does.
+        action: ByzantineAction,
+        /// When the action fires (wire-level) or is armed
+        /// (mining-triggered).
+        at: SimTime,
+    },
 }
 
 impl FaultEvent {
     /// The instant this event first takes effect.
     pub fn starts_at(&self) -> SimTime {
         match self {
-            FaultEvent::Crash { at, .. } | FaultEvent::Restart { at, .. } => *at,
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Restart { at, .. }
+            | FaultEvent::Byzantine { at, .. } => *at,
             FaultEvent::Partition { from, .. }
             | FaultEvent::LinkLoss { from, .. }
             | FaultEvent::LatencySpike { from, .. } => *from,
@@ -107,6 +168,22 @@ impl FaultEvent {
 pub struct FaultPlan {
     /// The scheduled events, in no particular order.
     pub events: Vec<FaultEvent>,
+    /// Optional seeded role assignment. When set, the network draws
+    /// malicious (service-denying) roles from a dedicated RNG seeded here
+    /// instead of the deterministic ID-tail placement, so sweeps can vary
+    /// adversary placement per seed without perturbing any other stream.
+    #[serde(default)]
+    pub roles: Option<RoleAssignment>,
+}
+
+/// Seeded role placement carried by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoleAssignment {
+    /// Seed for the role-placement RNG (independent of the run seed).
+    pub seed: u64,
+    /// Fraction of nodes assigned the malicious (denial) role, in
+    /// `[0, 1]`. Overrides the network's `malicious_fraction` knob.
+    pub malicious_fraction: f64,
 }
 
 /// Parameters for [`FaultPlan::random_churn`].
@@ -122,10 +199,25 @@ pub struct ChurnConfig {
     pub horizon: SimTime,
 }
 
+/// Parameters for [`FaultPlan::random_byzantine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ByzantineSweepConfig {
+    /// Fraction of nodes given an adversary role, in `[0, 1]` (at least
+    /// one node is always drawn).
+    pub adversary_fraction: f64,
+    /// Byzantine actions scheduled per adversary.
+    pub actions_per_adversary: usize,
+    /// Schedule horizon: actions land inside `[horizon/10, 4*horizon/5)`.
+    pub horizon: SimTime,
+}
+
 impl FaultPlan {
     /// Wraps a list of events as a plan.
     pub fn new(events: Vec<FaultEvent>) -> Self {
-        FaultPlan { events }
+        FaultPlan {
+            events,
+            roles: None,
+        }
     }
 
     /// A plan with no faults.
@@ -135,7 +227,35 @@ impl FaultPlan {
 
     /// Whether the plan schedules anything at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.roles.is_none()
+    }
+
+    /// Returns the plan with a seeded [`RoleAssignment`] attached.
+    pub fn with_roles(mut self, roles: RoleAssignment) -> Self {
+        self.roles = Some(roles);
+        self
+    }
+
+    /// Whether the plan schedules any [`FaultEvent::Byzantine`] action.
+    pub fn has_byzantine(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev, FaultEvent::Byzantine { .. }))
+    }
+
+    /// The set of nodes named by any Byzantine action in the plan.
+    pub fn byzantine_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                FaultEvent::Byzantine { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
     }
 
     /// Generates a seeded random churn schedule: crash arrivals follow a
@@ -180,6 +300,63 @@ impl FaultPlan {
             events.push(FaultEvent::Crash { node, at: t });
             events.push(FaultEvent::Restart { node, at: restart });
             down.push((restart, node));
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Generates a seeded random Byzantine schedule: `cfg.adversary_fraction`
+    /// of the nodes (at least one, drawn without replacement from `rng`)
+    /// each perform `cfg.actions_per_adversary` actions at random instants
+    /// inside `[cfg.horizon/10, 4*cfg.horizon/5)`, cycling through the
+    /// action kinds. At most one [`ByzantineAction::Withhold`] is emitted
+    /// per plan (the engine tracks a single private fork at a time), and it
+    /// is scheduled early so the release fits the horizon. The schedule is
+    /// a pure function of the seed.
+    pub fn random_byzantine<R: Rng + ?Sized>(
+        nodes: usize,
+        cfg: ByzantineSweepConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(nodes > 1, "need at least two nodes");
+        assert!(
+            (0.0..=1.0).contains(&cfg.adversary_fraction),
+            "adversary fraction must be in [0, 1]"
+        );
+        let n_adv = ((nodes as f64 * cfg.adversary_fraction).floor() as usize)
+            .clamp(1, nodes.saturating_sub(1));
+        let mut pool: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        for i in 0..n_adv {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let adversaries = &pool[..n_adv];
+        let lo = cfg.horizon.as_millis() / 10;
+        let hi = (cfg.horizon.as_millis() * 4 / 5).max(lo + 1);
+        let kinds = [
+            ByzantineAction::Equivocate,
+            ByzantineAction::GarbagePayload { bytes: 2048 },
+            ByzantineAction::TamperSignature,
+            ByzantineAction::ForgeBlock,
+            ByzantineAction::Withhold { blocks: 2 },
+        ];
+        let mut events = Vec::new();
+        let mut withheld = false;
+        let mut k = 0usize;
+        for &node in adversaries {
+            for _ in 0..cfg.actions_per_adversary {
+                let mut action = kinds[k % kinds.len()];
+                k += 1;
+                let mut at = SimTime::from_millis(rng.gen_range(lo..hi));
+                if let ByzantineAction::Withhold { .. } = action {
+                    if withheld {
+                        action = ByzantineAction::Equivocate;
+                    } else {
+                        withheld = true;
+                        at = SimTime::from_millis(lo);
+                    }
+                }
+                events.push(FaultEvent::Byzantine { node, action, at });
+            }
         }
         FaultPlan::new(events)
     }
@@ -239,6 +416,24 @@ impl FaultPlan {
                     Self::check_window(*from, *until)?;
                     latency_windows.push((*from, *until));
                 }
+                FaultEvent::Byzantine { node, action, .. } => {
+                    check_node(*node)?;
+                    let bad = matches!(
+                        action,
+                        ByzantineAction::Withhold { blocks: 0 }
+                            | ByzantineAction::GarbagePayload { bytes: 0 }
+                    );
+                    if bad {
+                        return Err(FaultPlanError::BadByzantineParam { node: *node });
+                    }
+                }
+            }
+        }
+        if let Some(r) = &self.roles {
+            if !r.malicious_fraction.is_finite() || !(0.0..=1.0).contains(&r.malicious_fraction) {
+                return Err(FaultPlanError::BadProbability {
+                    prob: r.malicious_fraction,
+                });
             }
         }
         for windows in [
@@ -339,6 +534,12 @@ pub enum FaultPlanError {
         /// When the out-of-order event fires.
         at: SimTime,
     },
+    /// A Byzantine action with a zero-sized parameter (empty private fork
+    /// or empty garbage payload).
+    BadByzantineParam {
+        /// The offending node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -371,6 +572,9 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::ChurnOutOfOrder { node, at } => {
                 write!(f, "crash/restart out of order for {node} at {at}")
             }
+            FaultPlanError::BadByzantineParam { node } => {
+                write!(f, "byzantine action for {node} has a zero parameter")
+            }
         }
     }
 }
@@ -397,6 +601,9 @@ pub enum FaultAction {
     LatencyStart(f64),
     /// Return delays to nominal.
     LatencyEnd,
+    /// A node performs (or arms) a Byzantine misbehavior. No substrate
+    /// effect: the protocol layer interprets it.
+    Byzantine(NodeId, ByzantineAction),
 }
 
 impl FaultAction {
@@ -413,6 +620,7 @@ impl FaultAction {
             FaultAction::LossEnd => transport.set_loss_prob(0.0),
             FaultAction::LatencyStart(f) => transport.set_latency_factor(*f),
             FaultAction::LatencyEnd => transport.set_latency_factor(1.0),
+            FaultAction::Byzantine(..) => {}
         }
     }
 }
@@ -456,6 +664,9 @@ impl FaultInjector {
                 } => {
                     timeline.push((*from, 1, FaultAction::LatencyStart(*factor)));
                     timeline.push((*until, 0, FaultAction::LatencyEnd));
+                }
+                FaultEvent::Byzantine { node, action, at } => {
+                    timeline.push((*at, 1, FaultAction::Byzantine(*node, *action)));
                 }
             }
         }
@@ -534,6 +745,14 @@ impl FaultInjector {
                 }
                 FaultAction::LatencyEnd => {
                     trace_event!("fault.injected", t.as_millis(), kind = "latency_end");
+                }
+                FaultAction::Byzantine(node, action) => {
+                    trace_event!(
+                        "fault.injected",
+                        t.as_millis(),
+                        kind = action.kind(),
+                        node = node.0
+                    );
                 }
             }
             due.push(action.clone());
@@ -806,5 +1025,120 @@ mod tests {
             max_down = max_down.max(down);
         }
         assert!(max_down <= 2, "cap violated: {max_down} down at once");
+    }
+
+    #[test]
+    fn byzantine_events_linearize_and_apply_as_noops() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Byzantine {
+                node: NodeId(2),
+                action: ByzantineAction::Equivocate,
+                at: secs(30),
+            },
+            FaultEvent::Byzantine {
+                node: NodeId(1),
+                action: ByzantineAction::GarbagePayload { bytes: 512 },
+                at: secs(10),
+            },
+        ]);
+        assert!(plan.validate(4).is_ok());
+        assert!(plan.has_byzantine());
+        assert_eq!(plan.byzantine_nodes(), vec![NodeId(1), NodeId(2)]);
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_due(), Some(secs(10)));
+        let actions = inj.drain_due(secs(60));
+        assert_eq!(
+            actions,
+            vec![
+                FaultAction::Byzantine(NodeId(1), ByzantineAction::GarbagePayload { bytes: 512 }),
+                FaultAction::Byzantine(NodeId(2), ByzantineAction::Equivocate),
+            ]
+        );
+        // Substrate untouched by Byzantine actions.
+        let mut topo = line(4);
+        let mut tr = Transport::new(TransportConfig::default());
+        for a in &actions {
+            a.apply(&mut topo, &mut tr);
+        }
+        assert!(topo.is_connected());
+        assert_eq!(tr.loss_prob(), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_zero_parameter_byzantine_actions() {
+        for action in [
+            ByzantineAction::Withhold { blocks: 0 },
+            ByzantineAction::GarbagePayload { bytes: 0 },
+        ] {
+            let plan = FaultPlan::new(vec![FaultEvent::Byzantine {
+                node: NodeId(0),
+                action,
+                at: secs(1),
+            }]);
+            assert_eq!(
+                plan.validate(4),
+                Err(FaultPlanError::BadByzantineParam { node: NodeId(0) })
+            );
+        }
+        let out_of_range = FaultPlan::new(vec![FaultEvent::Byzantine {
+            node: NodeId(7),
+            action: ByzantineAction::ForgeBlock,
+            at: secs(1),
+        }]);
+        assert!(matches!(
+            out_of_range.validate(4),
+            Err(FaultPlanError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn roles_make_a_plan_nonempty_and_validate_fraction() {
+        let plan = FaultPlan::none().with_roles(RoleAssignment {
+            seed: 9,
+            malicious_fraction: 0.25,
+        });
+        assert!(!plan.is_empty());
+        assert!(plan.validate(8).is_ok());
+        let bad = FaultPlan::none().with_roles(RoleAssignment {
+            seed: 9,
+            malicious_fraction: 1.5,
+        });
+        assert!(matches!(
+            bad.validate(8),
+            Err(FaultPlanError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn random_byzantine_is_deterministic_and_valid() {
+        let cfg = ByzantineSweepConfig {
+            adversary_fraction: 0.2,
+            actions_per_adversary: 3,
+            horizon: SimTime::from_secs(1800),
+        };
+        let gen_plan = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FaultPlan::random_byzantine(10, cfg, &mut rng)
+        };
+        let a = gen_plan(5);
+        assert_eq!(a, gen_plan(5), "same seed must give the same plan");
+        assert_ne!(a, gen_plan(6), "different seeds should differ");
+        assert!(a.validate(10).is_ok());
+        assert!(a.has_byzantine());
+        assert!(a.byzantine_nodes().len() <= 2, "20% of 10 nodes");
+        let withholds = a
+            .events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    FaultEvent::Byzantine {
+                        action: ByzantineAction::Withhold { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(withholds <= 1, "at most one private fork per plan");
     }
 }

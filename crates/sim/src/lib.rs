@@ -45,7 +45,10 @@ pub mod topology;
 pub mod transport;
 
 pub use event::{EventQueue, SimTime};
-pub use fault::{ChurnConfig, FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultPlanError};
+pub use fault::{
+    ByzantineAction, ByzantineSweepConfig, ChurnConfig, FaultAction, FaultEvent, FaultInjector,
+    FaultPlan, FaultPlanError, RoleAssignment,
+};
 pub use geometry::{Field, Point};
 pub use metrics::{gini, gini_counts, RunningStats, SampleSet};
 pub use topology::{NodeId, Topology, TopologyConfig, TopologyError, UNREACHABLE};

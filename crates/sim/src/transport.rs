@@ -46,6 +46,29 @@ impl Payload {
     pub fn shared(&self) -> Arc<[u8]> {
         Arc::clone(&self.0)
     }
+
+    /// A deterministically scrambled copy: every byte is XORed with a
+    /// value derived from `seed` and its offset (a splitmix-style hash),
+    /// guaranteeing at least the leading format byte changes. Models a
+    /// corrupted-on-the-wire or adversarially garbled frame; the copy is a
+    /// fresh allocation, the original is untouched.
+    pub fn scrambled(&self, seed: u64) -> Payload {
+        let mut out: Vec<u8> = self.0.to_vec();
+        for (i, b) in out.iter_mut().enumerate() {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let mask = (z >> 56) as u8;
+            // Force a flip even when the derived mask is zero.
+            *b ^= mask | 1;
+        }
+        Payload(out.into())
+    }
+
+    /// A truncated prefix copy of at most `len` bytes. Models a frame cut
+    /// short mid-transmission.
+    pub fn truncated(&self, len: usize) -> Payload {
+        Payload(self.0[..len.min(self.0.len())].to_vec().into())
+    }
 }
 
 impl From<Vec<u8>> for Payload {
@@ -987,6 +1010,25 @@ mod tests {
         assert_eq!(delivered.bytes(), payload.bytes());
         assert_eq!(delivered.len(), 64);
         assert!(!delivered.is_empty());
+    }
+
+    #[test]
+    fn scrambled_and_truncated_payloads_are_deterministic_copies() {
+        let payload = Payload::from((0u8..=255).collect::<Vec<u8>>());
+        let a = payload.scrambled(42);
+        let b = payload.scrambled(42);
+        assert_eq!(a, b, "same seed scrambles identically");
+        assert_ne!(a, payload, "scrambling must change the bytes");
+        assert_ne!(
+            a.bytes()[0],
+            payload.bytes()[0],
+            "leading format byte must flip"
+        );
+        assert_ne!(a, payload.scrambled(43), "different seeds differ");
+        assert_eq!(payload.bytes(), &(0u8..=255).collect::<Vec<u8>>()[..]);
+        let t = payload.truncated(10);
+        assert_eq!(t.bytes(), &payload.bytes()[..10]);
+        assert_eq!(payload.truncated(10_000).len(), 256);
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! crossing it (§V-D).
 
 use edgechain::core::{
-    run_round, Amendment, Block, Blockchain, Candidate, CheckpointPolicy, Identity,
+    run_round, Amendment, Block, Blockchain, Candidate, CheckpointPolicy, EdgeNetwork, Identity,
+    NetworkConfig,
 };
-use edgechain::sim::NodeId;
+use edgechain::sim::{
+    ByzantineAction, ByzantineSweepConfig, FaultEvent, FaultPlan, NodeId, SimTime,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Mines one block on `chain` with the given candidate subset (a network
 /// partition mines with whoever it can reach).
@@ -109,6 +115,94 @@ fn checkpoints_stop_branch_takeover_after_finality() {
     let mut extended = majority.clone();
     mine_on(&mut extended, &identities, &[2, 3, 4, 5]);
     assert!(node.try_adopt_checkpointed(extended.as_slice(), policy));
+}
+
+/// Live-network counterpart of the unit-level checkpoint tests above: an
+/// equivocating miner and a released private fork drive real reorgs
+/// through the broadcast path, and every reorg stays strictly below the
+/// checkpoint interval while honest prefixes hold.
+#[test]
+fn live_network_reorgs_stay_below_checkpoint_depth() {
+    let plan = FaultPlan::new(vec![
+        FaultEvent::Byzantine {
+            node: NodeId(6),
+            action: ByzantineAction::Equivocate,
+            at: SimTime::from_secs(300),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(6),
+            action: ByzantineAction::Withhold { blocks: 2 },
+            at: SimTime::from_secs(1_600),
+        },
+        FaultEvent::LinkLoss {
+            prob: 0.05,
+            from: SimTime::from_secs(120),
+            until: SimTime::from_secs(3_000),
+        },
+    ]);
+    let report = EdgeNetwork::new(NetworkConfig {
+        nodes: 20,
+        sim_minutes: 60,
+        data_items_per_min: 2.0,
+        request_interval_secs: 60,
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        fault_plan: plan,
+        seed: 0xED6E,
+        ..NetworkConfig::default()
+    })
+    .expect("valid config")
+    .run();
+
+    assert!(
+        report.reorgs >= 1,
+        "conflicting tips never reorged: {report}"
+    );
+    assert!(
+        report.max_reorg_depth < 10,
+        "a reorg crossed the checkpoint interval: {report}"
+    );
+    assert_eq!(
+        report.invariant_violations, 0,
+        "honest prefix consistency broken: {report}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Under random seeded adversary sweeps, any reorg the live network
+    /// performs is bounded by checkpoint finality, deterministically.
+    #[test]
+    fn random_adversary_reorgs_respect_checkpoints(seed in 256u64..384) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = FaultPlan::random_byzantine(
+            16,
+            ByzantineSweepConfig {
+                adversary_fraction: 0.2,
+                actions_per_adversary: 2,
+                horizon: SimTime::from_secs(30 * 60),
+            },
+            &mut rng,
+        );
+        let config = || NetworkConfig {
+            nodes: 16,
+            sim_minutes: 30,
+            data_items_per_min: 2.0,
+            request_interval_secs: 60,
+            fault_plan: plan.clone(),
+            seed: seed.wrapping_mul(0x9E37_79B9).wrapping_add(13),
+            ..NetworkConfig::default()
+        };
+        let a = EdgeNetwork::new(config()).expect("valid config").run();
+        prop_assert!(
+            a.max_reorg_depth < 10,
+            "reorg crossed the checkpoint interval: {}", &a
+        );
+        prop_assert_eq!(a.invariant_violations, 0, "invariant broken: {}", &a);
+        let b = EdgeNetwork::new(config()).expect("valid config").run();
+        prop_assert_eq!(a, b, "adversarial fork race must replay bit-identically");
+    }
 }
 
 #[test]
