@@ -20,7 +20,7 @@
 
 use crate::account::AccountId;
 use crate::block::{Block, BlockError};
-use crate::chain::{verify_wire_block, Blockchain, CheckpointPolicy};
+use crate::chain::{verify_wire_block, Blockchain, ChainAnchor, CheckpointPolicy};
 use edgechain_sim::{ByzantineAction, NodeId, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -479,9 +479,12 @@ impl ByzantineEngine {
                 self.orphans[v.0].push_back((block, artifact));
                 continue;
             }
-            let ours = self.chains[v.0]
-                .get(block.index)
-                .expect("index at or below the chain height");
+            let Some(ours) = self.chains[v.0].get(block.index) else {
+                // Below the node's pruned base: the adopted block at that
+                // height is gone, so the orphan can never be judged. Drop
+                // it rather than keep it stashed forever.
+                continue;
+            };
             if ours.hash == block.hash {
                 continue;
             }
@@ -512,6 +515,13 @@ impl ByzantineEngine {
         let mut result = SyncResult::default();
         let target = target.min(canonical.height());
         let chain = &mut self.chains[v.0];
+        if chain.height() + 1 < canonical.base_index() {
+            // The node is so far behind that the next block it needs has
+            // been pruned from the canonical chain. Block-by-block sync is
+            // impossible; the caller must bootstrap from a snapshot
+            // ([`Self::bootstrap_from_snapshot`]).
+            return result;
+        }
         while chain.height() < target {
             let next = canonical
                 .get(chain.height() + 1)
@@ -528,8 +538,10 @@ impl ByzantineEngine {
             return result;
         }
         // Divergence: the node sits on a fork. Adopt the canonical prefix
-        // up to `target` under checkpoint rules.
-        let candidate = &canonical.as_slice()[..=(target as usize)];
+        // up to `target` under checkpoint rules. `retained_up_to` aligns
+        // with the canonical pruned base; `try_adopt` attaches the slice
+        // by block index, so a suffix candidate splices correctly.
+        let candidate = canonical.retained_up_to(target);
         let fork_point = chain.fork_point(candidate);
         for h in fork_point..=chain.height() {
             let (ours, canon) = (chain.get(h), canonical.get(h));
@@ -545,6 +557,47 @@ impl ByzantineEngine {
             self.record_reorg(depth);
         }
         result
+    }
+
+    // ---- chain lifecycle ------------------------------------------------
+
+    /// Mirrors a canonical prune into the per-node chain views.
+    ///
+    /// A node chain whose block at the anchor boundary matches the
+    /// canonical one shares the entire pruned prefix (the hash chain
+    /// guarantees it), so it re-bases onto the same signed anchor. Chains
+    /// lagging behind the boundary, or sitting on a fork there, are left
+    /// intact — they reconcile later through [`Self::sync`] or a snapshot
+    /// bootstrap. Orphans below the new base are unjudgeable (the adopted
+    /// blocks at their heights are gone everywhere) and are dropped; the
+    /// caller should collect pending [`Self::resolve_orphans`] verdicts
+    /// first.
+    pub fn prune_below(&mut self, anchor: &ChainAnchor) {
+        let cut = anchor.height + 1;
+        for chain in &mut self.chains {
+            if chain.base_index() >= cut || chain.height() < cut {
+                continue;
+            }
+            if chain.get(anchor.height).map(|b| b.hash) != Some(anchor.tip_hash) {
+                continue;
+            }
+            let suffix = chain.retained_after(anchor.height).to_vec();
+            *chain = Blockchain::from_anchor(anchor.clone(), suffix)
+                .expect("retained suffix attaches to its own boundary block");
+        }
+        for pool in &mut self.orphans {
+            pool.retain(|(b, _)| b.index >= cut);
+        }
+    }
+
+    /// Replaces node `v`'s chain view with one rebuilt from a verified
+    /// snapshot (a deep rejoin past the canonical pruned base). Stashed
+    /// orphans below the snapshot base can no longer be judged and are
+    /// dropped; ones ahead of it stay for the next resolution pass.
+    pub fn bootstrap_from_snapshot(&mut self, v: NodeId, chain: Blockchain) {
+        let base = chain.base_index();
+        self.orphans[v.0].retain(|(b, _)| b.index >= base);
+        self.chains[v.0] = chain;
     }
 }
 
@@ -752,6 +805,59 @@ mod tests {
         assert_eq!(a.next_digest(), b.next_digest());
         assert_eq!(a.garbage_bytes(64), b.garbage_bytes(64));
         assert_eq!(a.draw(10), b.draw(10));
+    }
+
+    #[test]
+    fn canonical_pruning_re_bases_agreeing_views_and_stays_safe() {
+        let mut eng = engine(3);
+        let mut canonical = Blockchain::new();
+        for i in 0..9u64 {
+            let b = mined(canonical.tip(), 1, (i + 1) * 60);
+            canonical.push(b).unwrap();
+        }
+        // Node 1 is fully synced; node 2 lags at height 2.
+        eng.sync(NodeId(1), &canonical, 9);
+        eng.sync(NodeId(2), &canonical, 2);
+        // A tagged orphan at height 4 on node 2: once the canonical chain
+        // prunes past it, it can never be judged and must be dropped.
+        let full = canonical.clone();
+        let orphan = mined(full.get(3).unwrap(), 5, 241);
+        eng.stash_orphan(NodeId(2), orphan, Some((0, "byz_forge")));
+
+        let identity = Identity::from_seed(42);
+        canonical.prune_below(5, identity.keys());
+        let anchor = canonical.anchor().unwrap().clone();
+        eng.prune_below(&anchor);
+
+        assert_eq!(eng.chains[1].base_index(), 5);
+        assert_eq!(eng.chains[1].height(), 9);
+        assert_eq!(eng.chains[1], canonical);
+        assert_eq!(eng.chains[2].base_index(), 0, "laggard view left intact");
+        assert!(
+            eng.resolve_orphans(NodeId(2)).is_empty(),
+            "below-base orphan dropped at the prune"
+        );
+
+        // An orphan below a re-based node's own pruned base resolves as a
+        // graceful drop, never a panic.
+        let stale = mined(full.get(2).unwrap(), 6, 200);
+        eng.stash_orphan(NodeId(1), stale, None);
+        assert!(eng.resolve_orphans(NodeId(1)).is_empty());
+
+        // A deep laggard cannot sync block-by-block across the pruned gap:
+        // the call is a no-op asking for a snapshot, not a panic.
+        let r = eng.sync(NodeId(2), &canonical, 9);
+        assert_eq!(r.reorg_depth, None);
+        assert_eq!(eng.chains[2].height(), 2);
+
+        // Snapshot bootstrap lands the laggard on the pruned canonical
+        // view, after which normal sync works again.
+        let rebuilt = Blockchain::from_anchor(anchor, canonical.as_slice().to_vec()).unwrap();
+        eng.bootstrap_from_snapshot(NodeId(2), rebuilt);
+        assert_eq!(eng.chains[2], canonical);
+        let r = eng.sync(NodeId(2), &canonical, 9);
+        assert_eq!(r.reorg_depth, None);
+        assert_eq!(eng.chains[2].height(), 9);
     }
 
     #[test]

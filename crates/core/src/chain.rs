@@ -1,4 +1,5 @@
-//! The blockchain container: validation, fork choice, and derived state.
+//! The blockchain container: validation, fork choice, pruning, and
+//! derived state.
 //!
 //! Every node keeps (a view of) the chain. Validation checks linkage
 //! (index, hash, timestamp), structural integrity (block hash + Merkle
@@ -6,11 +7,224 @@
 //! the paper's longest-chain rule: a node that receives a strictly longer
 //! valid chain adopts it. Token balances are always *derived* from chain
 //! history (one token per mined block), so any node can audit any `S_i`.
+//!
+//! Long-horizon runs cannot keep every block forever: checkpoint-anchored
+//! pruning collapses blocks strictly below a cut height into a signed
+//! [`ChainAnchor`] that carries the boundary linkage, a chained Merkle
+//! commitment over the pruned hashes, and the derived state (per-miner
+//! block counts, metadata totals) the pruned prefix contributed. All
+//! positional APIs (`get`, `fork_point`, fork choice) stay index-aligned
+//! across the pruned base, and a chain can be rebuilt from an anchor plus
+//! its retained suffix ([`Blockchain::from_anchor`] — the snapshot
+//! bootstrap path).
 
 use crate::account::{AccountId, Ledger};
 use crate::block::{Block, BlockError};
+use edgechain_crypto::{sha256_pair, Digest, KeyPair, MerkleTree, PublicKey, Sha256, Signature};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// A signed, Merkle-committed stand-in for a pruned chain prefix.
+///
+/// When pruning collapses blocks `[0, height]`, the anchor carries
+/// everything later consumers need from them: the linkage fields of the
+/// boundary block (so the first retained block still validates), a
+/// chained commitment over every pruned block hash (so two nodes can
+/// audit that they pruned the same prefix), and the derived state the
+/// pruned blocks contributed — per-miner block counts for the token
+/// ledger and the on-chain metadata total. The pruning node signs the
+/// whole thing so a snapshot receiver can pin tampering on the sender.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainAnchor {
+    /// Index of the newest pruned block (the prefix `[0, height]` is gone).
+    pub height: u64,
+    /// Hash of the block at `height` — the `prev_hash` the first retained
+    /// block must carry.
+    pub tip_hash: Digest,
+    /// PoS hash of the block at `height` (Eq. 7 chaining continues here).
+    pub tip_pos_hash: Digest,
+    /// Timestamp of the block at `height`.
+    pub tip_timestamp_secs: u64,
+    /// Chained Merkle commitment over all pruned block hashes: each prune
+    /// round folds the Merkle root of its segment into the previous
+    /// commitment (`sha256(prev ‖ segment_root)`, starting from zero).
+    pub commitment: Digest,
+    /// Blocks mined per account inside the pruned prefix, sorted by
+    /// account — the ledger summary (one token per block).
+    pub mined: Vec<(AccountId, u64)>,
+    /// Metadata items recorded in the pruned prefix.
+    pub metadata_items: u64,
+    /// Account of the node that sealed this anchor.
+    pub signer: AccountId,
+    /// Its public key (must hash to `signer`).
+    pub signer_key: PublicKey,
+    /// Signature over [`ChainAnchor::signing_digest`].
+    pub signature: Signature,
+}
+
+impl ChainAnchor {
+    /// Builds and signs an anchor over an already-summarised prefix.
+    #[allow(clippy::too_many_arguments)]
+    fn seal(
+        height: u64,
+        tip_hash: Digest,
+        tip_pos_hash: Digest,
+        tip_timestamp_secs: u64,
+        commitment: Digest,
+        mined: Vec<(AccountId, u64)>,
+        metadata_items: u64,
+        keys: &KeyPair,
+    ) -> Self {
+        let signer_key = keys.public_key();
+        let mut anchor = ChainAnchor {
+            height,
+            tip_hash,
+            tip_pos_hash,
+            tip_timestamp_secs,
+            commitment,
+            mined,
+            metadata_items,
+            signer: AccountId::from_public_key(&signer_key),
+            signer_key,
+            signature: Signature::from_bytes(&[0u8; 64]),
+        };
+        anchor.signature = keys.sign(anchor.signing_digest().as_bytes());
+        anchor
+    }
+
+    /// Digest the pruning node signs: every field except the signature.
+    pub fn signing_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"edgechain.anchor.v1");
+        h.update(self.height.to_le_bytes());
+        h.update(self.tip_hash.as_bytes());
+        h.update(self.tip_pos_hash.as_bytes());
+        h.update(self.tip_timestamp_secs.to_le_bytes());
+        h.update(self.commitment.as_bytes());
+        h.update((self.mined.len() as u64).to_le_bytes());
+        for (acct, n) in &self.mined {
+            h.update(acct.as_bytes());
+            h.update(n.to_le_bytes());
+        }
+        h.update(self.metadata_items.to_le_bytes());
+        h.update(self.signer.as_bytes());
+        h.update(self.signer_key.to_bytes());
+        h.finalize()
+    }
+
+    /// Verifies the signature and that the key matches the signer account.
+    pub fn verify(&self) -> bool {
+        AccountId::from_public_key(&self.signer_key) == self.signer
+            && self
+                .signer_key
+                .verify(self.signing_digest().as_bytes(), &self.signature)
+    }
+
+    /// Blocks mined by `account` inside the pruned prefix.
+    pub fn mined_by(&self, account: &AccountId) -> u64 {
+        self.mined
+            .binary_search_by(|(a, _)| a.cmp(account))
+            .map(|i| self.mined[i].1)
+            .unwrap_or(0)
+    }
+}
+
+/// A bootstrap snapshot: the pruned-prefix anchor, the retained block
+/// suffix, and the live metadata registry (each item carries its storer
+/// map in `storing_nodes`, paired with the block that packed it).
+///
+/// Nodes rejoining from below the retention window cannot recover
+/// block-by-block — those blocks no longer exist anywhere — so a peer
+/// serves them a snapshot instead. The serving node signs the whole
+/// object; [`Snapshot::verify`] checks that signature, the anchor's own
+/// signature, and the structural linkage of the suffix, so any bit
+/// tampered in flight (or by a Byzantine server) makes verification fail
+/// and the fetcher blacklists the source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Summary of everything below the retained suffix.
+    pub anchor: ChainAnchor,
+    /// Retained blocks, `anchor.height + 1` through the server's tip.
+    pub blocks: Vec<Block>,
+    /// Live metadata items and the index of the block that packed each.
+    pub registry: Vec<(crate::metadata::MetadataItem, u64)>,
+    /// Account of the serving node.
+    pub server: AccountId,
+    /// Its public key (must hash to `server`).
+    pub server_key: PublicKey,
+    /// Signature over [`Snapshot::signing_digest`].
+    pub signature: Signature,
+}
+
+impl Snapshot {
+    /// Builds and signs a snapshot served by the holder of `keys`.
+    pub fn seal(
+        anchor: ChainAnchor,
+        blocks: Vec<Block>,
+        registry: Vec<(crate::metadata::MetadataItem, u64)>,
+        keys: &KeyPair,
+    ) -> Self {
+        let server_key = keys.public_key();
+        let mut snapshot = Snapshot {
+            anchor,
+            blocks,
+            registry,
+            server: AccountId::from_public_key(&server_key),
+            server_key,
+            signature: Signature::from_bytes(&[0u8; 64]),
+        };
+        snapshot.signature = keys.sign(snapshot.signing_digest().as_bytes());
+        snapshot
+    }
+
+    /// Digest the serving node signs: the anchor (digest + signature),
+    /// every suffix block hash, and the canonical bytes of every registry
+    /// entry — the storer maps included, since those are exactly what a
+    /// tamperer would rewrite.
+    pub fn signing_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"edgechain.snapshot.v1");
+        h.update(self.anchor.signing_digest().as_bytes());
+        h.update(self.anchor.signature.to_bytes());
+        h.update((self.blocks.len() as u64).to_le_bytes());
+        for b in &self.blocks {
+            h.update(b.hash.as_bytes());
+        }
+        h.update((self.registry.len() as u64).to_le_bytes());
+        for (item, packed_at) in &self.registry {
+            h.update(item.canonical_bytes());
+            h.update(packed_at.to_le_bytes());
+        }
+        h.update(self.server.as_bytes());
+        h.update(self.server_key.to_bytes());
+        h.finalize()
+    }
+
+    /// Full verification: server key matches the account and the
+    /// signature, the anchor verifies on its own, the suffix attaches to
+    /// the anchor with valid linkage throughout (every block well-formed),
+    /// and no registry entry claims a packing block above the tip.
+    pub fn verify(&self) -> bool {
+        if AccountId::from_public_key(&self.server_key) != self.server {
+            return false;
+        }
+        if !self
+            .server_key
+            .verify(self.signing_digest().as_bytes(), &self.signature)
+        {
+            return false;
+        }
+        if !self.anchor.verify() {
+            return false;
+        }
+        let Ok(chain) = Blockchain::from_anchor(self.anchor.clone(), self.blocks.clone()) else {
+            return false;
+        };
+        let tip = chain.height();
+        self.registry.iter().all(|(_, packed_at)| *packed_at <= tip)
+    }
+}
 
 /// A validated chain of blocks starting at genesis.
 ///
@@ -29,7 +243,16 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Blockchain {
+    /// Everything strictly below `base` collapsed into this anchor.
+    anchor: Option<ChainAnchor>,
+    /// Index of `blocks[0]` (0 when nothing has been pruned).
+    base: u64,
+    /// Retained blocks; `blocks[i].index == base + i`; never empty.
     blocks: Vec<Block>,
+    /// `(height, commitment)` of every anchor this chain sealed or
+    /// adopted, oldest first — the audit trail behind
+    /// [`Blockchain::commitment_at`].
+    anchor_history: Vec<(u64, Digest)>,
 }
 
 impl Default for Blockchain {
@@ -42,7 +265,10 @@ impl Blockchain {
     /// A chain containing only the genesis block.
     pub fn new() -> Self {
         Blockchain {
+            anchor: None,
+            base: 0,
             blocks: vec![Block::genesis()],
+            anchor_history: Vec::new(),
         }
     }
 
@@ -67,12 +293,54 @@ impl Blockchain {
                     source: e,
                 })?;
         }
-        Ok(Blockchain { blocks })
+        Ok(Blockchain {
+            anchor: None,
+            base: 0,
+            blocks,
+            anchor_history: Vec::new(),
+        })
     }
 
-    /// Number of blocks including genesis.
+    /// Rebuilds a pruned chain from an anchor and its retained suffix —
+    /// the snapshot-bootstrap path. The first block must sit directly on
+    /// the anchor boundary; linkage is validated from there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Empty`] without blocks,
+    /// [`ChainError::DetachedAnchor`] when the first block does not link
+    /// to the anchor, and [`ChainError::Invalid`] for any broken link in
+    /// the suffix.
+    pub fn from_anchor(anchor: ChainAnchor, blocks: Vec<Block>) -> Result<Self, ChainError> {
+        let Some(first) = blocks.first() else {
+            return Err(ChainError::Empty);
+        };
+        if first.index != anchor.height + 1
+            || first.prev_hash != anchor.tip_hash
+            || first.timestamp_secs < anchor.tip_timestamp_secs
+            || !first.is_well_formed()
+        {
+            return Err(ChainError::DetachedAnchor);
+        }
+        for i in 1..blocks.len() {
+            blocks[i]
+                .validate_against(&blocks[i - 1])
+                .map_err(|e| ChainError::Invalid {
+                    index: blocks[i].index,
+                    source: e,
+                })?;
+        }
+        Ok(Blockchain {
+            base: anchor.height + 1,
+            anchor_history: vec![(anchor.height, anchor.commitment)],
+            anchor: Some(anchor),
+            blocks,
+        })
+    }
+
+    /// Number of blocks including genesis — pruned blocks still count.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.base as usize + self.blocks.len()
     }
 
     /// A chain is never empty (genesis is always present).
@@ -82,7 +350,7 @@ impl Blockchain {
 
     /// Index of the newest block.
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64 - 1
+        self.base + self.blocks.len() as u64 - 1
     }
 
     /// The newest block.
@@ -90,19 +358,71 @@ impl Blockchain {
         self.blocks.last().expect("chain always has genesis")
     }
 
-    /// Block at `index`, if present.
-    pub fn get(&self, index: u64) -> Option<&Block> {
-        self.blocks.get(index as usize)
+    /// Index of the oldest block still held (0 when nothing has been
+    /// pruned).
+    pub fn base_index(&self) -> u64 {
+        self.base
     }
 
-    /// Iterates blocks from genesis to tip.
+    /// The anchor summarising the pruned prefix, if any pruning happened.
+    pub fn anchor(&self) -> Option<&ChainAnchor> {
+        self.anchor.as_ref()
+    }
+
+    /// Number of blocks physically held (≤ [`Blockchain::len`]).
+    pub fn retained_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block at `index`, if present — `None` both above the tip and below
+    /// the pruned base.
+    pub fn get(&self, index: u64) -> Option<&Block> {
+        index
+            .checked_sub(self.base)
+            .and_then(|i| self.blocks.get(i as usize))
+    }
+
+    /// Iterates retained blocks oldest-first (from genesis when nothing
+    /// has been pruned).
     pub fn iter(&self) -> std::slice::Iter<'_, Block> {
         self.blocks.iter()
     }
 
-    /// All blocks as a slice.
+    /// All retained blocks as a slice (the whole chain when nothing has
+    /// been pruned). The first element's `index` is
+    /// [`Blockchain::base_index`], not necessarily 0.
     pub fn as_slice(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// Retained blocks from the pruned base through `height`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `height` is below the pruned base or above the tip.
+    pub fn retained_up_to(&self, height: u64) -> &[Block] {
+        assert!(
+            height >= self.base && height <= self.height(),
+            "height {height} outside retained range [{}, {}]",
+            self.base,
+            self.height()
+        );
+        &self.blocks[..=(height - self.base) as usize]
+    }
+
+    /// Retained blocks strictly above `height` (empty at the tip).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `height` is below the pruned base or above the tip.
+    pub fn retained_after(&self, height: u64) -> &[Block] {
+        assert!(
+            height >= self.base && height <= self.height(),
+            "height {height} outside retained range [{}, {}]",
+            self.base,
+            self.height()
+        );
+        &self.blocks[(height + 1 - self.base) as usize..]
     }
 
     /// Appends a block after validating linkage against the tip.
@@ -153,20 +473,76 @@ impl Blockchain {
     /// Longest-chain fork choice: adopts `candidate` iff it is strictly
     /// longer and fully valid. Returns whether adoption happened.
     ///
+    /// `candidate` is index-aligned by its first block: a slice starting
+    /// at genesis is a whole chain, one starting higher is a suffix that
+    /// must attach to a block this chain still holds. A pruned chain
+    /// refuses candidates that diverge inside its pruned prefix — those
+    /// blocks are anchored and cannot be audited away.
+    ///
     /// (Receiving "a blockchain longer than its previous received
     /// blockchain" is also how a node detects that it missed blocks,
     /// §IV-D.)
     pub fn try_adopt(&mut self, candidate: &[Block]) -> bool {
-        if candidate.len() <= self.blocks.len() {
+        let Some(first) = candidate.first() else {
+            return false;
+        };
+        let cand_len = first.index + candidate.len() as u64;
+        if cand_len <= self.len() as u64 {
             return false;
         }
-        match Self::from_blocks(candidate.to_vec()) {
-            Ok(chain) => {
-                *self = chain;
-                true
-            }
-            Err(_) => false,
+        if !self.candidate_is_valid(candidate) {
+            return false;
         }
+        self.splice_from(candidate)
+    }
+
+    /// Structural validation of an index-aligned candidate: attachment to
+    /// this chain (or the canonical genesis) plus internal linkage.
+    fn candidate_is_valid(&self, candidate: &[Block]) -> bool {
+        let first = &candidate[0];
+        if first.index == 0 {
+            if *first != Block::genesis() {
+                return false;
+            }
+        } else {
+            // A suffix must attach to a block we still hold; anything
+            // reaching below the pruned base is unverifiable and refused.
+            match self.get(first.index - 1) {
+                Some(prev) => {
+                    if first.validate_against(prev).is_err() {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        for i in 1..candidate.len() {
+            if candidate[i].validate_against(&candidate[i - 1]).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Replaces this chain from the candidate's first index upward,
+    /// keeping the anchor (and any agreeing prefix) intact. The candidate
+    /// has already been validated.
+    fn splice_from(&mut self, candidate: &[Block]) -> bool {
+        let cand_base = candidate[0].index;
+        if cand_base >= self.base {
+            self.blocks.truncate((cand_base - self.base) as usize);
+            self.blocks.extend_from_slice(candidate);
+        } else {
+            // The candidate spans our pruned prefix (it must start at
+            // genesis to have validated). Adopt only if it agrees with the
+            // retained boundary, keeping our anchor as the prefix summary.
+            let offset = (self.base - cand_base) as usize;
+            if candidate.get(offset).map(|b| b.hash) != Some(self.blocks[0].hash) {
+                return false;
+            }
+            self.blocks = candidate[offset..].to_vec();
+        }
+        true
     }
 
     /// Checkpointed fork choice (paper §V-D): because PoS makes working on
@@ -182,38 +558,57 @@ impl Blockchain {
         candidate: &[Block],
         policy: CheckpointPolicy,
     ) -> bool {
-        if candidate.len() <= self.blocks.len() {
+        let Some(first) = candidate.first() else {
+            return false;
+        };
+        let cand_base = first.index;
+        let cand_top = cand_base + candidate.len() as u64 - 1;
+        if cand_top < self.len() as u64 {
             return false;
         }
-        let shared = self.blocks.len().min(candidate.len());
-        let interval = policy.interval.max(1) as usize;
-        for idx in (interval..shared).step_by(interval) {
-            if self.blocks[idx] != candidate[idx] {
+        let interval = policy.interval.max(1);
+        let lo = self.base.max(cand_base);
+        let hi = self.height().min(cand_top);
+        let mut cp = lo.div_ceil(interval).max(1) * interval;
+        while cp <= hi {
+            let theirs = &candidate[(cp - cand_base) as usize];
+            if self.get(cp) != Some(theirs) {
                 return false;
             }
+            cp += interval;
         }
         self.try_adopt(candidate)
     }
 
     /// First height at which this chain and `other` disagree — equivalently
-    /// the length of their common prefix. Both start from the same genesis,
-    /// so the result is at least 1 for any two chains built by this crate;
-    /// it equals the shorter length when one is a prefix of the other.
+    /// the length of their common prefix. `other` is index-aligned by its
+    /// first block; heights outside the comparable overlap (pruned on one
+    /// side or beyond either tip) are assumed to agree, so the result
+    /// equals the shorter logical length when one is a prefix of the
+    /// other.
     pub fn fork_point(&self, other: &[Block]) -> u64 {
-        let shared = self.blocks.len().min(other.len());
-        for (i, theirs) in other.iter().enumerate().take(shared) {
-            if self.blocks[i].hash != theirs.hash {
-                return i as u64;
+        let Some(first) = other.first() else {
+            return 0;
+        };
+        let other_base = first.index;
+        let other_top = other_base + other.len() as u64 - 1;
+        let lo = self.base.max(other_base);
+        let hi = self.height().min(other_top);
+        for idx in lo..=hi {
+            if self.blocks[(idx - self.base) as usize].hash
+                != other[(idx - other_base) as usize].hash
+            {
+                return idx;
             }
         }
-        shared as u64
+        hi + 1
     }
 
     /// How many of this chain's blocks a reorg onto `candidate` would
     /// discard: everything above the common prefix. Zero when `candidate`
     /// extends this chain.
     pub fn divergence_depth(&self, candidate: &[Block]) -> u64 {
-        self.blocks.len() as u64 - self.fork_point(candidate)
+        self.len() as u64 - self.fork_point(candidate)
     }
 
     /// Height of the newest checkpoint block under `policy` (0 when the
@@ -227,27 +622,99 @@ impl Blockchain {
 
     /// Derives token balances from history: each block credits its miner
     /// one token (the paper's mining incentive), on top of the one-token
-    /// initial grant.
+    /// initial grant. A pruned prefix contributes through the anchor's
+    /// mined-block summary, so the result is identical before and after
+    /// pruning.
     pub fn derive_ledger(&self) -> Ledger {
         let mut ledger = Ledger::new();
-        for block in self.blocks.iter().skip(1) {
+        if let Some(anchor) = &self.anchor {
+            for &(acct, n) in &anchor.mined {
+                ledger.credit(acct, n);
+            }
+        }
+        for block in self.blocks.iter().filter(|b| b.index > 0) {
             ledger.credit(block.miner, 1);
         }
         ledger
     }
 
-    /// Number of blocks mined by `account`.
+    /// Number of blocks mined by `account`, including pruned ones.
     pub fn blocks_mined_by(&self, account: &AccountId) -> u64 {
-        self.blocks
-            .iter()
-            .skip(1)
-            .filter(|b| &b.miner == account)
-            .count() as u64
+        let anchored = self.anchor.as_ref().map_or(0, |a| a.mined_by(account));
+        anchored
+            + self
+                .blocks
+                .iter()
+                .filter(|b| b.index > 0 && &b.miner == account)
+                .count() as u64
     }
 
-    /// Total count of metadata items recorded on-chain.
+    /// Total count of metadata items recorded on-chain, including pruned
+    /// blocks.
     pub fn total_metadata_items(&self) -> usize {
-        self.blocks.iter().map(|b| b.metadata.len()).sum()
+        let anchored = self.anchor.as_ref().map_or(0, |a| a.metadata_items) as usize;
+        anchored + self.blocks.iter().map(|b| b.metadata.len()).sum::<usize>()
+    }
+
+    /// Collapses every block strictly below `cut` into a signed
+    /// [`ChainAnchor`], chaining onto any existing anchor. Returns the
+    /// number of blocks pruned — 0 when `cut` is not above the current
+    /// base or would not leave at least one retained block.
+    ///
+    /// Derived state ([`Blockchain::derive_ledger`],
+    /// [`Blockchain::blocks_mined_by`],
+    /// [`Blockchain::total_metadata_items`]) and all height arithmetic
+    /// are unchanged by pruning; only [`Blockchain::get`] and the slice
+    /// views lose access to the collapsed blocks.
+    pub fn prune_below(&mut self, cut: u64, keys: &KeyPair) -> u64 {
+        if cut <= self.base || cut > self.height() {
+            return 0;
+        }
+        let pruned: Vec<Block> = self.blocks.drain(..(cut - self.base) as usize).collect();
+        let segment_root =
+            MerkleTree::from_leaf_hashes(pruned.iter().map(|b| b.hash).collect()).root();
+        let prev_commitment = self.anchor.as_ref().map_or(Digest::ZERO, |a| a.commitment);
+        let commitment = sha256_pair(prev_commitment.as_bytes(), segment_root.as_bytes());
+
+        let mut mined: BTreeMap<AccountId, u64> = self
+            .anchor
+            .as_ref()
+            .map(|a| a.mined.iter().copied().collect())
+            .unwrap_or_default();
+        let mut metadata_items = self.anchor.as_ref().map_or(0, |a| a.metadata_items);
+        for b in &pruned {
+            if b.index > 0 {
+                *mined.entry(b.miner).or_insert(0) += 1;
+            }
+            metadata_items += b.metadata.len() as u64;
+        }
+
+        let boundary = pruned.last().expect("cut > base implies non-empty drain");
+        let anchor = ChainAnchor::seal(
+            cut - 1,
+            boundary.hash,
+            boundary.pos_hash,
+            boundary.timestamp_secs,
+            commitment,
+            mined.into_iter().collect(),
+            metadata_items,
+            keys,
+        );
+        self.anchor_history.push((anchor.height, anchor.commitment));
+        self.anchor = Some(anchor);
+        self.base = cut;
+        pruned.len() as u64
+    }
+
+    /// The pruned-prefix commitment this chain recorded for an anchor at
+    /// `height`, if it ever sealed or adopted one there. This is the
+    /// audit hook for pruned-prefix integrity: two honest nodes that
+    /// pruned the same prefix must agree here.
+    pub fn commitment_at(&self, height: u64) -> Option<Digest> {
+        self.anchor_history
+            .iter()
+            .find(|(h, _)| *h == height)
+            .map(|(_, c)| *c)
     }
 }
 
@@ -296,6 +763,8 @@ pub enum ChainError {
     Empty,
     /// First block is not the canonical genesis.
     BadGenesis,
+    /// First retained block does not attach to the anchor boundary.
+    DetachedAnchor,
     /// A block failed linkage validation.
     Invalid {
         /// Index of the offending block.
@@ -310,6 +779,9 @@ impl fmt::Display for ChainError {
         match self {
             ChainError::Empty => write!(f, "chain has no blocks"),
             ChainError::BadGenesis => write!(f, "chain does not start at genesis"),
+            ChainError::DetachedAnchor => {
+                write!(f, "chain does not attach to its anchor boundary")
+            }
             ChainError::Invalid { index, source } => {
                 write!(f, "invalid block {index}: {source}")
             }
@@ -581,5 +1053,208 @@ mod tests {
         let chain = chain_of(4);
         let indices: Vec<u64> = (&chain).into_iter().map(|b| b.index).collect();
         assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    fn prune_keys() -> &'static crate::account::Identity {
+        use std::sync::OnceLock;
+        static ID: OnceLock<Identity> = OnceLock::new();
+        ID.get_or_init(|| Identity::from_seed(42))
+    }
+
+    #[test]
+    fn pruning_preserves_heights_and_derived_state() {
+        let mut chain = chain_of(25);
+        let ledger_before = chain.derive_ledger();
+        let mined_before: Vec<u64> = (0..3)
+            .map(|s| chain.blocks_mined_by(&Identity::from_seed(s).account()))
+            .collect();
+        let items_before = chain.total_metadata_items();
+
+        let pruned = chain.prune_below(10, prune_keys().keys());
+        assert_eq!(pruned, 10);
+        assert_eq!(chain.base_index(), 10);
+        assert_eq!(chain.height(), 25);
+        assert_eq!(chain.len(), 26);
+        assert_eq!(chain.retained_len(), 16);
+        assert!(chain.get(9).is_none());
+        assert_eq!(chain.get(10).unwrap().index, 10);
+        assert_eq!(chain.tip().index, 25);
+        assert_eq!(chain.derive_ledger(), ledger_before);
+        let mined_after: Vec<u64> = (0..3)
+            .map(|s| chain.blocks_mined_by(&Identity::from_seed(s).account()))
+            .collect();
+        assert_eq!(mined_after, mined_before);
+        assert_eq!(chain.total_metadata_items(), items_before);
+        // Pushing past the pruned base still works.
+        let next = mined_block(chain.tip(), 1, chain.tip().timestamp_secs + 60);
+        chain.push(next).unwrap();
+        assert_eq!(chain.height(), 26);
+    }
+
+    #[test]
+    fn prune_rejects_bad_cuts() {
+        let mut chain = chain_of(5);
+        assert_eq!(chain.prune_below(0, prune_keys().keys()), 0);
+        assert_eq!(
+            chain.prune_below(6, prune_keys().keys()),
+            0,
+            "cannot prune the tip away"
+        );
+        assert_eq!(chain.prune_below(3, prune_keys().keys()), 3);
+        assert_eq!(
+            chain.prune_below(2, prune_keys().keys()),
+            0,
+            "cut below base is a no-op"
+        );
+    }
+
+    #[test]
+    fn anchor_signature_verifies_and_catches_tampering() {
+        let mut chain = chain_of(12);
+        chain.prune_below(8, prune_keys().keys());
+        let anchor = chain.anchor().unwrap().clone();
+        assert!(anchor.verify());
+        assert_eq!(anchor.height, 7);
+        assert_eq!(anchor.tip_hash, chain.get(8).unwrap().prev_hash);
+
+        let mut forged = anchor.clone();
+        forged.metadata_items += 1;
+        assert!(!forged.verify());
+        let mut reassigned = anchor.clone();
+        reassigned.signer = Identity::from_seed(7).account();
+        assert!(!reassigned.verify());
+    }
+
+    #[test]
+    fn commitment_chains_across_successive_prunes() {
+        let reference = chain_of(20);
+        let mut chain = reference.clone();
+        chain.prune_below(5, prune_keys().keys());
+        let first = chain.anchor().unwrap().commitment;
+        chain.prune_below(12, prune_keys().keys());
+        let second = chain.anchor().unwrap().commitment;
+        assert_ne!(first, second);
+        assert_eq!(chain.commitment_at(4), Some(first));
+        assert_eq!(chain.commitment_at(11), Some(second));
+        assert_eq!(chain.commitment_at(5), None);
+
+        // A node that prunes straight to 12 folds the same hashes in a
+        // different segmentation, so commitments are only comparable at
+        // matching cut heights — recompute the two-step chain by hand.
+        use edgechain_crypto::{sha256_pair, Digest, MerkleTree};
+        let seg = |lo: usize, hi: usize| {
+            MerkleTree::from_leaf_hashes(
+                reference.as_slice()[lo..hi]
+                    .iter()
+                    .map(|b| b.hash)
+                    .collect(),
+            )
+            .root()
+        };
+        let c1 = sha256_pair(Digest::ZERO.as_bytes(), seg(0, 5).as_bytes());
+        let c2 = sha256_pair(c1.as_bytes(), seg(5, 12).as_bytes());
+        assert_eq!(first, c1);
+        assert_eq!(second, c2);
+    }
+
+    #[test]
+    fn from_anchor_rebuilds_a_pruned_chain() {
+        let mut chain = chain_of(15);
+        chain.prune_below(6, prune_keys().keys());
+        let anchor = chain.anchor().unwrap().clone();
+        let suffix = chain.as_slice().to_vec();
+
+        let rebuilt = Blockchain::from_anchor(anchor.clone(), suffix.clone()).unwrap();
+        assert_eq!(rebuilt.height(), chain.height());
+        assert_eq!(rebuilt.base_index(), 6);
+        assert_eq!(rebuilt.tip(), chain.tip());
+        assert_eq!(rebuilt.commitment_at(5), Some(anchor.commitment));
+        assert_eq!(rebuilt.derive_ledger(), chain.derive_ledger());
+
+        // Detached suffixes are refused.
+        assert_eq!(
+            Blockchain::from_anchor(anchor.clone(), suffix[1..].to_vec()),
+            Err(ChainError::DetachedAnchor)
+        );
+        assert_eq!(
+            Blockchain::from_anchor(anchor, Vec::new()),
+            Err(ChainError::Empty)
+        );
+    }
+
+    #[test]
+    fn pruned_chain_adopts_suffix_and_full_candidates() {
+        let trunk = chain_of(14);
+        let longer = extend(&trunk, 4, 600);
+
+        // Suffix candidate: just the blocks above our base.
+        let mut pruned = trunk.clone();
+        pruned.prune_below(8, prune_keys().keys());
+        assert!(pruned.try_adopt(longer.retained_after(10)));
+        assert_eq!(pruned.height(), 18);
+        assert_eq!(pruned.base_index(), 8);
+
+        // Full candidate from genesis also splices across the base.
+        let mut pruned = trunk.clone();
+        pruned.prune_below(8, prune_keys().keys());
+        assert!(pruned.try_adopt(longer.as_slice()));
+        assert_eq!(pruned.height(), 18);
+        assert!(pruned.anchor().is_some(), "anchor survives adoption");
+
+        // A bare suffix starting below the base cannot be attached: its
+        // predecessor is pruned.
+        let mut pruned = trunk.clone();
+        pruned.prune_below(8, prune_keys().keys());
+        assert!(!pruned.try_adopt(&longer.as_slice()[4..]));
+    }
+
+    #[test]
+    fn pruned_chain_refuses_divergence_below_base() {
+        let trunk = chain_of(6);
+        let ours = extend(&trunk, 6, 100);
+        // Attacker forks below the eventual prune base and out-mines us.
+        let attacker = extend(&trunk, 10, 200);
+        let mut pruned = ours.clone();
+        pruned.prune_below(9, prune_keys().keys());
+        assert!(
+            !pruned.try_adopt(attacker.as_slice()),
+            "divergence inside the pruned prefix must be refused"
+        );
+        assert_eq!(pruned.height(), 12);
+    }
+
+    #[test]
+    fn checkpointed_adoption_is_index_aligned_after_pruning() {
+        let trunk = chain_of(11); // checkpoint at 10
+        let longer = extend(&trunk, 4, 300);
+        let mut chain = trunk.clone();
+        chain.prune_below(7, prune_keys().keys());
+        let policy = CheckpointPolicy { interval: 10 };
+        assert!(chain.try_adopt_checkpointed(longer.retained_after(9), policy));
+        assert_eq!(chain.height(), 15);
+
+        // A fork that rewrites the checkpoint block is still refused.
+        let early = Blockchain::from_blocks(trunk.as_slice()[..10].to_vec()).unwrap();
+        let attacker = extend(&early, 9, 400); // rewrites block 10
+        let mut chain = extend(&trunk, 2, 300);
+        chain.prune_below(7, prune_keys().keys());
+        assert!(!chain.try_adopt_checkpointed(attacker.retained_after(9), policy));
+    }
+
+    #[test]
+    fn fork_point_aligns_suffix_slices() {
+        let trunk = chain_of(10);
+        let mut pruned = trunk.clone();
+        pruned.prune_below(4, prune_keys().keys());
+        // Suffix of the same chain: agreement through the overlap.
+        assert_eq!(pruned.fork_point(trunk.retained_after(5)), 11);
+        // Divergent suffix.
+        let fork = extend(
+            &Blockchain::from_blocks(trunk.as_slice()[..8].to_vec()).unwrap(),
+            3,
+            900,
+        );
+        assert_eq!(pruned.fork_point(fork.retained_after(6)), 8);
+        assert_eq!(pruned.divergence_depth(fork.retained_after(6)), 3);
     }
 }

@@ -25,6 +25,7 @@
 
 use crate::account::AccountId;
 use crate::block::Block;
+use crate::chain::{ChainAnchor, Snapshot};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
 use crate::pos::Amendment;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -404,6 +405,152 @@ pub fn decode_chain(data: &[u8]) -> Result<Vec<Block>, DecodeError> {
     Ok(out)
 }
 
+fn put_anchor(buf: &mut BytesMut, anchor: &ChainAnchor) {
+    buf.put_u64_le(anchor.height);
+    buf.put_slice(anchor.tip_hash.as_bytes());
+    buf.put_slice(anchor.tip_pos_hash.as_bytes());
+    buf.put_u64_le(anchor.tip_timestamp_secs);
+    buf.put_slice(anchor.commitment.as_bytes());
+    buf.put_u64_le(anchor.mined.len() as u64);
+    for (acct, n) in &anchor.mined {
+        buf.put_slice(acct.as_bytes());
+        buf.put_u64_le(*n);
+    }
+    buf.put_u64_le(anchor.metadata_items);
+    buf.put_slice(anchor.signer.as_bytes());
+    buf.put_slice(&anchor.signer_key.to_bytes());
+    buf.put_slice(&anchor.signature.to_bytes());
+}
+
+fn read_anchor(r: &mut Reader) -> Result<ChainAnchor, DecodeError> {
+    let height = r.u64()?;
+    let tip_hash = r.digest()?;
+    let tip_pos_hash = r.digest()?;
+    let tip_timestamp_secs = r.u64()?;
+    let commitment = r.digest()?;
+    let n_mined = r.len()?;
+    let mut mined = Vec::with_capacity(n_mined.min(4096));
+    for _ in 0..n_mined {
+        let acct = AccountId(r.digest()?);
+        let n = r.u64()?;
+        mined.push((acct, n));
+    }
+    let metadata_items = r.u64()?;
+    let signer = AccountId(r.digest()?);
+    let key_bytes: [u8; 32] = r.bytes(32)?.try_into().expect("length checked");
+    let signer_key = PublicKey::from_bytes(&key_bytes).map_err(|_| DecodeError::BadKey)?;
+    let sig_bytes: [u8; 64] = r.bytes(64)?.try_into().expect("length checked");
+    let signature = Signature::from_bytes(&sig_bytes);
+    Ok(ChainAnchor {
+        height,
+        tip_hash,
+        tip_pos_hash,
+        tip_timestamp_secs,
+        commitment,
+        mined,
+        metadata_items,
+        signer,
+        signer_key,
+        signature,
+    })
+}
+
+/// Encodes a pruned-prefix anchor.
+pub fn encode_anchor(anchor: &ChainAnchor) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_u8(FORMAT_VERSION);
+    put_anchor(&mut buf, anchor);
+    buf.to_vec()
+}
+
+/// Decodes a pruned-prefix anchor encoded by [`encode_anchor`].
+///
+/// Decoding does **not** verify the anchor signature — run
+/// [`ChainAnchor::verify`] afterwards.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input; never panics.
+pub fn decode_anchor(data: &[u8]) -> Result<ChainAnchor, DecodeError> {
+    let mut r = Reader::new(data);
+    match r.u8()? {
+        FORMAT_VERSION => {}
+        v => return Err(DecodeError::BadVersion(v)),
+    }
+    let anchor = read_anchor(&mut r)?;
+    r.finish()?;
+    Ok(anchor)
+}
+
+/// Encodes a bootstrap snapshot: anchor, retained block suffix (each
+/// block length-prefixed, reusing the cached [`Block::encoded`] bytes),
+/// the live registry with packing indices, and the server credentials.
+pub fn encode_snapshot(snapshot: &Snapshot) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_u8(FORMAT_VERSION);
+    put_anchor(&mut buf, &snapshot.anchor);
+    buf.put_u64_le(snapshot.blocks.len() as u64);
+    for b in &snapshot.blocks {
+        let enc = b.encoded();
+        buf.put_u64_le(enc.len() as u64);
+        buf.put_slice(&enc);
+    }
+    buf.put_u64_le(snapshot.registry.len() as u64);
+    for (item, packed_at) in &snapshot.registry {
+        put_metadata(&mut buf, item);
+        buf.put_u64_le(*packed_at);
+    }
+    buf.put_slice(snapshot.server.as_bytes());
+    buf.put_slice(&snapshot.server_key.to_bytes());
+    buf.put_slice(&snapshot.signature.to_bytes());
+    buf.to_vec()
+}
+
+/// Decodes a snapshot encoded by [`encode_snapshot`].
+///
+/// Decoding does **not** verify anything — run [`Snapshot::verify`]
+/// before trusting the contents.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input; never panics.
+pub fn decode_snapshot(data: &[u8]) -> Result<Snapshot, DecodeError> {
+    let mut r = Reader::new(data);
+    match r.u8()? {
+        FORMAT_VERSION => {}
+        v => return Err(DecodeError::BadVersion(v)),
+    }
+    let anchor = read_anchor(&mut r)?;
+    let n_blocks = r.len()?;
+    let mut blocks = Vec::with_capacity(n_blocks.min(4096));
+    for _ in 0..n_blocks {
+        let len = r.len()?;
+        let raw = r.bytes(len)?;
+        blocks.push(decode_block(&raw)?);
+    }
+    let n_items = r.len()?;
+    let mut registry = Vec::with_capacity(n_items.min(4096));
+    for _ in 0..n_items {
+        let item = read_metadata(&mut r)?;
+        let packed_at = r.u64()?;
+        registry.push((item, packed_at));
+    }
+    let server = AccountId(r.digest()?);
+    let key_bytes: [u8; 32] = r.bytes(32)?.try_into().expect("length checked");
+    let server_key = PublicKey::from_bytes(&key_bytes).map_err(|_| DecodeError::BadKey)?;
+    let sig_bytes: [u8; 64] = r.bytes(64)?.try_into().expect("length checked");
+    let signature = Signature::from_bytes(&sig_bytes);
+    r.finish()?;
+    Ok(Snapshot {
+        anchor,
+        blocks,
+        registry,
+        server,
+        server_key,
+        signature,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,5 +702,91 @@ mod tests {
         bad[pos] = 0xFF;
         bad[pos + 1] = 0xFE;
         assert_eq!(decode_metadata(&bad), Err(DecodeError::BadUtf8));
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        use crate::chain::Blockchain;
+        let mut chain = Blockchain::new();
+        for i in 0..6u64 {
+            let prev = chain.tip();
+            let miner = Identity::from_seed(i % 3).account();
+            let b = Block::new(
+                prev.index + 1,
+                prev.hash,
+                (i + 1) * 60,
+                crate::pos::next_pos_hash(&prev.pos_hash, &miner),
+                miner,
+                60,
+                Amendment::from_fraction(1, 1000),
+                Vec::new(),
+                vec![NodeId(0)],
+                prev.storing_nodes.clone(),
+                Vec::new(),
+            );
+            chain.push(b).unwrap();
+        }
+        chain.prune_below(3, Identity::from_seed(9).keys());
+        let registry = vec![(sample_item(2), 4u64), (sample_item(3), 5u64)];
+        Snapshot::seal(
+            chain.anchor().unwrap().clone(),
+            chain.as_slice().to_vec(),
+            registry,
+            Identity::from_seed(1).keys(),
+        )
+    }
+
+    #[test]
+    fn anchor_roundtrip() {
+        let snapshot = sample_snapshot();
+        let enc = encode_anchor(&snapshot.anchor);
+        let dec = decode_anchor(&enc).unwrap();
+        assert_eq!(dec, snapshot.anchor);
+        assert!(dec.verify(), "signature survives the roundtrip");
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let snapshot = sample_snapshot();
+        let enc = encode_snapshot(&snapshot);
+        let dec = decode_snapshot(&enc).unwrap();
+        assert_eq!(dec, snapshot);
+        assert!(dec.verify(), "server signature survives the roundtrip");
+    }
+
+    #[test]
+    fn truncated_snapshot_errors_cleanly() {
+        let enc = encode_snapshot(&sample_snapshot());
+        for cut in [0, 1, 9, enc.len() / 3, enc.len() / 2, enc.len() - 1] {
+            assert!(
+                decode_snapshot(&enc[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_trailing_bytes_rejected() {
+        let mut enc = encode_snapshot(&sample_snapshot());
+        enc.push(0x00);
+        assert_eq!(decode_snapshot(&enc), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn tampered_snapshot_fails_verification() {
+        let snapshot = sample_snapshot();
+        assert!(snapshot.verify());
+        // Rewriting a storer map — the classic tamper — breaks the server
+        // signature even though every producer signature still holds.
+        let mut storers = snapshot.clone();
+        storers.registry[0].0.storing_nodes = vec![NodeId(13)];
+        assert!(!storers.verify());
+        // A detached suffix fails structurally.
+        let mut detached = snapshot.clone();
+        detached.blocks.remove(0);
+        assert!(!detached.verify());
+        // A forged anchor summary fails the anchor signature.
+        let mut forged = snapshot;
+        forged.anchor.metadata_items += 7;
+        assert!(!forged.verify());
     }
 }

@@ -57,6 +57,11 @@ pub struct InvariantView<'a> {
     pub node_height: &'a [u64],
     /// Highest block index each node has seen at all.
     pub node_max_known: &'a [u64],
+    /// Items present in the live registry whose `DataId` was already
+    /// expired and swept. Expiry is final: a swept item reappearing means
+    /// the lifecycle resurrected finalized state (each one is a hard
+    /// violation).
+    pub resurrected_items: u64,
     /// Per-node fork state, present only when a Byzantine adversary engine
     /// is live (honest runs never fork, so there is nothing to check).
     pub forks: Option<ForkView<'a>>,
@@ -108,6 +113,10 @@ impl InvariantChecker {
         }
         self.under_replicated_now = zero_live;
 
+        // Expired-and-swept data is finalized; the registry re-listing such
+        // an id means pruning or a reorg resurrected dead state.
+        self.violations += view.resurrected_items;
+
         for v in 0..view.node_height.len() {
             // A node's contiguous height and everything it has recovered
             // must stay within the canonical chain: heights beyond the tip
@@ -136,10 +145,29 @@ impl InvariantChecker {
     ///    chain within one checkpoint interval — walking back at most
     ///    `checkpoint_interval` blocks from an honest tip must reach a
     ///    block the canonical chain also contains.
+    /// 3. *Pruned-prefix integrity*: a node chain that pruned its prefix
+    ///    into a [`crate::chain::ChainAnchor`] must carry the exact Merkle
+    ///    commitment the canonical chain recorded at the same cut height,
+    ///    and its retained blocks must start right above the anchor.
+    ///
+    /// Nodes whose entire view sits below the canonical pruned base are
+    /// skipped: every block they could be compared on is gone, and the
+    /// snapshot-bootstrap path (not fork choice) is responsible for them.
     fn observe_forks(&mut self, forks: &ForkView<'_>) {
         let interval = forks.checkpoint_interval.max(1);
         for (v, chain) in forks.node_chains.iter().enumerate() {
             if !forks.honest[v] {
+                continue;
+            }
+            if let Some(a) = chain.anchor() {
+                if forks.canonical.commitment_at(a.height) != Some(a.commitment) {
+                    self.violations += 1;
+                }
+                if chain.base_index() != a.height + 1 {
+                    self.violations += 1;
+                }
+            }
+            if chain.height() < forks.canonical.base_index() {
                 continue;
             }
             let cp = (chain.height() / interval) * interval;
@@ -275,6 +303,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0, 0],
                 node_max_known: &[0, 0, 0],
+                resurrected_items: 0,
                 forks: None,
             }
         }
@@ -325,6 +354,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0],
                 node_max_known: &[0, 0],
+                resurrected_items: 0,
                 forks: None,
             },
         );
@@ -348,6 +378,7 @@ mod tests {
                 chain_height: 0,
                 node_height: &[0, 0],
                 node_max_known: &[0, 0],
+                resurrected_items: 0,
                 forks: None,
             },
         );
@@ -370,10 +401,34 @@ mod tests {
                 chain_height: 3,
                 node_height: &[5, 2],
                 node_max_known: &[5, 3],
+                resurrected_items: 0,
                 forks: None,
             },
         );
         assert_eq!(checker.violations, 1);
+    }
+
+    #[test]
+    fn resurrected_items_are_hard_violations() {
+        let topo = line(2);
+        let storage = vec![NodeStorage::new(10); 2];
+        let malicious = vec![false; 2];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(
+            SimTime::from_secs(1),
+            &InvariantView {
+                topo: &topo,
+                storage: &storage,
+                malicious: &malicious,
+                items: &[],
+                chain_height: 0,
+                node_height: &[0, 0],
+                node_max_known: &[0, 0],
+                resurrected_items: 2,
+                forks: None,
+            },
+        );
+        assert_eq!(checker.violations, 2);
     }
 
     fn mined(prev: &crate::block::Block, seed: u64, ts: u64) -> crate::block::Block {
@@ -424,6 +479,7 @@ mod tests {
             chain_height: 6,
             node_height: &[6, 3, 4, 0],
             node_max_known: &[6, 3, 5, 0],
+            resurrected_items: 0,
             forks: Some(ForkView {
                 canonical: &canonical,
                 node_chains: &chains,
@@ -439,6 +495,61 @@ mod tests {
         assert_eq!(
             strict.violations, 2,
             "an honest node on an alien fork trips both fork rules"
+        );
+    }
+
+    #[test]
+    fn pruned_prefix_rules_check_anchors_and_skip_deep_laggards() {
+        let identity = crate::account::Identity::from_seed(42);
+        let mut canonical = Blockchain::new();
+        for i in 0..8u64 {
+            let b = mined(canonical.tip(), i % 2, (i + 1) * 60);
+            canonical.push(b).unwrap();
+        }
+        let full = canonical.clone();
+        canonical.prune_below(5, identity.keys());
+        let anchor = canonical.anchor().unwrap().clone();
+
+        // Node 0 pruned in lockstep (shares the canonical anchor): clean.
+        // Node 1 is a deep laggard entirely below the pruned base: the
+        // fork rules cannot compare it against pruned blocks, so it is
+        // skipped rather than flagged — snapshot bootstrap owns it.
+        // Node 2 carries an anchor whose Merkle commitment disagrees with
+        // the canonical history at the same cut: one hard violation.
+        let pruned =
+            Blockchain::from_anchor(anchor.clone(), canonical.as_slice().to_vec()).unwrap();
+        let laggard = Blockchain::from_blocks(full.as_slice()[..3].to_vec()).unwrap();
+        let mut forged_anchor = anchor;
+        forged_anchor.commitment = edgechain_crypto::sha256(b"not the pruned history");
+        let forged = Blockchain::from_anchor(forged_anchor, canonical.as_slice().to_vec()).unwrap();
+
+        let chains = vec![pruned, laggard, forged];
+        let topo = line(3);
+        let storage = vec![NodeStorage::new(10); 3];
+        let malicious = vec![false; 3];
+        let mut checker = InvariantChecker::new(SimTime::ZERO);
+        checker.observe(
+            SimTime::from_secs(1),
+            &InvariantView {
+                topo: &topo,
+                storage: &storage,
+                malicious: &malicious,
+                items: &[],
+                chain_height: 8,
+                node_height: &[8, 2, 8],
+                node_max_known: &[8, 2, 8],
+                resurrected_items: 0,
+                forks: Some(ForkView {
+                    canonical: &canonical,
+                    node_chains: &chains,
+                    honest: &[true, true, true],
+                    checkpoint_interval: 2,
+                }),
+            },
+        );
+        assert_eq!(
+            checker.violations, 1,
+            "only the forged anchor commitment trips the checker"
         );
     }
 }

@@ -65,7 +65,7 @@ pub use alloc::{build_instance, select_storers, AllocationContext, Placement};
 pub use block::{Block, BlockError};
 pub use byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, SyncResult, WithheldFork};
 pub use chain::verify_wire_block;
-pub use chain::{Blockchain, ChainError, CheckpointPolicy};
+pub use chain::{Blockchain, ChainAnchor, ChainError, CheckpointPolicy, Snapshot};
 pub use invariant::{ForkView, InvariantChecker, InvariantView};
 pub use metadata::{DataId, DataType, Location, MetadataItem};
 pub use migration::{

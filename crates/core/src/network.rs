@@ -31,7 +31,7 @@ use crate::account::{AccountId, Identity, Ledger};
 use crate::alloc::{select_storers_scaled, AllocationContext, Placement};
 use crate::block::Block;
 use crate::byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, WithheldFork};
-use crate::chain::{Blockchain, CheckpointPolicy};
+use crate::chain::{Blockchain, CheckpointPolicy, Snapshot};
 use crate::invariant::{ForkView, InvariantChecker, InvariantView};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
 use crate::pos::{run_round, run_round_cached, Candidate, HitTable};
@@ -166,6 +166,30 @@ pub struct NetworkConfig {
     /// active; plain `malicious_fraction` runs keep the paper's
     /// invalidate-and-route-around behavior unchanged).
     pub denial_quarantine_threshold: u32,
+    /// Collapse blocks strictly below the latest checkpoint minus
+    /// [`NetworkConfig::prune_retention_blocks`] into a signed,
+    /// Merkle-committed [`crate::chain::ChainAnchor`], reclaiming the
+    /// block slots they occupied on every node (visible to the UFL
+    /// occupancy costs). Off by default: honest runs stay bit-identical
+    /// to earlier releases, and the retained chain grows O(height).
+    pub prune_blocks: bool,
+    /// How many blocks below the latest checkpoint stay retained when
+    /// pruning (the §IV-D block-by-block recovery window). Nodes that
+    /// fall behind by more than this must bootstrap from a snapshot.
+    pub prune_retention_blocks: u64,
+    /// Serve deep-rejoining nodes (whose next needed block is already
+    /// pruned) a signed [`crate::chain::Snapshot`] — anchor, retained
+    /// blocks, live metadata registry with storer maps — instead of the
+    /// impossible block-by-block walk. Receivers verify the snapshot
+    /// against the anchor commitment and server signature; a tampered
+    /// one is rejected, the server blacklisted, and the next-nearest
+    /// provider tried. Only consulted when `prune_blocks` is on.
+    pub snapshot_bootstrap: bool,
+    /// Meter safety invariants after *every* event on fault runs (the
+    /// legacy cadence, which walks all data items per event). Off by
+    /// default: the checker observes at blocks, expiry sweeps, and fault
+    /// ticks — the only instants state can change in a way the rules see.
+    pub invariant_every_event: bool,
     /// Trust seal-time block caches on the hot path (ISSUE 4 fast path):
     /// locally sealed blocks keep their wire encoding (`Arc<[u8]>`) and
     /// Merkle leaf digests, so `wire_size`, broadcast, `fetch_data`,
@@ -213,6 +237,10 @@ impl Default for NetworkConfig {
             checkpoint_interval: 10,
             quarantine_secs: 900,
             denial_quarantine_threshold: 3,
+            prune_blocks: false,
+            prune_retention_blocks: 16,
+            snapshot_bootstrap: false,
+            invariant_every_event: false,
             block_seal_cache: true,
             seed: 0xED6E,
         }
@@ -361,6 +389,24 @@ pub struct RunReport {
     pub quarantine_events: u64,
     /// Quarantined nodes re-admitted after their window expired.
     pub readmissions: u64,
+    /// Blocks collapsed into the chain anchor by checkpoint-anchored
+    /// pruning ([`NetworkConfig::prune_blocks`]).
+    pub blocks_pruned: u64,
+    /// Blocks physically retained at the end of the run (bounded by the
+    /// checkpoint interval plus the retention window when pruning is on;
+    /// equal to the chain height otherwise).
+    pub retained_blocks: u64,
+    /// Snapshots assembled and sent to deep-rejoining nodes.
+    pub snapshots_served: u64,
+    /// Snapshots that verified and were adopted by a rejoining node.
+    pub snapshots_applied: u64,
+    /// Snapshots rejected at verification (tampered or undecodable);
+    /// each one blacklists its server for the requesting node.
+    pub snapshots_rejected: u64,
+    /// Peak network-wide storage occupancy (used slots summed over all
+    /// nodes, sampled at every mined block). Flat under pruning; grows
+    /// with the chain without it.
+    pub peak_storage_slots: u64,
     /// Hard safety violations caught by the invariant checker — durable
     /// data loss or a corrupted chain prefix. Must stay 0.
     pub invariant_violations: u64,
@@ -421,6 +467,19 @@ impl fmt::Display for RunReport {
                 self.max_reorg_depth,
                 self.quarantine_events,
                 self.readmissions
+            )?;
+        }
+        if self.blocks_pruned > 0 || self.snapshots_served > 0 {
+            writeln!(
+                f,
+                "  lifecycle: {} blocks pruned ({} retained), snapshots \
+                 {} served / {} applied / {} rejected, peak storage {} slots",
+                self.blocks_pruned,
+                self.retained_blocks,
+                self.snapshots_served,
+                self.snapshots_applied,
+                self.snapshots_rejected,
+                self.peak_storage_slots
             )?;
         }
         if let Some(snap) = &self.telemetry {
@@ -500,6 +559,25 @@ pub struct EdgeNetwork {
     replica_total: u64,
     replica_items: u64,
     block_timestamps: Vec<u64>,
+
+    // chain lifecycle
+    /// Expiry-ordered queue over the live registry: `(expiry_secs, id)`
+    /// min-heap so the sweep pops only what is actually due instead of
+    /// scanning every live item.
+    expiry_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, DataId)>>,
+    /// Ids that have been swept. A swept id reappearing in a later block
+    /// is a finalized-then-resurrected violation.
+    expired_ids: std::collections::HashSet<DataId>,
+    /// Resurrections observed since the last invariant observation.
+    resurrected_pending: u64,
+    /// `(rejoiner, server)` pairs that served a tampered or undecodable
+    /// snapshot — never asked again by that rejoiner.
+    snapshot_blacklist: std::collections::HashSet<(NodeId, NodeId)>,
+    blocks_pruned: u64,
+    snapshots_served: u64,
+    snapshots_applied: u64,
+    snapshots_rejected: u64,
+    peak_storage_slots: u64,
 }
 
 impl EdgeNetwork {
@@ -637,6 +715,15 @@ impl EdgeNetwork {
             replica_total: 0,
             replica_items: 0,
             block_timestamps: vec![0],
+            expiry_heap: std::collections::BinaryHeap::new(),
+            expired_ids: std::collections::HashSet::new(),
+            resurrected_pending: 0,
+            snapshot_blacklist: std::collections::HashSet::new(),
+            blocks_pruned: 0,
+            snapshots_served: 0,
+            snapshots_applied: 0,
+            snapshots_rejected: 0,
+            peak_storage_slots: 0,
             rng,
             config,
         };
@@ -797,6 +884,16 @@ impl EdgeNetwork {
                 break;
             }
             let (now, event) = self.queue.pop().expect("peeked event exists");
+            // Metering cadence: by default only the events that can move
+            // durable state (block packing, expiry sweeps, fault actions)
+            // pay for a full invariant walk; `invariant_every_event`
+            // restores the exhaustive per-event schedule.
+            let meter = fault_run
+                && (self.config.invariant_every_event
+                    || matches!(
+                        &event,
+                        Event::MineBlock | Event::ExpireSweep | Event::FaultTick
+                    ));
             match event {
                 Event::GenerateData => self.on_generate_data(now),
                 Event::MineBlock => self.on_mine_block(now),
@@ -814,7 +911,7 @@ impl EdgeNetwork {
                 } => self.on_retry_fetch(requester, data_id, attempt, now),
                 Event::RetryRecover { node, attempt } => self.on_retry_recover(node, attempt, now),
             }
-            if fault_run {
+            if meter {
                 self.observe_invariants(now);
             }
         }
@@ -844,6 +941,7 @@ impl EdgeNetwork {
             Some(e) => e.byz_role.iter().map(|&b| !b).collect(),
             None => Vec::new(),
         };
+        let resurrected = std::mem::take(&mut self.resurrected_pending);
         self.checker.observe(
             now,
             &InvariantView {
@@ -851,6 +949,7 @@ impl EdgeNetwork {
                 storage: &self.storage,
                 malicious: &self.malicious,
                 items: &items,
+                resurrected_items: resurrected,
                 chain_height: self.chain.height(),
                 node_height: &self.node_height,
                 node_max_known: &node_max_known,
@@ -1233,9 +1332,12 @@ impl EdgeNetwork {
         self.note_byz_detected(w.artifact, now, "byz_withhold");
 
         let old_height = self.chain.height();
-        let mut candidate: Vec<Block> = self.chain.as_slice()[..=(w.base_height as usize)].to_vec();
-        candidate.extend(w.blocks.iter().cloned());
-        let displaced_blocks = &self.chain.as_slice()[(w.base_height as usize + 1)..];
+        // The candidate is the fork itself, index-aligned at
+        // `base_height + 1`: it attaches at the public base block, which
+        // is always retained (`maybe_prune` never cuts past a live fork),
+        // and the shared prefix below needs no re-validation.
+        let candidate: Vec<Block> = w.blocks.clone();
+        let displaced_blocks = self.chain.retained_after(w.base_height);
         let displaced_miners: Vec<AccountId> = displaced_blocks.iter().map(|b| b.miner).collect();
         let displaced_items: Vec<MetadataItem> = displaced_blocks
             .iter()
@@ -1262,6 +1364,11 @@ impl EdgeNetwork {
             // re-replicates data onto the fresh storers).
             for mut item in displaced_items {
                 self.data_registry.remove(&item.data_id);
+                // Expired (or already-swept) content stays dead: re-packing
+                // it would resurrect a finalized eviction.
+                if !item.is_valid_at(now.as_secs()) || self.expired_ids.contains(&item.data_id) {
+                    continue;
+                }
                 item.storing_nodes.clear();
                 self.pending_metadata.push(item);
             }
@@ -1272,12 +1379,15 @@ impl EdgeNetwork {
             }
             self.ledger
                 .credit(self.account_of[w.miner.0], w.blocks.len() as u64);
-            self.block_timestamps = self
-                .chain
-                .as_slice()
-                .iter()
-                .map(|b| b.timestamp_secs)
-                .collect();
+            // Timestamps below the fork base are untouched by the reorg;
+            // rebuild only the displaced tail from the adopted suffix.
+            self.block_timestamps.truncate((w.base_height + 1) as usize);
+            self.block_timestamps.extend(
+                self.chain
+                    .retained_after(w.base_height)
+                    .iter()
+                    .map(|b| b.timestamp_secs),
+            );
             // Cached per-height PoS hits keyed on the replaced branch are
             // stale now.
             self.pos_hits.invalidate();
@@ -1723,6 +1833,15 @@ impl EdgeNetwork {
                 self.replica_total += stored;
                 self.replica_items += 1;
             }
+            if self.expired_ids.contains(&item.data_id) {
+                // A swept id must never re-enter the live registry.
+                self.resurrected_pending += 1;
+            }
+            self.expiry_heap.push(std::cmp::Reverse((
+                item.produced_at_secs
+                    .saturating_add(item.valid_minutes.saturating_mul(60)),
+                item.data_id,
+            )));
             self.data_registry
                 .insert(item.data_id, (item.clone(), block_index));
         }
@@ -1735,7 +1854,97 @@ impl EdgeNetwork {
         // broke since the last block.
         self.repair_replicas(now);
 
+        let used_now: u64 = self.storage.iter().map(NodeStorage::used_slots).sum();
+        self.peak_storage_slots = self.peak_storage_slots.max(used_now);
+        self.maybe_prune(now);
+
         self.schedule_next_block();
+    }
+
+    /// Checkpoint-anchored pruning: once the chain has grown a retention
+    /// window past the latest checkpoint, the prefix strictly below
+    /// `checkpoint - retention` collapses into a signed [`ChainAnchor`]
+    /// carrying the Merkle commitment over the pruned history. Storage
+    /// follows suit (reclaimed slots feed straight back into the UFL
+    /// occupancy costs), and Byzantine per-node views re-base onto the
+    /// same anchor so fork choice keeps working on the retained suffix.
+    fn maybe_prune(&mut self, now: SimTime) {
+        if !self.config.prune_blocks {
+            return;
+        }
+        let interval = self.config.checkpoint_interval.max(1);
+        let checkpoint = (self.chain.height() / interval) * interval;
+        let mut cut = checkpoint.saturating_sub(self.config.prune_retention_blocks);
+        // A withheld private fork still references its public base block;
+        // never prune past it or its release could not re-attach.
+        if let Some(w) = self.byz.as_ref().and_then(|e| e.withheld.as_ref()) {
+            cut = cut.min(w.base_height);
+        }
+        if cut <= self.chain.base_index() {
+            return;
+        }
+        // The anchor is signed by the miner of the boundary block (the
+        // last pruned one); fall back to node 0 for a genesis-only prefix.
+        let signer = self
+            .chain
+            .get(cut - 1)
+            .and_then(|b| self.node_of_account.get(&b.miner))
+            .map_or(0, |v| v.0);
+        let keys = self.identities[signer].keys();
+        let pruned = self.chain.prune_below(cut, keys);
+        if pruned == 0 {
+            return;
+        }
+        let mut reclaimed = 0u64;
+        for s in &mut self.storage {
+            reclaimed += s.prune_blocks_below(cut);
+        }
+        if let Some(anchor) = self.chain.anchor().cloned() {
+            if let Some(e) = self.byz.as_mut() {
+                e.prune_below(&anchor);
+                // Active honest nodes whose per-node fork views fell behind
+                // the new base adopt the anchor too: the pruned prefix is
+                // consensus-final, and a view stuck below it could neither
+                // re-sync block-by-block nor judge incoming tip blocks.
+                let suffix = self.chain.as_slice().to_vec();
+                for v in 0..self.config.nodes {
+                    if !self.topo.is_active(NodeId(v)) {
+                        continue;
+                    }
+                    if !e.byz_role[v] && e.chains[v].height() + 1 < cut {
+                        let rebased = Blockchain::from_anchor(anchor.clone(), suffix.clone())
+                            .expect("retained suffix attaches to its own anchor");
+                        e.bootstrap_from_snapshot(NodeId(v), rebased);
+                    }
+                }
+            }
+        }
+        // Every online node adopts the checkpoint anchor as it forms: the
+        // blocks below the cut are consensus-final and no longer served
+        // block-by-block, so known-index sets shrink to the retained range
+        // and contiguous views resume from the boundary. Crashed nodes
+        // keep their stale view — they must snapshot-bootstrap on return.
+        for v in 0..self.config.nodes {
+            if !self.topo.is_active(NodeId(v)) {
+                continue;
+            }
+            self.node_known[v] = self.node_known[v].split_off(&cut);
+            // The anchor boundary stands in for the whole pruned prefix.
+            self.node_known[v].insert(cut - 1);
+            if self.node_height[v] + 1 < cut {
+                self.node_height[v] = cut - 1;
+            }
+            self.advance_height(NodeId(v));
+        }
+        self.blocks_pruned += pruned;
+        telemetry::counter_add("chain.pruned", pruned);
+        trace_event!(
+            "chain.pruned",
+            now.as_millis(),
+            cut = cut,
+            blocks = pruned,
+            reclaimed = reclaimed
+        );
     }
 
     /// A Byzantine miner assembles the round's block honestly, then
@@ -1924,6 +2133,37 @@ impl EdgeNetwork {
     }
 
     fn recover_missing_attempt(&mut self, v: NodeId, upto: u64, now: SimTime, attempt: u32) {
+        // A node that fell behind the pruned base cannot recover block by
+        // block — those blocks are gone from every store. It bootstraps
+        // from a verified snapshot instead; failing that (providers dead,
+        // quarantined, blacklisted, or unreachable) it backs off and
+        // retries like any starved recovery.
+        if self.config.prune_blocks && self.node_height[v.0] + 1 < self.chain.base_index() {
+            if self.config.snapshot_bootstrap && self.try_snapshot_bootstrap(v, now) {
+                return;
+            }
+            if attempt < self.config.fetch_retries {
+                self.retries += 1;
+                telemetry::counter_add("transport.retries", 1);
+                trace_event!(
+                    "transport.retry",
+                    now.as_millis(),
+                    node = v.0,
+                    attempt = attempt + 1,
+                    op = "snapshot"
+                );
+                let backoff =
+                    SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
+                self.queue.schedule(
+                    now + backoff,
+                    Event::RetryRecover {
+                        node: v,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            return;
+        }
         let missing: Vec<u64> = (self.node_height[v.0] + 1..upto)
             .filter(|i| !self.node_known[v.0].contains(i))
             .collect();
@@ -2008,6 +2248,121 @@ impl EdgeNetwork {
         }
     }
 
+    /// Snapshot bootstrap for a deep rejoiner: ask the nearest fully-synced
+    /// node for a signed [`Snapshot`] (anchor + retained blocks + live
+    /// registry), verify it end-to-end, and adopt it wholesale. A provider
+    /// serving bytes that fail to decode or verify — a Byzantine server
+    /// tampers with them in flight — is blacklisted for this rejoiner and
+    /// the next-nearest provider is asked instead. Returns whether a
+    /// snapshot was applied.
+    fn try_snapshot_bootstrap(&mut self, v: NodeId, now: SimTime) -> bool {
+        let Some(anchor) = self.chain.anchor().cloned() else {
+            return false;
+        };
+        let tip = self.chain.height();
+        let mut providers: Vec<NodeId> = (0..self.config.nodes)
+            .map(NodeId)
+            .filter(|&h| h != v && self.topo.is_active(h))
+            .filter(|&h| self.node_height[h.0] == tip)
+            .filter(|&h| !self.malicious[h.0])
+            .filter(|&h| self.byz.as_ref().is_none_or(|e| !e.is_quarantined(h, now)))
+            .filter(|&h| !self.snapshot_blacklist.contains(&(v, h)))
+            .filter(|&h| self.topo.reachable(v, h))
+            .collect();
+        providers.sort_by_key(|&h| (self.topo.hops(v, h), h.0));
+        for server in providers {
+            let Ok(req) = self
+                .transport
+                .unicast(&self.topo, v, server, BLOCK_REQUEST_BYTES, now)
+            else {
+                continue;
+            };
+            let mut registry: Vec<(MetadataItem, u64)> =
+                self.data_registry.values().cloned().collect();
+            registry.sort_by_key(|(m, _)| m.data_id);
+            let snapshot = Snapshot::seal(
+                anchor.clone(),
+                self.chain.as_slice().to_vec(),
+                registry,
+                self.identities[server.0].keys(),
+            );
+            let mut bytes = crate::codec::encode_snapshot(&snapshot);
+            self.snapshots_served += 1;
+            telemetry::counter_add("snapshot.served", 1);
+            trace_event!(
+                "snapshot.served",
+                now.as_millis(),
+                server = server.0,
+                node = v.0,
+                bytes = bytes.len()
+            );
+            // A Byzantine provider serves a corrupted snapshot: one bit of
+            // the signed payload flips in flight.
+            let tampered = if self.byz.as_ref().is_some_and(|e| e.byz_role[server.0]) {
+                let artifact = self.note_byz_injected(now, "byz_snapshot");
+                let pos = self
+                    .byz
+                    .as_mut()
+                    .expect("engine checked above")
+                    .draw(bytes.len() as u64) as usize;
+                bytes[pos] ^= 0x40;
+                Some(artifact)
+            } else {
+                None
+            };
+            let Ok(resp) =
+                self.transport
+                    .unicast(&self.topo, server, v, bytes.len() as u64, req.arrival)
+            else {
+                continue;
+            };
+            let verified = crate::codec::decode_snapshot(&bytes)
+                .ok()
+                .filter(|s| s.verify());
+            let Some(snap) = verified else {
+                self.snapshots_rejected += 1;
+                self.snapshot_blacklist.insert((v, server));
+                telemetry::counter_add("snapshot.rejected", 1);
+                trace_event!(
+                    "snapshot.rejected",
+                    now.as_millis(),
+                    server = server.0,
+                    node = v.0
+                );
+                if let Some(artifact) = tampered {
+                    // Verification caught the corruption red-handed.
+                    self.note_byz_detected(artifact, now, "byz_snapshot");
+                    self.punish(server, now, "tampered-snapshot");
+                }
+                continue;
+            };
+            let chain = Blockchain::from_anchor(snap.anchor.clone(), snap.blocks.clone())
+                .expect("verified snapshot attaches to its own anchor");
+            let snap_tip = chain.height();
+            self.node_known[v.0] = (chain.base_index()..=snap_tip).collect();
+            self.node_height[v.0] = snap_tip;
+            self.storage[v.0].cache_recent(snap_tip);
+            if let Some(e) = self.byz.as_mut() {
+                e.bootstrap_from_snapshot(v, chain);
+            }
+            self.recoveries += 1;
+            self.recovery
+                .record(resp.arrival.saturating_since(now).as_secs_f64());
+            self.recovery_hops.record(self.topo.hops(v, server) as f64);
+            self.snapshots_applied += 1;
+            telemetry::counter_add("snapshot.applied", 1);
+            trace_event!(
+                "snapshot.applied",
+                now.as_millis(),
+                server = server.0,
+                node = v.0,
+                tip = snap_tip
+            );
+            return true;
+        }
+        false
+    }
+
     fn on_retry_recover(&mut self, node: NodeId, attempt: u32, now: SimTime) {
         if !self.topo.is_active(node) {
             return; // crashed (again) before the backoff expired
@@ -2043,8 +2398,12 @@ impl EdgeNetwork {
             .data_registry
             .values()
             .filter(|(m, _)| m.is_valid_at(now.as_secs()))
-            // The requester knows the item if it has the packing block.
-            .filter(|(_, idx)| self.node_known[requester.0].contains(idx))
+            // The requester knows the item if it has the packing block, or
+            // if the block is finalized below the pruned base (its metadata
+            // rode along with the anchor/snapshot distribution).
+            .filter(|(_, idx)| {
+                *idx < self.chain.base_index() || self.node_known[requester.0].contains(idx)
+            })
             .map(|(m, _)| m)
             .collect();
         known.sort_by_key(|m| m.data_id);
@@ -2197,21 +2556,36 @@ impl EdgeNetwork {
 
     /// Evicts expired data items from every store and from the registry,
     /// freeing slots for fresh content (§VII: "data items may become
-    /// obsolete").
+    /// obsolete"). The sweep pops an expiry-ordered min-heap instead of
+    /// scanning the whole registry, so its cost tracks the number of items
+    /// actually due. Heap entries are lazy: an id evicted elsewhere is
+    /// skipped, and an entry whose item is still valid (clock keys are
+    /// conservative) is re-queued at its recomputed expiry.
     fn on_expire_sweep(&mut self, now: SimTime) {
-        let expired: Vec<DataId> = self
-            .data_registry
-            .iter()
-            .filter(|(_, (m, _))| !m.is_valid_at(now.as_secs()))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
+        let now_secs = now.as_secs();
+        while let Some(std::cmp::Reverse((expiry, id))) = self.expiry_heap.peek().copied() {
+            if expiry > now_secs {
+                break;
+            }
+            self.expiry_heap.pop();
+            let Some((m, _)) = self.data_registry.get(&id) else {
+                continue;
+            };
+            if m.is_valid_at(now_secs) {
+                self.expiry_heap.push(std::cmp::Reverse((
+                    m.produced_at_secs
+                        .saturating_add(m.valid_minutes.saturating_mul(60)),
+                    id,
+                )));
+                continue;
+            }
             for s in &mut self.storage {
                 if s.evict_data(id) {
                     self.data_expired += 1;
                 }
             }
             self.data_registry.remove(&id);
+            self.expired_ids.insert(id);
         }
         self.queue.schedule(
             now + SimTime::from_secs(self.config.expiration_sweep_secs),
@@ -2460,6 +2834,12 @@ impl EdgeNetwork {
             messages_dropped: self.transport.messages_dropped(),
             retries: self.retries,
             repairs_triggered: self.repairs_triggered,
+            blocks_pruned: self.blocks_pruned,
+            retained_blocks: self.chain.retained_len() as u64,
+            snapshots_served: self.snapshots_served,
+            snapshots_applied: self.snapshots_applied,
+            snapshots_rejected: self.snapshots_rejected,
+            peak_storage_slots: self.peak_storage_slots,
             under_replicated_item_seconds: self.checker.under_replicated_item_seconds,
             availability: {
                 let resolved = self.completed_requests + self.failed_requests;
@@ -2911,5 +3291,146 @@ mod tests {
             ..small_config()
         };
         let _ = EdgeNetwork::new(cfg);
+    }
+
+    #[test]
+    fn pruning_bounds_retention_and_keeps_derived_state() {
+        let cfg = NetworkConfig {
+            sim_minutes: 60,
+            prune_blocks: true,
+            prune_retention_blocks: 8,
+            ..small_config()
+        };
+        let interval = cfg.checkpoint_interval.max(1);
+        let retention = cfg.prune_retention_blocks;
+        let seed = cfg.seed;
+        let (report, chain) = EdgeNetwork::new(cfg).unwrap().run_with_chain();
+        assert!(report.blocks_pruned > 0, "no pruning in 60 min: {report}");
+        assert!(chain.base_index() > 0);
+        assert!(
+            (chain.retained_len() as u64) <= interval + retention + 1,
+            "retention unbounded: {} blocks held",
+            chain.retained_len()
+        );
+        assert_eq!(report.retained_blocks, chain.retained_len() as u64);
+        let anchor = chain.anchor().expect("pruned chain carries an anchor");
+        assert!(anchor.verify(), "anchor signature must hold");
+        // Ledger derivation spans the anchor: total minted tokens still
+        // equal the logical height, pruned prefix included.
+        let ledger = chain.derive_ledger();
+        let total_tokens: u64 = (0..12)
+            .map(|i| {
+                let acct = Identity::from_seed(seed + i).account();
+                ledger
+                    .balance(&acct)
+                    .saturating_sub(ledger.initial_tokens())
+            })
+            .sum();
+        assert_eq!(total_tokens, report.blocks_mined);
+    }
+
+    #[test]
+    fn pruning_below_the_retention_horizon_is_invisible() {
+        // A retention window longer than the whole run means pruning never
+        // fires — the report must be bit-identical to a pruning-off run.
+        let baseline = EdgeNetwork::new(small_config()).unwrap().run();
+        let cfg = NetworkConfig {
+            prune_blocks: true,
+            prune_retention_blocks: 10_000,
+            ..small_config()
+        };
+        let with_pruning = EdgeNetwork::new(cfg).unwrap().run();
+        assert_eq!(baseline, with_pruning);
+        assert_eq!(baseline.blocks_pruned, 0);
+    }
+
+    #[test]
+    fn snapshot_bootstrap_rejoins_a_deep_laggard() {
+        use edgechain_sim::FaultEvent;
+        // Node 3 sleeps through most of the run; by the time it restarts
+        // the blocks it needs are pruned everywhere, so block-by-block
+        // recovery is impossible and only a snapshot can catch it up.
+        let cfg = NetworkConfig {
+            nodes: 15,
+            sim_minutes: 60,
+            data_items_per_min: 2.0,
+            request_interval_secs: 60,
+            seed: 21,
+            prune_blocks: true,
+            prune_retention_blocks: 4,
+            snapshot_bootstrap: true,
+            fault_plan: FaultPlan::new(vec![
+                FaultEvent::Crash {
+                    node: NodeId(3),
+                    at: SimTime::from_secs(120),
+                },
+                FaultEvent::Restart {
+                    node: NodeId(3),
+                    at: SimTime::from_secs(3_000),
+                },
+            ]),
+            ..NetworkConfig::default()
+        };
+        let report = EdgeNetwork::new(cfg).unwrap().run();
+        assert!(report.blocks_pruned > 0, "pruning never fired: {report}");
+        assert!(
+            report.snapshots_applied >= 1,
+            "deep rejoiner should bootstrap from a snapshot: {report}"
+        );
+        assert_eq!(report.invariant_violations, 0, "invariant broken: {report}");
+    }
+
+    #[test]
+    fn planted_violation_is_caught_at_default_cadence() {
+        use edgechain_sim::FaultEvent;
+        // A registry item claiming a storer that holds nothing, produced
+        // by a key outside the network (no producer fallback), is a
+        // durability violation from the first observation on. Both the
+        // default (sparse) cadence and the exhaustive one must flag it.
+        let plan = || {
+            FaultPlan::new(vec![FaultEvent::LinkLoss {
+                prob: 0.0,
+                from: SimTime::from_secs(60),
+                until: SimTime::from_secs(120),
+            }])
+        };
+        let run_with_plant = |cfg: NetworkConfig| {
+            let mut net = EdgeNetwork::new(cfg).unwrap();
+            let foreign = Identity::from_seed(999);
+            let mut item = crate::metadata::MetadataItem::new_signed(
+                foreign.keys(),
+                DataId(u64::MAX),
+                crate::metadata::DataType::Sensing("PM2.5".into()),
+                0,
+                crate::metadata::Location {
+                    label: "planted".into(),
+                    x: 0.0,
+                    y: 0.0,
+                },
+                1_440,
+                None,
+                1_000,
+            );
+            item.storing_nodes = vec![NodeId(1)];
+            net.data_registry.insert(item.data_id, (item, 0));
+            net.run()
+        };
+        let sparse = run_with_plant(NetworkConfig {
+            fault_plan: plan(),
+            ..small_config()
+        });
+        assert!(
+            sparse.invariant_violations > 0,
+            "default cadence missed the planted violation: {sparse}"
+        );
+        let dense = run_with_plant(NetworkConfig {
+            fault_plan: plan(),
+            invariant_every_event: true,
+            ..small_config()
+        });
+        assert!(
+            dense.invariant_violations >= sparse.invariant_violations,
+            "exhaustive metering observed fewer violations than the default"
+        );
     }
 }

@@ -196,6 +196,20 @@ impl NodeStorage {
     pub fn recent_blocks(&self) -> impl Iterator<Item = u64> + '_ {
         self.recent_cache.iter().copied()
     }
+
+    /// Drops every stored block (permanent pool and recent cache) with an
+    /// index strictly below `cut` — the storage half of chain pruning.
+    /// Returns how many slots were reclaimed; the freed space is
+    /// immediately visible to [`NodeStorage::fdc`], [`NodeStorage::q_value`],
+    /// and the UFL occupancy costs built on [`NodeStorage::used_slots`].
+    pub fn prune_blocks_below(&mut self, cut: u64) -> u64 {
+        let keep = self.blocks.split_off(&cut);
+        let dropped = self.blocks.len() as u64;
+        self.blocks = keep;
+        let before = self.recent_cache.len();
+        self.recent_cache.retain(|&idx| idx >= cut);
+        dropped + (before - self.recent_cache.len()) as u64
+    }
 }
 
 #[cfg(test)]
@@ -329,5 +343,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = NodeStorage::new(0);
+    }
+
+    #[test]
+    fn prune_blocks_below_reclaims_slots() {
+        let mut s = NodeStorage::new(20);
+        for idx in 0..8 {
+            assert!(s.store_block(idx));
+        }
+        s.store_data(DataId(1));
+        s.grow_recent_quota();
+        s.cache_recent(3);
+        s.cache_recent(9);
+        let used = s.used_slots();
+        let reclaimed = s.prune_blocks_below(5);
+        // Permanent blocks 0..=4 plus recent entry 3.
+        assert_eq!(reclaimed, 6);
+        assert_eq!(s.used_slots(), used - 6);
+        assert!(!s.has_block(4));
+        assert!(s.has_block(5));
+        assert!(s.has_block(9), "recent entry at or above the cut survives");
+        assert!(s.has_data(DataId(1)), "data items are untouched");
+        assert_eq!(s.prune_blocks_below(5), 0, "idempotent at the same cut");
     }
 }

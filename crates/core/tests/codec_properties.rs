@@ -4,10 +4,12 @@
 use edgechain_core::account::Identity;
 use edgechain_core::block::Block;
 use edgechain_core::codec::{
-    decode_block, decode_chain, decode_metadata, encode_block, encode_chain, encode_metadata,
+    decode_anchor, decode_block, decode_chain, decode_metadata, decode_snapshot, encode_anchor,
+    encode_block, encode_chain, encode_metadata, encode_snapshot,
 };
 use edgechain_core::metadata::{DataId, DataType, Location, MetadataItem};
 use edgechain_core::pos::Amendment;
+use edgechain_core::{Blockchain, Snapshot};
 use edgechain_crypto::sha256;
 use edgechain_sim::NodeId;
 use proptest::prelude::*;
@@ -82,6 +84,53 @@ prop_compose! {
     }
 }
 
+/// A small pruned chain sealed into a snapshot: six blocks, the first
+/// three collapsed into a signed anchor, two live registry entries.
+fn lifecycle_snapshot() -> Snapshot {
+    let mut chain = Blockchain::new();
+    for i in 0..6u64 {
+        let prev = chain.tip();
+        let miner = Identity::from_seed(i % 3).account();
+        let b = Block::new(
+            prev.index + 1,
+            prev.hash,
+            (i + 1) * 60,
+            edgechain_core::pos::next_pos_hash(&prev.pos_hash, &miner),
+            miner,
+            60,
+            Amendment::from_fraction(1, 1000),
+            Vec::new(),
+            vec![NodeId(0)],
+            prev.storing_nodes.clone(),
+            Vec::new(),
+        );
+        chain.push(b).unwrap();
+    }
+    chain.prune_below(3, Identity::from_seed(9).keys());
+    let item = |id: u64| {
+        MetadataItem::new_signed(
+            Identity::from_seed(id).keys(),
+            DataId(id),
+            DataType::Sensing("PM2.5".into()),
+            id * 60,
+            Location {
+                label: "snap".into(),
+                x: 1.0,
+                y: 2.0,
+            },
+            1_440,
+            None,
+            4_096,
+        )
+    };
+    Snapshot::seal(
+        chain.anchor().unwrap().clone(),
+        chain.as_slice().to_vec(),
+        vec![(item(2), 4u64), (item(3), 5u64)],
+        Identity::from_seed(1).keys(),
+    )
+}
+
 proptest! {
     // Each case signs metadata (modexp); keep counts moderate.
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -139,6 +188,15 @@ proptest! {
         let _ = decode_block(&bytes);
         let _ = decode_metadata(&bytes);
         let _ = decode_chain(&bytes);
+        // Lifecycle encodings are total too, and random bytes can never
+        // produce a verifying anchor or snapshot (the signature would have
+        // to check out against the embedded key).
+        if let Ok(anchor) = decode_anchor(&bytes) {
+            prop_assert!(!anchor.verify(), "random bytes verified as an anchor");
+        }
+        if let Ok(snapshot) = decode_snapshot(&bytes) {
+            prop_assert!(!snapshot.verify(), "random bytes verified as a snapshot");
+        }
     }
 }
 
@@ -168,6 +226,52 @@ proptest! {
         let t = truncate.index(enc.len() + 1);
         let _ = decode_block(&enc[..t]);
         let _ = decode_chain(&enc[..t]);
+    }
+
+    /// Flipping any byte of a sealed snapshot encoding either fails to
+    /// decode or decodes to something that no longer verifies — a
+    /// tampering snapshot server can never slip a mutation past the
+    /// rejoiner's check. Truncations must error, never panic.
+    #[test]
+    fn snapshot_corruption_never_panics_and_never_verifies(
+        byte in any::<u8>(),
+        pos in any::<prop::sample::Index>(),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let snapshot = lifecycle_snapshot();
+        let mut enc = encode_snapshot(&snapshot);
+        let p = pos.index(enc.len());
+        let flipped = enc[p] != byte;
+        enc[p] = byte;
+        if let Ok(dec) = decode_snapshot(&enc) {
+            if flipped {
+                prop_assert!(!dec.verify(), "tampered snapshot verified (byte {p})");
+            }
+        }
+        let t = truncate.index(enc.len());
+        prop_assert!(decode_snapshot(&enc[..t]).is_err(), "truncation at {t} decoded");
+        let _ = decode_anchor(&enc[..t]); // must not panic
+    }
+
+    /// Same property for the standalone anchor encoding.
+    #[test]
+    fn anchor_corruption_never_panics_and_never_verifies(
+        byte in any::<u8>(),
+        pos in any::<prop::sample::Index>(),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let anchor = lifecycle_snapshot().anchor;
+        let mut enc = encode_anchor(&anchor);
+        let p = pos.index(enc.len());
+        let flipped = enc[p] != byte;
+        enc[p] = byte;
+        if let Ok(dec) = decode_anchor(&enc) {
+            if flipped {
+                prop_assert!(!dec.verify(), "tampered anchor verified (byte {p})");
+            }
+        }
+        let t = truncate.index(enc.len());
+        prop_assert!(decode_anchor(&enc[..t]).is_err(), "truncation at {t} decoded");
     }
 
     /// The sealed fast path (`Block::encoded`, the shared `Arc<[u8]>`

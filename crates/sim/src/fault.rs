@@ -236,6 +236,19 @@ impl FaultPlan {
         self
     }
 
+    /// Combines this plan with another: the event lists concatenate (the
+    /// injector orders them by start time) and a role assignment from
+    /// either side carries over — `other`'s wins when both carry one.
+    /// Lets a churn schedule and a Byzantine sweep compose into one plan.
+    #[must_use]
+    pub fn merged(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        if other.roles.is_some() {
+            self.roles = other.roles;
+        }
+        self
+    }
+
     /// Whether the plan schedules any [`FaultEvent::Byzantine`] action.
     pub fn has_byzantine(&self) -> bool {
         self.events

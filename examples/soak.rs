@@ -1,0 +1,162 @@
+//! Chain-lifecycle soak: a long seeded run with random node churn, one
+//! Byzantine adversary, checkpoint-anchored pruning, and snapshot
+//! bootstrap — the survival scenario the lifecycle subsystem exists for.
+//!
+//! Blocks below `checkpoint - retention` collapse into a signed anchor,
+//! storage reclaims the pruned slots, and nodes rejoining from deep
+//! downtime catch up via verified snapshots instead of block-by-block
+//! recovery. The run must end with bounded retained state, at least one
+//! snapshot bootstrap, every injected artifact detected, and zero
+//! invariant violations.
+//!
+//! Telemetry is armed: the sim-clock trace goes to `$TRACE_OUT` (default
+//! `soak_trace.jsonl`) and the registry dump to `$REGISTRY_OUT` (default
+//! `soak_registry.json`). `$SOAK_MINUTES` overrides the horizon (default
+//! 240 simulated minutes; the CI smoke job runs a shortened pass):
+//!
+//! ```text
+//! cargo run --release --example soak
+//! cargo run --release --bin trace-report -- soak_trace.jsonl
+//! ```
+
+use edgechain::core::{EdgeNetwork, NetworkConfig};
+use edgechain::sim::{ByzantineAction, ChurnConfig, FaultEvent, FaultPlan, NodeId, SimTime};
+use edgechain::telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let minutes: u64 = std::env::var("SOAK_MINUTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(240);
+    // SOAK_PRUNE=0 disables the lifecycle features for an A/B contrast
+    // (watch peak storage grow with the chain instead of staying flat).
+    let lifecycle = std::env::var("SOAK_PRUNE").map_or(true, |v| v != "0");
+    let horizon_secs = minutes * 60;
+    let nodes = 20;
+
+    let churn = FaultPlan::random_churn(
+        nodes,
+        ChurnConfig {
+            crashes_per_min: 0.05,
+            mean_downtime_secs: 600.0,
+            max_concurrent_down: 2,
+            horizon: SimTime::from_secs(horizon_secs * 4 / 5),
+        },
+        &mut StdRng::seed_from_u64(0x50AC),
+    );
+    let adversary = FaultPlan::new(vec![
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::Equivocate,
+            at: SimTime::from_secs(horizon_secs / 10),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::Withhold { blocks: 2 },
+            at: SimTime::from_secs(horizon_secs / 4),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::ForgeBlock,
+            at: SimTime::from_secs(horizon_secs / 2),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::GarbagePayload { bytes: 2_048 },
+            at: SimTime::from_secs(horizon_secs * 3 / 5),
+        },
+    ]);
+    let plan = churn.merged(adversary);
+    plan.validate(nodes)?;
+    println!("fault plan: {} events (seeded churn + 1 adversary)", {
+        plan.events.len()
+    });
+
+    let config = NetworkConfig {
+        nodes,
+        sim_minutes: minutes,
+        block_interval_secs: 6,
+        data_items_per_min: 1.0,
+        data_valid_minutes: 45,
+        expiration_sweep_secs: 60,
+        request_interval_secs: 120,
+        prune_blocks: lifecycle,
+        prune_retention_blocks: 32,
+        snapshot_bootstrap: lifecycle,
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        seed: 0x50_AB,
+        fault_plan: plan,
+        ..NetworkConfig::default()
+    };
+    let retained_bound = config.checkpoint_interval.max(1) + config.prune_retention_blocks + 1;
+
+    println!(
+        "\nsoaking {minutes} simulated minutes with pruning + snapshots {}…\n",
+        if lifecycle { "on" } else { "off" }
+    );
+    telemetry::enable();
+    let report = EdgeNetwork::new(config)?.run();
+    println!("{report}");
+
+    let mut session = telemetry::finish().expect("telemetry was enabled");
+    let trace_path = std::env::var("TRACE_OUT").unwrap_or_else(|_| "soak_trace.jsonl".to_string());
+    let registry_path =
+        std::env::var("REGISTRY_OUT").unwrap_or_else(|_| "soak_registry.json".to_string());
+    std::fs::write(&trace_path, session.trace_jsonl())?;
+    std::fs::write(&registry_path, session.registry.to_json())?;
+    println!(
+        "telemetry: {} trace events -> {trace_path}, registry -> {registry_path}",
+        session.events().len()
+    );
+
+    println!("\nlifecycle digest:");
+    println!("  blocks mined          : {}", report.blocks_mined);
+    println!(
+        "  blocks pruned         : {} ({} retained, bound {retained_bound})",
+        report.blocks_pruned, report.retained_blocks
+    );
+    println!(
+        "  snapshots             : {} served / {} applied / {} rejected",
+        report.snapshots_served, report.snapshots_applied, report.snapshots_rejected
+    );
+    println!("  peak storage slots    : {}", report.peak_storage_slots);
+    println!(
+        "  byzantine             : {} injected / {} detected",
+        report.byz_injected, report.byz_detected
+    );
+    println!(
+        "  availability          : {:.3} ({} completed / {} failed)",
+        report.availability, report.completed_requests, report.failed_requests
+    );
+    println!("  invariant violations  : {}", report.invariant_violations);
+
+    if lifecycle {
+        assert!(report.blocks_pruned > 0, "pruning never fired");
+        assert!(
+            report.retained_blocks <= retained_bound,
+            "retained state exceeded the retention bound"
+        );
+        // Short horizons may not crash anyone long enough to fall below
+        // the pruned base; only demand a bootstrap once churn has had two
+        // sim-hours to produce a deep rejoiner.
+        if minutes >= 120 {
+            assert!(
+                report.snapshots_applied >= 1,
+                "no deep rejoiner bootstrapped from a snapshot"
+            );
+        }
+    }
+    assert_eq!(
+        report.byz_detected, report.byz_injected,
+        "an injected artifact went undetected"
+    );
+    assert_eq!(
+        report.invariant_violations, 0,
+        "honest nodes must stay prefix-consistent"
+    );
+    println!("\nretention bounded, snapshots verified, prefixes intact ✓");
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Long-horizon soak: a multi-sim-hour seeded run with random node churn,
+//! one Byzantine adversary, and checkpoint-anchored pruning + snapshot
+//! bootstrap enabled — the chain-lifecycle subsystem's survival test.
+//!
+//! The run must mine ≥ 10⁴ blocks while holding retained chain state
+//! bounded by the retention window (not O(height)), keep peak storage
+//! occupancy flat as the horizon doubles, bootstrap deep rejoiners from
+//! verified snapshots, stay ≥ 0.9 available, break zero invariants, and
+//! replay bit-identically per seed. A run whose retention horizon exceeds
+//! the simulation length must be indistinguishable from pruning off.
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain::sim::{ByzantineAction, ChurnConfig, FaultEvent, FaultPlan, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// 20 nodes matches the density the chaos availability plan runs at; the
+// default 300 m × 300 m field is too sparse for ≥ 0.9 reachability with
+// fewer radios.
+const NODES: usize = 20;
+
+/// Seeded churn across the whole run plus one repeat-offender Byzantine
+/// adversary (node 19), composed via [`FaultPlan::merged`].
+fn soak_plan(horizon_secs: u64) -> FaultPlan {
+    let churn = FaultPlan::random_churn(
+        NODES,
+        ChurnConfig {
+            crashes_per_min: 0.05,
+            mean_downtime_secs: 600.0,
+            max_concurrent_down: 2,
+            horizon: SimTime::from_secs(horizon_secs * 4 / 5),
+        },
+        &mut StdRng::seed_from_u64(0x50AC),
+    );
+    let adversary = FaultPlan::new(vec![
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::Equivocate,
+            at: SimTime::from_secs(horizon_secs / 10),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::Withhold { blocks: 2 },
+            at: SimTime::from_secs(horizon_secs / 4),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::ForgeBlock,
+            at: SimTime::from_secs(horizon_secs / 2),
+        },
+        FaultEvent::Byzantine {
+            node: NodeId(19),
+            action: ByzantineAction::GarbagePayload { bytes: 2_048 },
+            at: SimTime::from_secs(horizon_secs * 3 / 5),
+        },
+    ]);
+    churn.merged(adversary)
+}
+
+/// A 6-second block target packs ≥ 10⁴ blocks into `minutes` ≥ 1000;
+/// short-lived data keeps the registry (and the expiry heap) churning.
+fn soak_config(minutes: u64) -> NetworkConfig {
+    NetworkConfig {
+        nodes: NODES,
+        sim_minutes: minutes,
+        block_interval_secs: 6,
+        data_items_per_min: 1.0,
+        data_valid_minutes: 45,
+        expiration_sweep_secs: 60,
+        request_interval_secs: 120,
+        prune_blocks: true,
+        prune_retention_blocks: 32,
+        snapshot_bootstrap: true,
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        seed: 0x50_AB,
+        fault_plan: soak_plan(minutes * 60),
+        ..NetworkConfig::default()
+    }
+}
+
+fn run(config: NetworkConfig) -> RunReport {
+    EdgeNetwork::new(config).expect("valid config").run()
+}
+
+#[test]
+fn soak_survives_churn_adversary_and_pruning() {
+    let config = soak_config(1_100);
+    let retained_bound = config.checkpoint_interval.max(1) + config.prune_retention_blocks + 1;
+    let report = run(config);
+
+    assert!(
+        report.blocks_mined >= 10_000,
+        "soak horizon too short: {} blocks",
+        report.blocks_mined
+    );
+    // Retained state is bounded by the retention window, not the height.
+    assert!(report.blocks_pruned > 0, "pruning never fired: {report}");
+    assert!(
+        report.retained_blocks <= retained_bound,
+        "retained {} blocks > bound {retained_bound}: {report}",
+        report.retained_blocks
+    );
+    // Deep rejoiners (600 s mean downtime vs a ~3.5-minute retention
+    // horizon) had to bootstrap from snapshots, and every tampered or
+    // stale snapshot was turned away before adoption.
+    assert!(
+        report.snapshots_applied >= 1,
+        "no snapshot bootstrap in a churning pruned run: {report}"
+    );
+    // Safety under the composed adversary: nothing finalized was lost,
+    // resurrected, or detached from its anchor commitment.
+    assert_eq!(report.invariant_violations, 0, "invariant broken: {report}");
+    assert_eq!(
+        report.byz_detected, report.byz_injected,
+        "an injected artifact went undetected: {report}"
+    );
+    assert!(
+        report.availability >= 0.9,
+        "availability {} dropped below 0.9: {report}",
+        report.availability
+    );
+    // The expiry machinery kept cycling short-lived data out.
+    assert!(report.data_expired > 0, "nothing expired in {report}");
+}
+
+#[test]
+fn soak_reruns_are_bit_identical() {
+    let a = run(soak_config(1_100));
+    let b = run(soak_config(1_100));
+    assert_eq!(a, b, "same seed + plan must reproduce the identical report");
+}
+
+#[test]
+fn peak_storage_stays_flat_as_the_horizon_doubles() {
+    // With pruning reclaiming block storage and expiry reclaiming data
+    // slots, occupancy plateaus after warmup: doubling the horizon must
+    // not grow the peak meaningfully (an O(height) chain would).
+    let half = run(soak_config(550));
+    let full = run(soak_config(1_100));
+    assert!(half.peak_storage_slots > 0);
+    assert!(
+        full.peak_storage_slots <= half.peak_storage_slots * 5 / 4,
+        "peak storage grew with the horizon: {} at half vs {} at full",
+        half.peak_storage_slots,
+        full.peak_storage_slots
+    );
+}
+
+#[test]
+fn pruning_below_the_horizon_matches_pruning_off() {
+    // Same seeded churn + adversary, 60 minutes: with the retention
+    // window longer than the run, the lifecycle machinery must be
+    // invisible — reports bit-identical to pruning disabled.
+    let base = NetworkConfig {
+        prune_blocks: false,
+        snapshot_bootstrap: false,
+        ..soak_config(60)
+    };
+    let lifecycle_armed = NetworkConfig {
+        prune_retention_blocks: 100_000,
+        ..soak_config(60)
+    };
+    let off = run(base);
+    let armed = run(lifecycle_armed);
+    assert_eq!(off, armed, "dormant lifecycle features perturbed the run");
+    assert_eq!(armed.blocks_pruned, 0);
+    assert_eq!(armed.snapshots_served, 0);
+}
