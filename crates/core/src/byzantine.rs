@@ -284,18 +284,18 @@ impl ByzantineEngine {
         matches!(self.quarantined_until[node.0], Some(until) if until > now)
     }
 
-    /// Clears expired quarantines, counting re-admissions. Returns how
-    /// many nodes were re-admitted at this sweep.
-    pub fn readmit_due(&mut self, now: SimTime) -> u64 {
-        let mut n = 0;
-        for slot in &mut self.quarantined_until {
+    /// Clears expired quarantines, counting re-admissions. Returns the
+    /// nodes re-admitted at this sweep (ascending id order).
+    pub fn readmit_due(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut readmitted = Vec::new();
+        for (i, slot) in self.quarantined_until.iter_mut().enumerate() {
             if matches!(slot, Some(until) if *until <= now) {
                 *slot = None;
-                n += 1;
+                readmitted.push(NodeId(i));
             }
         }
-        self.readmissions += n;
-        n
+        self.readmissions += readmitted.len() as u64;
+        readmitted
     }
 
     /// Nodes currently quarantined at `now`.
@@ -759,7 +759,7 @@ mod tests {
         assert_eq!(eng.quarantine_events(), 1);
         let later = now + SimTime::from_secs(600);
         assert!(!eng.is_quarantined(NodeId(2), later));
-        assert_eq!(eng.readmit_due(later), 1);
+        assert_eq!(eng.readmit_due(later), vec![NodeId(2)]);
         assert_eq!(eng.readmissions(), 1);
         assert_eq!(eng.active_quarantines(later), 0);
     }

@@ -58,6 +58,7 @@ pub mod migration;
 pub mod network;
 pub mod pos;
 pub mod pow;
+pub mod slo;
 pub mod storage;
 
 pub use account::{AccountId, Identity, Ledger};
@@ -76,4 +77,5 @@ pub use pos::{
     hit, next_pos_hash, run_round, verify_claim, Amendment, Candidate, MiningOutcome, HIT_MODULUS,
 };
 pub use pow::{mine, verify, Difficulty, PowSolution};
+pub use slo::{LatencySummary, SloAlert, SloMonitor, SloReport, SloThresholds};
 pub use storage::NodeStorage;

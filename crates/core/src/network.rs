@@ -35,13 +35,14 @@ use crate::chain::{Blockchain, CheckpointPolicy, Snapshot};
 use crate::invariant::{ForkView, InvariantChecker, InvariantView};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
 use crate::pos::{run_round, run_round_cached, Candidate, HitTable};
+use crate::slo::{LatencySummary, SloMonitor, SloReport, SloThresholds};
 use crate::storage::NodeStorage;
 use edgechain_energy::{Battery, DeviceProfile, EnergyCategory, EnergyMeter};
 use edgechain_sim::{
     gini_counts, ByzantineAction, EventQueue, FaultInjector, FaultPlan, NodeId, RunningStats,
     SimTime, Topology, TopologyConfig, TopologyError, Transport, TransportConfig,
 };
-use edgechain_telemetry::{self as telemetry, trace_event, RegistrySnapshot};
+use edgechain_telemetry::{self as telemetry, trace_event, RegistrySnapshot, SpanId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -190,6 +191,11 @@ pub struct NetworkConfig {
     /// default: the checker observes at blocks, expiry sweeps, and fault
     /// ticks — the only instants state can change in a way the rules see.
     pub invariant_every_event: bool,
+    /// SLO thresholds and rolling-window geometry for the health monitor
+    /// (see [`crate::slo`]). The monitor always runs — it is pure
+    /// observation over numbers the simulation computes anyway — and its
+    /// verdicts land in [`RunReport::slo`].
+    pub slo: SloThresholds,
     /// Trust seal-time block caches on the hot path (ISSUE 4 fast path):
     /// locally sealed blocks keep their wire encoding (`Arc<[u8]>`) and
     /// Merkle leaf digests, so `wire_size`, broadcast, `fetch_data`,
@@ -241,6 +247,7 @@ impl Default for NetworkConfig {
             prune_retention_blocks: 16,
             snapshot_bootstrap: false,
             invariant_every_event: false,
+            slo: SloThresholds::default(),
             block_seal_cache: true,
             seed: 0xED6E,
         }
@@ -410,6 +417,18 @@ pub struct RunReport {
     /// Hard safety violations caught by the invariant checker — durable
     /// data loss or a corrupted chain prefix. Must stay 0.
     pub invariant_violations: u64,
+    /// Inclusion latency (data generation → packing block mined), seconds:
+    /// count plus p50/p95/p99 over every packed item.
+    pub inclusion_latency: LatencySummary,
+    /// Fetch latency (request issued → payload delivered), seconds:
+    /// count plus p50/p95/p99 over every completed request. The p95 here
+    /// equals [`RunReport::delivery_p95`], kept for compatibility.
+    pub fetch_latency: LatencySummary,
+    /// SLO health verdict: rolling-window breach alerts plus the end-of-run
+    /// latency/availability/safety summary (see [`crate::slo`]). Computed
+    /// unconditionally — it never consults the RNG — so it is identical
+    /// whether or not telemetry or spans were armed.
+    pub slo: SloReport,
     /// Deterministic summary of the telemetry registry, when a session was
     /// armed ([`edgechain_telemetry::enable`]) for the run; `None`
     /// otherwise, so reports from un-instrumented runs stay bit-identical
@@ -482,6 +501,9 @@ impl fmt::Display for RunReport {
                 self.peak_storage_slots
             )?;
         }
+        writeln!(f, "  inclusion latency: {}", self.inclusion_latency)?;
+        writeln!(f, "  fetch latency: {}", self.fetch_latency)?;
+        writeln!(f, "  slo: {}", self.slo)?;
         if let Some(snap) = &self.telemetry {
             writeln!(f, "  telemetry: {} metrics captured", snap.entries.len())?;
         }
@@ -547,6 +569,14 @@ pub struct EdgeNetwork {
     // metrics
     delivery: RunningStats,
     delivery_samples: edgechain_sim::SampleSet,
+    /// Per-item inclusion latency samples (generation → packing block).
+    inclusion_samples: edgechain_sim::SampleSet,
+    /// Rolling-window SLO health monitor; pure observation, always on.
+    slo: SloMonitor,
+    /// Open-span bookkeeping for the causal trace layer. `Some` only when
+    /// spans were armed ([`edgechain_telemetry::enable_spans`]) at run
+    /// start, so untraced runs never touch it.
+    spans: Option<SpanTracker>,
     recovery: RunningStats,
     failed_requests: u64,
     completed_requests: u64,
@@ -578,6 +608,28 @@ pub struct EdgeNetwork {
     snapshots_applied: u64,
     snapshots_rejected: u64,
     peak_storage_slots: u64,
+}
+
+/// Open-span bookkeeping for the causal trace layer.
+///
+/// Span identity lives in the telemetry session; this side table only
+/// remembers which [`SpanId`]s belong to which in-flight protocol
+/// artifacts so lifecycle edges that fire many events apart (generate →
+/// pack → replicate, request → retry → deliver) can find their span
+/// again. Item entries are kept for the whole run — fetch spans link
+/// `follows` edges back to the item lifecycle long after it closed.
+#[derive(Debug, Default)]
+struct SpanTracker {
+    /// Root + PoS-child spans of the block scheduled to be mined next.
+    next_block: Option<(SpanId, SpanId)>,
+    /// `data id → (item.lifecycle root, item.pend child)`.
+    items: HashMap<u64, (SpanId, SpanId)>,
+    /// `(requester, data id) → fetch.lifecycle root` for in-flight fetches.
+    fetches: HashMap<(usize, u64), SpanId>,
+    /// `(requester, data id) → fetch.backoff span` awaiting its retry.
+    fetch_backoffs: HashMap<(usize, u64), SpanId>,
+    /// `node → quarantine.window span` for currently quarantined nodes.
+    quarantines: HashMap<usize, SpanId>,
 }
 
 impl EdgeNetwork {
@@ -693,6 +745,9 @@ impl EdgeNetwork {
             raft_nodes: Vec::new(),
             delivery: RunningStats::new(),
             delivery_samples: edgechain_sim::SampleSet::new(),
+            inclusion_samples: edgechain_sim::SampleSet::new(),
+            slo: SloMonitor::new(config.slo.clone()),
+            spans: None,
             recovery: RunningStats::new(),
             failed_requests: 0,
             completed_requests: 0,
@@ -842,6 +897,15 @@ impl EdgeNetwork {
     /// Runs one PoS round from the live state and schedules the mining
     /// event at the winner's earliest time.
     fn schedule_next_block(&mut self) {
+        if let Some(sp) = self.spans.as_mut() {
+            // The block lifecycle starts when its PoS round is drawn: the
+            // `block.pos` child covers the winner's mining delay, so the
+            // root span captures schedule → adoption end to end.
+            let t = self.queue.now().as_millis();
+            let root = telemetry::span_start("block.lifecycle", t, SpanId::NONE);
+            let pos = telemetry::span_start("block.pos", t, root);
+            sp.next_block = Some((root, pos));
+        }
         let miners = self.live_miners(self.queue.now());
         if miners.is_empty() {
             // Everyone is down. Poll again after a block interval; a
@@ -875,6 +939,11 @@ impl EdgeNetwork {
     /// letting callers audit it (validation, ledger derivation, …).
     pub fn run_with_chain(mut self) -> (RunReport, Blockchain) {
         let horizon = SimTime::from_secs(self.config.sim_minutes * 60);
+        // Arm the span tracker only when the caller opted in; untraced
+        // runs keep `spans: None` and skip every bookkeeping branch.
+        if telemetry::spans_enabled() {
+            self.spans = Some(SpanTracker::default());
+        }
         // Invariants are only metered when faults are in play: the checker
         // walks every data item per event, which a long fault-free sweep
         // shouldn't pay for.
@@ -918,6 +987,12 @@ impl EdgeNetwork {
         if fault_run {
             // Close the under-replication meter at the horizon.
             self.observe_invariants(horizon);
+        }
+        if self.spans.is_some() {
+            // Whatever is still in flight at the horizon (unpacked items,
+            // pending fetch backoffs, open quarantines, the scheduled next
+            // block) closes there, in span-id order — deterministic.
+            telemetry::span_end_all(horizon.as_millis());
         }
         let chain = self.chain.clone();
         (self.into_report(), chain)
@@ -1070,6 +1145,12 @@ impl EdgeNetwork {
             reason = reason,
             slash = taken
         );
+        if let Some(sp) = self.spans.as_mut() {
+            let q = telemetry::span_start("quarantine.window", now.as_millis(), SpanId::NONE);
+            telemetry::span_field(q, "node", culprit.0);
+            telemetry::span_field(q, "reason", reason);
+            sp.quarantines.insert(culprit.0, q);
+        }
     }
 
     /// Handles a two-headers-same-height-same-miner equivocation proof:
@@ -1456,6 +1537,16 @@ impl EdgeNetwork {
             node = producer.0,
             bytes = self.config.data_item_bytes
         );
+        if let Some(sp) = self.spans.as_mut() {
+            // Item lifecycle root: generation → last replica landed. The
+            // `item.pend` child covers the mempool wait until packing.
+            let t = now.as_millis();
+            let root = telemetry::span_start("item.lifecycle", t, SpanId::NONE);
+            telemetry::span_field(root, "item", id.0);
+            telemetry::span_field(root, "producer", producer.0);
+            let pend = telemetry::span_start("item.pend", t, root);
+            sp.items.insert(id.0, (root, pend));
+        }
         let announce_bytes = item.wire_size();
         self.transport
             .broadcast(&self.topo, producer, announce_bytes, now);
@@ -1511,16 +1602,29 @@ impl EdgeNetwork {
         // out of the candidate set; if the scheduled winner crashed, the
         // re-run simply elects the best surviving node.
         // Quarantine re-admission rides the block cadence.
+        let pending_span = self.spans.as_mut().and_then(|sp| sp.next_block.take());
         if let Some(e) = self.byz.as_mut() {
             let readmitted = e.readmit_due(now);
-            if readmitted > 0 {
-                telemetry::counter_add("byz.readmissions", readmitted);
-                trace_event!("byz.readmit", now.as_millis(), nodes = readmitted);
+            if !readmitted.is_empty() {
+                telemetry::counter_add("byz.readmissions", readmitted.len() as u64);
+                trace_event!("byz.readmit", now.as_millis(), nodes = readmitted.len());
             }
             telemetry::gauge_set("quarantine.active", e.active_quarantines(now) as f64);
+            if let Some(sp) = self.spans.as_mut() {
+                for v in &readmitted {
+                    if let Some(q) = sp.quarantines.remove(&v.0) {
+                        telemetry::span_end(q, now.as_millis());
+                    }
+                }
+            }
         }
         let miners = self.live_miners(now);
         if miners.is_empty() {
+            if let Some((root, pos)) = pending_span {
+                telemetry::span_end(pos, now.as_millis());
+                telemetry::span_field(root, "outcome", "no_miners");
+                telemetry::span_end(root, now.as_millis());
+            }
             self.schedule_next_block();
             return;
         }
@@ -1534,6 +1638,15 @@ impl EdgeNetwork {
             delay_secs = outcome.delay_secs,
             candidates = candidates.len()
         );
+        // The very first block is scheduled in `new()` before the tracker
+        // is armed; open its lifecycle at mine time instead.
+        let (blk_root, blk_pos) = pending_span.unwrap_or_else(|| {
+            let root = telemetry::span_start("block.lifecycle", now.as_millis(), SpanId::NONE);
+            let pos = telemetry::span_start("block.pos", now.as_millis(), root);
+            (root, pos)
+        });
+        telemetry::span_end(blk_pos, now.as_millis());
+        telemetry::span_field(blk_root, "miner", miner.0);
 
         // A freshly elected adversary may have an armed consensus attack.
         // Withholding and tampering replace the honest round entirely;
@@ -1561,6 +1674,8 @@ impl EdgeNetwork {
                     }
                 } else if self.byz.as_ref().is_some_and(|e| e.withheld.is_none()) {
                     self.byz_mine_withheld_fork(miner, blocks, now);
+                    telemetry::span_field(blk_root, "outcome", "withheld");
+                    telemetry::span_end(blk_root, now.as_millis());
                     self.schedule_next_block();
                     return;
                 }
@@ -1568,6 +1683,8 @@ impl EdgeNetwork {
             }
             Some(ByzantineAction::TamperSignature) => {
                 self.byz_mine_tampered_block(miner, &candidates, &outcome, now);
+                telemetry::span_field(blk_root, "outcome", "tampered");
+                telemetry::span_end(blk_root, now.as_millis());
                 self.schedule_next_block();
                 return;
             }
@@ -1587,6 +1704,26 @@ impl EdgeNetwork {
         // The miner packs pending metadata and allocates storers per item.
         let mut packed = std::mem::take(&mut self.pending_metadata);
         for item in &mut packed {
+            // Inclusion latency (generation → this block) feeds the SLO
+            // monitor and the report percentiles unconditionally.
+            let incl_secs = now.as_secs().saturating_sub(item.produced_at_secs) as f64;
+            self.inclusion_samples.record(incl_secs);
+            self.slo.record_inclusion(now.as_millis(), incl_secs);
+            if telemetry::is_enabled() {
+                telemetry::record("slo.inclusion_secs", incl_secs);
+            }
+            // The mempool wait ends here; allocation is a zero-duration
+            // child (the UFL solve costs wall-clock, not sim time).
+            let item_root = match self.spans.as_ref() {
+                Some(sp) => match sp.items.get(&item.data_id.0) {
+                    Some(&(root, pend)) => {
+                        telemetry::span_end(pend, now.as_millis());
+                        root
+                    }
+                    None => SpanId::NONE,
+                },
+                None => SpanId::NONE,
+            };
             match self.select_storers_now(self.config.placement) {
                 Ok(storers) => {
                     trace_event!(
@@ -1595,10 +1732,16 @@ impl EdgeNetwork {
                         item = item.data_id.0,
                         storers = storers.len()
                     );
+                    let alloc = telemetry::span_start("item.alloc", now.as_millis(), item_root);
+                    telemetry::span_field(alloc, "storers", storers.len());
+                    telemetry::span_end(alloc, now.as_millis());
                     item.storing_nodes = storers;
                 }
                 Err(_) => {
                     self.data_unstored += 1;
+                    let alloc = telemetry::span_start("item.alloc", now.as_millis(), item_root);
+                    telemetry::span_field(alloc, "outcome", "unstored");
+                    telemetry::span_end(alloc, now.as_millis());
                     item.storing_nodes = Vec::new();
                 }
             }
@@ -1715,16 +1858,18 @@ impl EdgeNetwork {
         // the pre-cache reference. Both charge identical bytes and flatten
         // to the same delivery order.
         let mut received: Vec<NodeId> = vec![miner];
+        let mut arrivals: Vec<(NodeId, SimTime)> = Vec::new();
         match &payload {
             Some(p) => {
                 let deliveries = self.transport.broadcast_payload(&self.topo, miner, p, now);
-                received.extend(deliveries.iter().map(|(v, _)| v));
+                arrivals.extend(deliveries.iter());
             }
             None => {
                 let deliveries = self.transport.broadcast(&self.topo, miner, block_size, now);
-                received.extend(deliveries.iter().map(|(v, _)| *v));
+                arrivals.extend(deliveries.iter().copied());
             }
         }
+        received.extend(arrivals.iter().map(|(v, _)| *v));
 
         // Verify-on-receive (optional, costs CPU not network).
         if self.config.verify_signatures {
@@ -1802,6 +1947,32 @@ impl EdgeNetwork {
             }
         }
 
+        // Block lifecycle spans: one `block.broadcast` child covering
+        // schedule-to-last-arrival, with a zero-duration per-receiver
+        // `block.verify` grandchild at each arrival instant. The root
+        // closes at the last arrival, so `block.pos` + `block.broadcast`
+        // tile it exactly.
+        if self.spans.is_some() {
+            let asm = telemetry::span_start("block.assemble", now.as_millis(), blk_root);
+            telemetry::span_field(asm, "items", metadata_of_block.len());
+            telemetry::span_end(asm, now.as_millis());
+            let bc = telemetry::span_start("block.broadcast", now.as_millis(), blk_root);
+            telemetry::span_field(bc, "receivers", arrivals.len());
+            let mut last = now;
+            for &(v, t) in &arrivals {
+                if t > last {
+                    last = t;
+                }
+                let vs = telemetry::span_start("block.verify", t.as_millis(), bc);
+                telemetry::span_field(vs, "node", v.0);
+                telemetry::span_end(vs, t.as_millis());
+            }
+            telemetry::span_end(bc, last.as_millis());
+            telemetry::span_field(blk_root, "block", block_index);
+            telemetry::span_field(blk_root, "items", metadata_of_block.len());
+            telemetry::span_end(blk_root, last.as_millis());
+        }
+
         // Data dissemination: each storing node proactively fetches the
         // data item from its producer.
         for item in &metadata_of_block {
@@ -1809,6 +1980,7 @@ impl EdgeNetwork {
                 continue;
             };
             let mut stored = 0u64;
+            let mut last_replica: Option<SimTime> = None;
             for &storer in &item.storing_nodes {
                 // A crashed storer can't accept the copy (and a crashed
                 // producer can't send one); the repair sweep re-replicates
@@ -1820,18 +1992,30 @@ impl EdgeNetwork {
                     continue;
                 }
                 // An unreachable storer simply stays unstored for now.
-                if self
-                    .transport
-                    .unicast(&self.topo, producer, storer, item.data_size, now)
-                    .is_ok()
-                    && (self.storage[storer.0].store_data(item.data_id) || storer == producer)
+                if let Ok(d) =
+                    self.transport
+                        .unicast(&self.topo, producer, storer, item.data_size, now)
                 {
-                    stored += 1;
+                    if self.storage[storer.0].store_data(item.data_id) || storer == producer {
+                        stored += 1;
+                        last_replica = Some(last_replica.map_or(d.arrival, |t| t.max(d.arrival)));
+                    }
                 }
             }
             if !item.storing_nodes.is_empty() {
                 self.replica_total += stored;
                 self.replica_items += 1;
+            }
+            // The item lifecycle closes when its last replica lands.
+            if let Some(sp) = self.spans.as_ref() {
+                if let Some(&(root, _)) = sp.items.get(&item.data_id.0) {
+                    let end = last_replica.unwrap_or(now).as_millis();
+                    let rep = telemetry::span_start("item.replicate", now.as_millis(), root);
+                    telemetry::span_field(rep, "replicas", stored);
+                    telemetry::span_end(rep, end);
+                    telemetry::span_field(root, "block", block_index);
+                    telemetry::span_end(root, end);
+                }
             }
             if self.expired_ids.contains(&item.data_id) {
                 // A swept id must never re-enter the live registry.
@@ -1858,7 +2042,30 @@ impl EdgeNetwork {
         self.peak_storage_slots = self.peak_storage_slots.max(used_now);
         self.maybe_prune(now);
 
+        // SLO health check rides the block cadence, like quarantine
+        // re-admission: trim the rolling windows and surface any breaches.
+        self.evaluate_slo(now);
         self.schedule_next_block();
+    }
+
+    /// Evaluates the SLO rolling windows and surfaces newly raised breach
+    /// alerts as counters and trace events. Pure observation: consumes no
+    /// randomness and feeds nothing back into the protocol.
+    fn evaluate_slo(&mut self, now: SimTime) {
+        let (depth, quarantines) = match &self.byz {
+            Some(e) => (e.max_reorg_depth(), e.quarantine_events()),
+            None => (0, 0),
+        };
+        for a in self.slo.evaluate(now.as_millis(), depth, quarantines) {
+            telemetry::counter_add("slo.breaches", 1);
+            trace_event!(
+                "slo.breach",
+                a.t_ms,
+                slo = a.slo,
+                observed = a.observed,
+                threshold = a.threshold
+            );
+        }
     }
 
     /// Checkpoint-anchored pruning: once the chain has grown a retention
@@ -2074,6 +2281,7 @@ impl EdgeNetwork {
                 continue;
             };
             let mut repaired = false;
+            let mut last_copy: Option<SimTime> = None;
             for s in new_set {
                 if live_holders.contains(&s)
                     || Some(s) == producer
@@ -2089,19 +2297,33 @@ impl EdgeNetwork {
                 else {
                     continue;
                 };
-                if self
-                    .transport
-                    .unicast(&self.topo, src, s, data_size, now)
-                    .is_ok()
-                    && self.storage[s.0].store_data(id)
-                {
-                    repaired = true;
-                    sweep_copies += 1;
+                if let Ok(d) = self.transport.unicast(&self.topo, src, s, data_size, now) {
+                    if self.storage[s.0].store_data(id) {
+                        repaired = true;
+                        sweep_copies += 1;
+                        last_copy =
+                            Some(last_copy.map_or(d.arrival, |t: SimTime| t.max(d.arrival)));
+                    }
                 }
             }
             if repaired {
                 self.repairs_triggered += 1;
                 sweep_repaired += 1;
+                // Repair rides the block cadence, not the item lifecycle:
+                // its span is a root with a follows-from edge back to the
+                // item it re-replicated.
+                if let Some(sp) = self.spans.as_ref() {
+                    if let Some(&(iroot, _)) = sp.items.get(&id.0) {
+                        let rs = telemetry::span_start(
+                            "repair.replicate",
+                            now.as_millis(),
+                            SpanId::NONE,
+                        );
+                        telemetry::span_follows(rs, iroot);
+                        telemetry::span_field(rs, "item", id.0);
+                        telemetry::span_end(rs, last_copy.unwrap_or(now).as_millis());
+                    }
+                }
                 // Refresh the operational holder view: every node whose
                 // disk holds the item (crashed ones keep theirs, and the
                 // fresh copies just landed).
@@ -2216,6 +2438,10 @@ impl EdgeNetwork {
                         hops = self.topo.hops(v, holder),
                         dur_ms = resp.arrival.saturating_since(now).as_millis()
                     );
+                    let rs = telemetry::span_start("recover.block", now.as_millis(), SpanId::NONE);
+                    telemetry::span_field(rs, "node", v.0);
+                    telemetry::span_field(rs, "block", idx);
+                    telemetry::span_end(rs, resp.arrival.as_millis());
                 }
                 Err(_) => unserved = true,
             }
@@ -2259,6 +2485,8 @@ impl EdgeNetwork {
         let Some(anchor) = self.chain.anchor().cloned() else {
             return false;
         };
+        let snap_span = telemetry::span_start("snapshot.bootstrap", now.as_millis(), SpanId::NONE);
+        telemetry::span_field(snap_span, "node", v.0);
         let tip = self.chain.height();
         let mut providers: Vec<NodeId> = (0..self.config.nodes)
             .map(NodeId)
@@ -2358,8 +2586,13 @@ impl EdgeNetwork {
                 node = v.0,
                 tip = snap_tip
             );
+            telemetry::span_field(snap_span, "server", server.0);
+            telemetry::span_field(snap_span, "outcome", "applied");
+            telemetry::span_end(snap_span, resp.arrival.as_millis());
             return true;
         }
+        telemetry::span_field(snap_span, "outcome", "failed");
+        telemetry::span_end(snap_span, now.as_millis());
         false
     }
 
@@ -2417,16 +2650,37 @@ impl EdgeNetwork {
 
     fn on_retry_fetch(&mut self, requester: NodeId, data_id: DataId, attempt: u32, now: SimTime) {
         if !self.topo.is_active(requester) {
-            return; // nobody is waiting for the answer anymore
+            // nobody is waiting for the answer anymore
+            self.close_fetch_span(requester, data_id, now.as_millis(), "requester_down");
+            return;
         }
         let Some((item, _)) = self.data_registry.get(&data_id) else {
-            return; // expired or superseded while backing off
+            // expired or superseded while backing off
+            self.close_fetch_span(requester, data_id, now.as_millis(), "item_gone");
+            return;
         };
         if !item.is_valid_at(now.as_secs()) {
+            self.close_fetch_span(requester, data_id, now.as_millis(), "item_expired");
             return;
         }
         let item = item.clone();
         self.fetch_data(requester, &item, now, attempt);
+    }
+
+    /// Closes an in-flight `fetch.lifecycle` span (and any pending
+    /// `fetch.backoff` child) with the given outcome. No-op when spans are
+    /// off or no span is open for the `(requester, item)` pair.
+    fn close_fetch_span(&mut self, requester: NodeId, id: DataId, t: u64, outcome: &'static str) {
+        if let Some(sp) = self.spans.as_mut() {
+            let fkey = (requester.0, id.0);
+            if let Some(b) = sp.fetch_backoffs.remove(&fkey) {
+                telemetry::span_end(b, t);
+            }
+            if let Some(root) = sp.fetches.remove(&fkey) {
+                telemetry::span_field(root, "outcome", outcome);
+                telemetry::span_end(root, t);
+            }
+        }
     }
 
     /// §IV-D data access: request from the nearest node that actually holds
@@ -2438,12 +2692,50 @@ impl EdgeNetwork {
     /// retries up to [`NetworkConfig::fetch_retries`] times before the
     /// request counts as failed.
     fn fetch_data(&mut self, requester: NodeId, item: &MetadataItem, now: SimTime, attempt: u32) {
+        // The fetch lifecycle span persists across backoff retries: the
+        // first attempt opens it (with a follows-from edge back to the
+        // item's lifecycle), each retry entry closes the pending backoff
+        // child, and resolution — delivery, failure, or abandonment —
+        // closes the root.
+        let fkey = (requester.0, item.data_id.0);
+        let froot = match self.spans.as_mut() {
+            Some(sp) => {
+                if let Some(b) = sp.fetch_backoffs.remove(&fkey) {
+                    telemetry::span_end(b, now.as_millis());
+                }
+                match sp.fetches.get(&fkey) {
+                    Some(&r) => r,
+                    None => {
+                        let root =
+                            telemetry::span_start("fetch.lifecycle", now.as_millis(), SpanId::NONE);
+                        telemetry::span_field(root, "requester", requester.0);
+                        telemetry::span_field(root, "item", item.data_id.0);
+                        if let Some(&(iroot, _)) = sp.items.get(&item.data_id.0) {
+                            telemetry::span_follows(root, iroot);
+                        }
+                        sp.fetches.insert(fkey, root);
+                        root
+                    }
+                }
+            }
+            None => SpanId::NONE,
+        };
+        let attempt_span = |t0: SimTime, t1: SimTime, holder: NodeId, outcome: &'static str| {
+            let s = telemetry::span_start("fetch.attempt", t0.as_millis(), froot);
+            telemetry::span_field(s, "holder", holder.0);
+            telemetry::span_field(s, "outcome", outcome);
+            telemetry::span_end(s, t1.as_millis());
+        };
         let producer = self.node_of_account.get(&item.producer).copied();
         if self.storage[requester.0].has_data(item.data_id) || producer == Some(requester) {
             // Local hit: free and instantaneous.
             self.completed_requests += 1;
             self.delivery.record(0.0);
             self.delivery_samples.record(0.0);
+            self.slo.record_fetch(now.as_millis(), 0.0);
+            if telemetry::is_enabled() {
+                telemetry::record("slo.fetch_secs", 0.0);
+            }
             telemetry::counter_add("request.completed", 1);
             trace_event!(
                 "request.completed",
@@ -2452,6 +2744,7 @@ impl EdgeNetwork {
                 item = item.data_id.0,
                 dur_ms = 0_u64
             );
+            self.close_fetch_span(requester, item.data_id, now.as_millis(), "local");
             return;
         }
         let mut holders: Vec<NodeId> = item
@@ -2477,10 +2770,12 @@ impl EdgeNetwork {
         holders.sort_by_key(|&h| (self.topo.hops(requester, h), h.0));
         let mut t = now;
         for holder in holders {
+            let probe_start = t;
             let Ok(req) =
                 self.transport
                     .unicast(&self.topo, requester, holder, DATA_REQUEST_BYTES, t)
             else {
+                attempt_span(probe_start, probe_start, holder, "send_drop");
                 continue;
             };
             if self.malicious[holder.0] && producer != Some(holder) {
@@ -2488,6 +2783,7 @@ impl EdgeNetwork {
                 self.denials += 1;
                 self.invalid_storers.insert((item.data_id, holder));
                 t = req.arrival + DENIAL_TIMEOUT;
+                attempt_span(probe_start, t, holder, "denied");
                 // Under a Byzantine engine, repeated denials accumulate
                 // strikes and eventually escalate to a quarantine.
                 let crossed = match self.byz.as_mut() {
@@ -2508,6 +2804,10 @@ impl EdgeNetwork {
                     let secs = resp.arrival.saturating_since(now).as_secs_f64();
                     self.delivery.record(secs);
                     self.delivery_samples.record(secs);
+                    self.slo.record_fetch(resp.arrival.as_millis(), secs);
+                    if telemetry::is_enabled() {
+                        telemetry::record("slo.fetch_secs", secs);
+                    }
                     telemetry::counter_add("request.completed", 1);
                     trace_event!(
                         "request.completed",
@@ -2517,9 +2817,19 @@ impl EdgeNetwork {
                         storer = holder.0,
                         dur_ms = resp.arrival.saturating_since(now).as_millis()
                     );
+                    attempt_span(probe_start, resp.arrival, holder, "ok");
+                    self.close_fetch_span(
+                        requester,
+                        item.data_id,
+                        resp.arrival.as_millis(),
+                        "completed",
+                    );
                     return;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    attempt_span(probe_start, req.arrival, holder, "reply_drop");
+                    continue;
+                }
             }
         }
         if attempt < self.config.fetch_retries {
@@ -2542,8 +2852,14 @@ impl EdgeNetwork {
                     attempt: attempt + 1,
                 },
             );
+            if let Some(sp) = self.spans.as_mut() {
+                let b = telemetry::span_start("fetch.backoff", now.as_millis(), froot);
+                telemetry::span_field(b, "attempt", attempt + 1);
+                sp.fetch_backoffs.insert(fkey, b);
+            }
         } else {
             self.failed_requests += 1;
+            self.slo.record_failure(now.as_millis());
             telemetry::counter_add("request.failed", 1);
             trace_event!(
                 "request.failed",
@@ -2551,6 +2867,7 @@ impl EdgeNetwork {
                 requester = requester.0,
                 item = item.data_id.0
             );
+            self.close_fetch_span(requester, item.data_id, now.as_millis(), "failed");
         }
     }
 
@@ -2799,6 +3116,25 @@ impl EdgeNetwork {
                 ),
                 None => (0, 0, 0, 0, 0, 0),
             };
+        let availability = {
+            let resolved = self.completed_requests + self.failed_requests;
+            if resolved == 0 {
+                1.0
+            } else {
+                self.completed_requests as f64 / resolved as f64
+            }
+        };
+        let inclusion_latency = LatencySummary::from_samples(&mut self.inclusion_samples);
+        let fetch_latency = LatencySummary::from_samples(&mut self.delivery_samples);
+        let slo_monitor =
+            std::mem::replace(&mut self.slo, SloMonitor::new(SloThresholds::default()));
+        let slo = slo_monitor.into_report(
+            inclusion_latency,
+            fetch_latency,
+            availability,
+            max_reorg_depth,
+            quarantine_events,
+        );
         RunReport {
             nodes: self.config.nodes,
             blocks_mined: self.chain.height(),
@@ -2841,14 +3177,7 @@ impl EdgeNetwork {
             snapshots_rejected: self.snapshots_rejected,
             peak_storage_slots: self.peak_storage_slots,
             under_replicated_item_seconds: self.checker.under_replicated_item_seconds,
-            availability: {
-                let resolved = self.completed_requests + self.failed_requests;
-                if resolved == 0 {
-                    1.0
-                } else {
-                    self.completed_requests as f64 / resolved as f64
-                }
-            },
+            availability,
             byz_injected,
             byz_detected,
             reorgs,
@@ -2856,6 +3185,9 @@ impl EdgeNetwork {
             quarantine_events,
             readmissions,
             invariant_violations: self.checker.violations,
+            inclusion_latency,
+            fetch_latency,
+            slo,
             telemetry: telemetry::registry_snapshot(),
         }
     }

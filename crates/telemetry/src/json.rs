@@ -150,12 +150,25 @@ impl Parser<'_> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self.next().ok_or("truncated \\u escape")?;
-                            code = code * 16
-                                + (d as char).to_digit(16).ok_or("bad hex in \\u escape")?;
-                        }
+                        let code = self.parse_hex4()?;
+                        let code = match code {
+                            // High surrogate: must pair with a following
+                            // \uDC00..\uDFFF low surrogate.
+                            0xD800..=0xDBFF => {
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err("high surrogate without \\u pair".into());
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!("bad low surrogate \\u{low:04x}"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!("unpaired low surrogate \\u{code:04x}"))
+                            }
+                            code => code,
+                        };
                         out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
                     }
                     other => return Err(format!("bad escape {other:?}")),
@@ -171,6 +184,15 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.next().ok_or("truncated \\u escape")?;
+            code = code * 16 + (d as char).to_digit(16).ok_or("bad hex in \\u escape")?;
+        }
+        Ok(code)
     }
 
     fn parse_scalar(&mut self) -> Result<JsonValue, String> {
@@ -253,5 +275,79 @@ mod tests {
         assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
         let fields = parse_flat_object(r#"{"k":"line\nbreak A"}"#).unwrap();
         assert_eq!(fields[0].1.as_str(), Some("line\nbreak A"));
+    }
+
+    #[test]
+    fn parse_escaped_quotes_and_backslashes_in_fields() {
+        // A field value that is itself quoted JSON-ish text.
+        let fields = parse_flat_object(r#"{"msg":"said \"hi\" to node 3"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some(r#"said "hi" to node 3"#));
+        // Windows-style path: every backslash doubled.
+        let fields = parse_flat_object(r#"{"path":"C:\\data\\trace.jsonl"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some(r"C:\data\trace.jsonl"));
+        // Adjacent escapes: backslash immediately before a closing quote.
+        let fields = parse_flat_object(r#"{"k":"tail\\"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("tail\\"));
+        // Escaped quote in a *key*.
+        let fields = parse_flat_object(r#"{"a\"b":1}"#).unwrap();
+        assert_eq!(fields[0].0, "a\"b");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_escapes() {
+        assert!(parse_flat_object(r#"{"k":"dangling\"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"bad\qescape"}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"trunc\u12"}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"nothex\uZZZZ"}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_surrogate_pairs() {
+        let fields = parse_flat_object(r#"{"k":"nul\u0000end"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("nul\u{0}end"));
+        // Astral codepoint via a surrogate pair.
+        let fields = parse_flat_object(r#"{"k":"\ud83d\ude00"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("\u{1f600}"));
+        // Lone surrogates are invalid JSON text.
+        assert!(parse_flat_object(r#"{"k":"\ud83d"}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"\ud83dx"}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"\ude00"}"#).is_err());
+    }
+
+    #[test]
+    fn write_parse_roundtrip_hostile_strings() {
+        let hostile = [
+            r#"quote " backslash \ both \" end"#,
+            "tabs\tand\r\nnewlines",
+            "ctrl\u{1}\u{1f}chars",
+            "unicode ✓ 中文 \u{1f600}",
+            r"\\\\",
+            r#"\"\"\""#,
+        ];
+        for s in hostile {
+            let mut line = String::new();
+            line.push_str("{\"k\": ");
+            write_str(&mut line, s);
+            line.push('}');
+            let fields = parse_flat_object(&line)
+                .unwrap_or_else(|e| panic!("roundtrip of {s:?} failed: {e}"));
+            assert_eq!(fields[0].1.as_str(), Some(s), "roundtrip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn trace_event_with_hostile_fields_roundtrips() {
+        use crate::trace::{TraceEvent, Value};
+        let ev = TraceEvent {
+            t_ms: 42,
+            kind: "test.escape",
+            fields: vec![("msg", Value::Str(r#"a "b" \c\ d"#.to_string()))],
+        };
+        let mut line = String::new();
+        ev.write_jsonl(&mut line);
+        let fields = parse_flat_object(&line).unwrap();
+        let msg = fields.iter().find(|(k, _)| k == "msg").unwrap();
+        assert_eq!(msg.1.as_str(), Some(r#"a "b" \c\ d"#));
     }
 }

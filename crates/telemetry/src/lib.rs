@@ -38,10 +38,15 @@
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{gini, gini_counts, RunningStats, SampleSet};
 pub use registry::{Histogram, MetricSummary, Registry, RegistrySnapshot};
+pub use span::{
+    enable_spans, span_end, span_end_all, span_field, span_follows, span_start, spans_enabled,
+    spans_from_events, SpanId, SpanIndex, SpanRec,
+};
 pub use trace::{
     counter_add, emit, enable, finish, gauge_add, gauge_set, is_enabled, record, record_wall_ns,
     registry_snapshot, time_wall, Session, TraceEvent, Value,

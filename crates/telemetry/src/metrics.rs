@@ -610,4 +610,68 @@ mod tests {
         let mut s: SampleSet = [1.0].into_iter().collect();
         let _ = s.quantile(1.5);
     }
+
+    #[test]
+    fn empty_sample_set_percentiles_are_none() {
+        let mut s = SampleSet::default();
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p95(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.quantile(1.0), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s: SampleSet = [7.25].into_iter().collect();
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(7.25), "q={q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_exact_edges() {
+        // 100 samples 1..=100: nearest-rank pN is exactly sample N
+        // (ceil(q*100) = q*100 lands on an integer rank — the edge case).
+        let mut s: SampleSet = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(s.p50(), Some(50.0));
+        assert_eq!(s.p95(), Some(95.0));
+        assert_eq!(s.p99(), Some(99.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        // q=0 clamps up to rank 1 (the minimum), never rank 0.
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        // 101 samples: ceil(0.95*101)=96 → one past the 100-sample answer.
+        s.record(101.0);
+        assert_eq!(s.p95(), Some(96.0));
+    }
+
+    #[test]
+    fn tiny_sets_clamp_high_percentiles_to_max() {
+        // With n < 100 the p99 rank saturates at n: p99 of a small set is
+        // its maximum, not an interpolation.
+        for n in 1..=20_usize {
+            let mut s: SampleSet = (1..=n).map(|v| v as f64).collect();
+            assert_eq!(s.p99(), Some(n as f64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_and_unsorted_input() {
+        let mut s: SampleSet = [5.0, 1.0, 5.0, 5.0, 2.0].into_iter().collect();
+        assert_eq!(s.p50(), Some(5.0));
+        assert_eq!(s.quantile(0.4), Some(2.0));
+        assert_eq!(s.p99(), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_edge_values_land_in_lower_bucket() {
+        // Buckets are (lo, hi]: a sample exactly on an edge counts below.
+        let mut s: SampleSet = [1.0, 2.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.histogram(&[2.0]), vec![3, 1]);
+        let mut empty = SampleSet::default();
+        assert_eq!(empty.histogram(&[1.0, 2.0]), vec![0, 0, 0]);
+        let mut one: SampleSet = [2.0].into_iter().collect();
+        assert_eq!(one.histogram(&[2.0]), vec![1, 0]);
+    }
 }

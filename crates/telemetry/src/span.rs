@@ -1,0 +1,569 @@
+//! Deterministic causal spans over the sim clock.
+//!
+//! A *span* is a named interval of sim time with an optional parent (strict
+//! containment, e.g. `block.verify` inside `block.lifecycle`) and an
+//! optional *follows-from* link (causal but not containing, e.g. a repair
+//! re-replication triggered long after the item's lifecycle root closed).
+//! Span IDs are assigned by a per-session counter in sim-clock order —
+//! the event loop hands out IDs as it processes events, so for a seeded
+//! run the ID sequence, and therefore the serialized trace, is
+//! byte-identical across reruns.
+//!
+//! Spans ride the existing event stream: closing a span appends one
+//! ordinary [`TraceEvent`] whose kind is the span kind and whose leading
+//! fields are `span`, `parent` (roots omit it), `follows` (optional),
+//! `t0_ms`, and `dur_ms`, followed by any user fields attached while the
+//! span was open. Everything that already works on traces — JSONL export,
+//! byte-identity tests, `trace-report` — works on spans with no second
+//! file format.
+//!
+//! Two layers of gating keep spans **zero-cost when disabled**: every
+//! entry point first checks the session-enabled flag (one `Cell<bool>`
+//! load, same as `trace_event!`), and spans additionally require
+//! [`enable_spans`] after [`crate::enable`] — so a metrics-only session
+//! pays nothing for the span machinery and its trace stays bit-identical
+//! to a pre-span session. Cross-node links work by carrying a [`SpanId`]
+//! alongside a simulated message and passing it as `parent` at the
+//! receiver's instrumentation point; the IDs never touch simulation
+//! state, so results are bit-identical with spans on or off.
+
+use crate::json::JsonValue;
+use crate::trace::{with_session, TraceEvent, Value};
+use std::collections::BTreeMap;
+
+/// Opaque span handle. The zero value ([`SpanId::NONE`]) means "no span"
+/// and every operation on it is a no-op, so instrumentation code can
+/// thread IDs around unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The null span: operations on it do nothing.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the null span.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw numeric ID (0 for [`SpanId::NONE`]), as it appears in the
+    /// trace's `span`/`parent`/`follows` fields.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One span that has been started but not yet ended.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    kind: &'static str,
+    t0_ms: u64,
+    parent: u64,
+    follows: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// Per-session span state, embedded in [`crate::Session`]. Dormant (and
+/// cost-free beyond its `Default`) unless [`enable_spans`] armed it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanBook {
+    enabled: bool,
+    next_id: u64,
+    // BTreeMap so the end-of-run flush closes leftovers in ID order —
+    // deterministic regardless of open/close interleaving.
+    open: BTreeMap<u64, OpenSpan>,
+}
+
+/// Arms span collection on the current session. Must be called after
+/// [`crate::enable`] (which resets span state); a no-op when telemetry is
+/// disabled.
+pub fn enable_spans() {
+    if !crate::is_enabled() {
+        return;
+    }
+    with_session(|s| s.spans.enabled = true);
+}
+
+/// Whether spans are being collected on this thread.
+#[inline]
+pub fn spans_enabled() -> bool {
+    crate::is_enabled() && with_session(|s| s.spans.enabled)
+}
+
+/// Opens a span of the given kind at sim time `t_ms`, optionally under a
+/// parent. Returns [`SpanId::NONE`] (and does nothing) when spans are
+/// disabled.
+pub fn span_start(kind: &'static str, t_ms: u64, parent: SpanId) -> SpanId {
+    if !crate::is_enabled() {
+        return SpanId::NONE;
+    }
+    with_session(|s| {
+        if !s.spans.enabled {
+            return SpanId::NONE;
+        }
+        s.spans.next_id += 1;
+        let id = s.spans.next_id;
+        s.spans.open.insert(
+            id,
+            OpenSpan {
+                kind,
+                t0_ms: t_ms,
+                parent: parent.0,
+                follows: 0,
+                fields: Vec::new(),
+            },
+        );
+        SpanId(id)
+    })
+}
+
+/// Records a *follows-from* link: `span` was caused by `other` but is not
+/// contained in it. No-op if either side is [`SpanId::NONE`] or the span
+/// is not open.
+pub fn span_follows(span: SpanId, other: SpanId) {
+    if span.is_none() || other.is_none() || !crate::is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        if let Some(open) = s.spans.open.get_mut(&span.0) {
+            open.follows = other.0;
+        }
+    });
+}
+
+/// Attaches a field to an open span; it is serialized after the standard
+/// span fields when the span closes. No-op on [`SpanId::NONE`].
+pub fn span_field(span: SpanId, key: &'static str, value: impl Into<Value>) {
+    if span.is_none() || !crate::is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        if let Some(open) = s.spans.open.get_mut(&span.0) {
+            open.fields.push((key, value.into()));
+        }
+    });
+}
+
+/// Closes a span at sim time `t_ms`, appending its close event to the
+/// trace. No-op on [`SpanId::NONE`] or a span that was never opened /
+/// already closed.
+pub fn span_end(span: SpanId, t_ms: u64) {
+    if span.is_none() || !crate::is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        if let Some(open) = s.spans.open.remove(&span.0) {
+            emit_close(s, span.0, open, t_ms);
+        }
+    });
+}
+
+/// Closes every still-open span at `t_ms`, in span-ID order. Call once at
+/// the simulation horizon so long-lived roots (quarantine windows, items
+/// still pending) land in the trace.
+pub fn span_end_all(t_ms: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let open = std::mem::take(&mut s.spans.open);
+        for (id, span) in open {
+            emit_close(s, id, span, t_ms);
+        }
+    });
+}
+
+fn emit_close(session: &mut crate::Session, id: u64, open: OpenSpan, t_ms: u64) {
+    let t1 = t_ms.max(open.t0_ms);
+    let mut fields = Vec::with_capacity(open.fields.len() + 5);
+    fields.push(("span", Value::U64(id)));
+    if open.parent != 0 {
+        fields.push(("parent", Value::U64(open.parent)));
+    }
+    if open.follows != 0 {
+        fields.push(("follows", Value::U64(open.follows)));
+    }
+    fields.push(("t0_ms", Value::U64(open.t0_ms)));
+    fields.push(("dur_ms", Value::U64(t1 - open.t0_ms)));
+    fields.extend(open.fields);
+    session.events.push(TraceEvent {
+        t_ms: t1,
+        kind: open.kind,
+        fields,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Analysis: span extraction, tree building, critical-path attribution.
+// Shared between `trace-report` and the integration tests so both agree on
+// what "the phase sum equals the root duration" means.
+// ---------------------------------------------------------------------------
+
+/// Phase label for root time not covered by any direct child span.
+pub const GAP_PHASE: &str = "(gap)";
+
+/// A completed span as reconstructed from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    pub id: u64,
+    /// Parent span ID, 0 for roots.
+    pub parent: u64,
+    /// Follows-from span ID, 0 if absent.
+    pub follows: u64,
+    pub kind: String,
+    pub t0_ms: u64,
+    pub t1_ms: u64,
+    /// Non-span fields carried on the close event, rendered to strings.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRec {
+    pub fn dur_ms(&self) -> u64 {
+        self.t1_ms - self.t0_ms
+    }
+
+    /// The rendered value of a carried field, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Extracts the spans from an in-memory session's events. An event is a
+/// span close iff it carries `span`, `t0_ms`, and `dur_ms` fields.
+pub fn spans_from_events(events: &[TraceEvent]) -> Vec<SpanRec> {
+    events
+        .iter()
+        .filter_map(|ev| {
+            let get_u64 = |key: &str| {
+                ev.fields.iter().find_map(|(k, v)| match (k, v) {
+                    (k, Value::U64(n)) if *k == key => Some(*n),
+                    _ => None,
+                })
+            };
+            let id = get_u64("span")?;
+            let t0 = get_u64("t0_ms")?;
+            get_u64("dur_ms")?;
+            Some(SpanRec {
+                id,
+                parent: get_u64("parent").unwrap_or(0),
+                follows: get_u64("follows").unwrap_or(0),
+                kind: ev.kind.to_string(),
+                t0_ms: t0,
+                t1_ms: ev.t_ms,
+                fields: ev
+                    .fields
+                    .iter()
+                    .filter(|(k, _)| {
+                        !matches!(*k, "span" | "parent" | "follows" | "t0_ms" | "dur_ms")
+                    })
+                    .map(|(k, v)| {
+                        let rendered = match v {
+                            Value::U64(n) => n.to_string(),
+                            Value::I64(n) => n.to_string(),
+                            Value::F64(n) => format!("{n}"),
+                            Value::Bool(b) => b.to_string(),
+                            Value::Str(s) => s.clone(),
+                        };
+                        (k.to_string(), rendered)
+                    })
+                    .collect(),
+            })
+        })
+        .collect()
+}
+
+/// Builds a [`SpanRec`] from a parsed flat-JSON trace line, if that line
+/// is a span close event. `kind` is the event kind, `t_ms` its timestamp,
+/// `fields` the remaining fields.
+pub fn span_from_fields(kind: &str, t_ms: u64, fields: &[(String, JsonValue)]) -> Option<SpanRec> {
+    let get_u64 = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .map(|f| f as u64)
+    };
+    let id = get_u64("span")?;
+    let t0 = get_u64("t0_ms")?;
+    get_u64("dur_ms")?;
+    Some(SpanRec {
+        id,
+        parent: get_u64("parent").unwrap_or(0),
+        follows: get_u64("follows").unwrap_or(0),
+        kind: kind.to_string(),
+        t0_ms: t0,
+        t1_ms: t_ms,
+        fields: fields
+            .iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "span" | "parent" | "follows" | "t0_ms" | "dur_ms"
+                )
+            })
+            .map(|(k, v)| {
+                let rendered = match v {
+                    JsonValue::Str(s) => s.clone(),
+                    JsonValue::Bool(b) => b.to_string(),
+                    JsonValue::Num(n) => format!("{n}"),
+                    JsonValue::Null => "null".to_string(),
+                };
+                (k.clone(), rendered)
+            })
+            .collect(),
+    })
+}
+
+/// An indexed forest of spans: lookup by ID, children sorted by start
+/// time, roots in ID order.
+pub struct SpanIndex {
+    spans: Vec<SpanRec>,
+    by_id: BTreeMap<u64, usize>,
+    children: BTreeMap<u64, Vec<usize>>,
+}
+
+impl SpanIndex {
+    pub fn new(spans: Vec<SpanRec>) -> SpanIndex {
+        let mut by_id = BTreeMap::new();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_id.insert(s.id, i);
+            if s.parent != 0 {
+                children.entry(s.parent).or_default().push(i);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort_by_key(|&i| (spans[i].t0_ms, spans[i].id));
+        }
+        SpanIndex {
+            spans,
+            by_id,
+            children,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn get(&self, id: u64) -> Option<&SpanRec> {
+        self.by_id.get(&id).map(|&i| &self.spans[i])
+    }
+
+    /// Direct children of `id`, sorted by `(t0_ms, id)`.
+    pub fn children(&self, id: u64) -> Vec<&SpanRec> {
+        self.children
+            .get(&id)
+            .map(|kids| kids.iter().map(|&i| &self.spans[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Spans whose parent is 0 or points at a span missing from the trace
+    /// (e.g. filtered out), in ID order.
+    pub fn roots(&self) -> Vec<&SpanRec> {
+        let mut roots: Vec<&SpanRec> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == 0 || !self.by_id.contains_key(&s.parent))
+            .collect();
+        roots.sort_by_key(|s| s.id);
+        roots
+    }
+
+    /// Per-phase latency attribution for the root span `id`.
+    ///
+    /// A left-to-right sweep over the root interval assigns each
+    /// millisecond to the direct child covering it (the earliest-starting
+    /// child wins an overlap); root time no child covers is charged to
+    /// [`GAP_PHASE`]. All arithmetic is integral, so the returned phase
+    /// durations **sum exactly** to the root span's duration.
+    pub fn attribute(&self, id: u64) -> Vec<(String, u64)> {
+        let Some(root) = self.get(id) else {
+            return Vec::new();
+        };
+        let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+        let mut cursor = root.t0_ms;
+        for child in self.children(id) {
+            let c0 = child.t0_ms.clamp(root.t0_ms, root.t1_ms);
+            let c1 = child.t1_ms.clamp(root.t0_ms, root.t1_ms);
+            if c1 <= cursor {
+                continue;
+            }
+            let start = c0.max(cursor);
+            if start > cursor {
+                *acc.entry(GAP_PHASE.to_string()).or_default() += start - cursor;
+            }
+            *acc.entry(child.kind.clone()).or_default() += c1 - start;
+            cursor = c1;
+        }
+        if root.t1_ms > cursor {
+            *acc.entry(GAP_PHASE.to_string()).or_default() += root.t1_ms - cursor;
+        }
+        acc.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, kind: &str, t0: u64, t1: u64) -> SpanRec {
+        SpanRec {
+            id,
+            parent,
+            follows: 0,
+            kind: kind.to_string(),
+            t0_ms: t0,
+            t1_ms: t1,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn spans_disabled_without_opt_in() {
+        crate::enable();
+        let id = span_start("x.root", 10, SpanId::NONE);
+        assert!(id.is_none());
+        span_field(id, "k", 1_u64);
+        span_end(id, 20);
+        let session = crate::finish().unwrap();
+        assert!(session.events().is_empty(), "no span events without opt-in");
+    }
+
+    #[test]
+    fn span_close_event_layout() {
+        crate::enable();
+        enable_spans();
+        let root = span_start("item.lifecycle", 100, SpanId::NONE);
+        let child = span_start("item.pend", 100, root);
+        span_field(child, "item", 7_u64);
+        span_end(child, 400);
+        let late = span_start("repair.replicate", 900, SpanId::NONE);
+        span_follows(late, root);
+        span_end(late, 950);
+        span_end(root, 1000);
+        let session = crate::finish().unwrap();
+        assert_eq!(
+            session.trace_jsonl(),
+            concat!(
+                "{\"t_ms\": 400, \"kind\": \"item.pend\", \"span\": 2, \"parent\": 1, ",
+                "\"t0_ms\": 100, \"dur_ms\": 300, \"item\": 7}\n",
+                "{\"t_ms\": 950, \"kind\": \"repair.replicate\", \"span\": 3, \"follows\": 1, ",
+                "\"t0_ms\": 900, \"dur_ms\": 50}\n",
+                "{\"t_ms\": 1000, \"kind\": \"item.lifecycle\", \"span\": 1, ",
+                "\"t0_ms\": 100, \"dur_ms\": 900}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn end_all_flushes_in_id_order() {
+        crate::enable();
+        enable_spans();
+        let a = span_start("a.root", 0, SpanId::NONE);
+        let b = span_start("b.root", 5, SpanId::NONE);
+        span_end(b, 9); // close b first; a is flushed later
+        span_end_all(100);
+        let _ = a;
+        let session = crate::finish().unwrap();
+        let kinds: Vec<&str> = session.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b.root", "a.root"]);
+        let spans = spans_from_events(session.events());
+        assert_eq!(spans[1].t1_ms, 100);
+    }
+
+    #[test]
+    fn double_end_and_none_are_noops() {
+        crate::enable();
+        enable_spans();
+        let a = span_start("a.root", 0, SpanId::NONE);
+        span_end(a, 10);
+        span_end(a, 20);
+        span_end(SpanId::NONE, 30);
+        span_field(SpanId::NONE, "k", 1_u64);
+        span_follows(SpanId::NONE, a);
+        let session = crate::finish().unwrap();
+        assert_eq!(session.events().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_events() {
+        crate::enable();
+        enable_spans();
+        let root = span_start("block.lifecycle", 50, SpanId::NONE);
+        let child = span_start("block.broadcast", 60, root);
+        span_end(child, 80);
+        span_end(root, 90);
+        let session = crate::finish().unwrap();
+        let spans = spans_from_events(session.events());
+        assert_eq!(spans.len(), 2);
+        let idx = SpanIndex::new(spans);
+        let roots = idx.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].kind, "block.lifecycle");
+        let kids = idx.children(roots[0].id);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].kind, "block.broadcast");
+        assert_eq!(kids[0].dur_ms(), 20);
+    }
+
+    #[test]
+    fn attribution_sums_to_root_duration() {
+        // Children: gap [0,10), a [10,40), overlap b [30,70), gap [70,100].
+        let spans = vec![
+            rec(1, 0, "root", 0, 100),
+            rec(2, 1, "a", 10, 40),
+            rec(3, 1, "b", 30, 70),
+        ];
+        let idx = SpanIndex::new(spans);
+        let phases = idx.attribute(1);
+        let total: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, 100);
+        let get = |name: &str| {
+            phases
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, d)| *d)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("a"), 30);
+        assert_eq!(get("b"), 30, "overlap charged once, to the earlier child");
+        assert_eq!(get(GAP_PHASE), 40);
+    }
+
+    #[test]
+    fn attribution_clamps_children_outside_root() {
+        let spans = vec![
+            rec(1, 0, "root", 100, 200),
+            rec(2, 1, "early", 50, 120),
+            rec(3, 1, "late", 180, 400),
+        ];
+        let idx = SpanIndex::new(spans);
+        let phases = idx.attribute(1);
+        let total: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn zero_duration_root_attributes_empty_or_zero() {
+        let spans = vec![rec(1, 0, "root", 100, 100)];
+        let idx = SpanIndex::new(spans);
+        let phases = idx.attribute(1);
+        let total: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn orphaned_parent_becomes_root() {
+        let spans = vec![rec(5, 99, "x.child", 0, 10)];
+        let idx = SpanIndex::new(spans);
+        assert_eq!(idx.roots().len(), 1);
+    }
+}

@@ -127,7 +127,10 @@ impl fmt::Display for TraceEvent {
 /// registry, as returned by [`finish`].
 #[derive(Debug, Clone, Default)]
 pub struct Session {
-    events: Vec<TraceEvent>,
+    pub(crate) events: Vec<TraceEvent>,
+    /// Causal-span bookkeeping (see [`crate::span`]); dormant unless
+    /// [`crate::span::enable_spans`] armed it after [`enable`].
+    pub(crate) spans: crate::span::SpanBook,
     /// Metric registry accumulated over the session.
     pub registry: Registry,
 }
@@ -153,6 +156,11 @@ impl Session {
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static SESSION: RefCell<Session> = RefCell::new(Session::default());
+}
+
+/// Crate-internal access to the live session (used by the span layer).
+pub(crate) fn with_session<R>(f: impl FnOnce(&mut Session) -> R) -> R {
+    SESSION.with(|s| f(&mut s.borrow_mut()))
 }
 
 /// Arms telemetry on this thread, discarding any previous session state.

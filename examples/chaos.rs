@@ -76,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nrunning 60 simulated minutes under the fault plan…\n");
     telemetry::enable();
+    // Causal spans ride the trace: item/block/fetch lifecycles land in
+    // $TRACE_OUT for `trace-report --critical-path` / `--item` / `--trace`.
+    telemetry::enable_spans();
     let report = EdgeNetwork::new(config)?.run();
     println!("{report}");
 
@@ -104,6 +107,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.availability, report.completed_requests, report.failed_requests
     );
     println!("  invariant violations  : {}", report.invariant_violations);
+
+    println!("\nslo digest:");
+    println!("  inclusion latency     : {}", report.slo.inclusion);
+    println!("  fetch latency         : {}", report.slo.fetch);
+    println!("  slo breaches          : {}", report.slo.breaches);
+    for alert in &report.slo.alerts {
+        println!(
+            "    breach @{:.0}s: {} = {:.3} (threshold {:.3})",
+            alert.t_ms as f64 / 1000.0,
+            alert.slo,
+            alert.observed,
+            alert.threshold
+        );
+    }
     assert_eq!(
         report.invariant_violations, 0,
         "no data may be lost for good"

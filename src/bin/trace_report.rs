@@ -1,19 +1,25 @@
-//! `trace-report` — renders a telemetry JSONL trace as per-phase profiles
-//! and per-node / per-block timelines.
+//! `trace-report` — renders a telemetry JSONL trace as per-phase profiles,
+//! per-node / per-block timelines, and causal-span analyses.
 //!
 //! ```text
-//! trace-report TRACE.jsonl              # per-phase summary + top-K kinds
-//! trace-report TRACE.jsonl --top 20     # widen the "where did the time go" list
-//! trace-report TRACE.jsonl --node 4     # timeline of everything touching node 4
-//! trace-report TRACE.jsonl --block 7    # timeline of block 7's lifecycle
+//! trace-report TRACE.jsonl                  # per-phase summary + top-K kinds
+//! trace-report TRACE.jsonl --top 20         # widen the "where did the time go" list
+//! trace-report TRACE.jsonl --node 4         # timeline of everything touching node 4
+//! trace-report TRACE.jsonl --block 7        # timeline of block 7's lifecycle
+//! trace-report TRACE.jsonl --critical-path  # slowest item traces + phase attribution
+//! trace-report TRACE.jsonl --trace 42       # span tree containing span id 42
+//! trace-report TRACE.jsonl --item 17        # span timeline of data item 17
 //! ```
 //!
 //! The *phase* of an event is the dotted-kind prefix (`transport.send` →
 //! `transport`). Durations come from each event's optional `dur_ms` field;
-//! events without one still count toward event totals. All output is
-//! derived from the trace alone and is deterministic for a given file.
+//! events without one still count toward event totals. The span views need
+//! a trace recorded with spans armed
+//! ([`edgechain_telemetry::enable_spans`]). All output is derived from the
+//! trace alone and is deterministic for a given file.
 
 use edgechain_telemetry::json::{parse_flat_object, JsonValue};
+use edgechain_telemetry::span::{span_from_fields, SpanIndex, SpanRec, GAP_PHASE};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -28,6 +34,9 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut node_filter: Option<u64> = None;
     let mut block_filter: Option<u64> = None;
+    let mut trace_filter: Option<u64> = None;
+    let mut item_filter: Option<u64> = None;
+    let mut critical_path = false;
     let mut top_k = 10usize;
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +54,24 @@ fn main() -> ExitCode {
                     return usage("--block requires an integer");
                 }
                 i += 2;
+            }
+            "--trace" => {
+                trace_filter = args.get(i + 1).and_then(|v| v.parse().ok());
+                if trace_filter.is_none() {
+                    return usage("--trace requires a span id");
+                }
+                i += 2;
+            }
+            "--item" => {
+                item_filter = args.get(i + 1).and_then(|v| v.parse().ok());
+                if item_filter.is_none() {
+                    return usage("--item requires an integer");
+                }
+                i += 2;
+            }
+            "--critical-path" => {
+                critical_path = true;
+                i += 1;
             }
             "--top" => {
                 match args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -93,6 +120,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if critical_path || trace_filter.is_some() || item_filter.is_some() {
+        let spans: Vec<SpanRec> = events
+            .iter()
+            .filter_map(|ev| span_from_fields(&ev.kind, ev.t_ms, &ev.fields))
+            .collect();
+        if spans.is_empty() {
+            println!("no spans in trace (was the run recorded with spans enabled?)");
+            return ExitCode::SUCCESS;
+        }
+        let idx = SpanIndex::new(spans);
+        if let Some(id) = trace_filter {
+            return trace_view(&idx, id);
+        }
+        if let Some(item) = item_filter {
+            return item_view(&idx, item);
+        }
+        critical_path_view(&idx, top_k);
+        return ExitCode::SUCCESS;
+    }
     if let Some(node) = node_filter {
         timeline(&events, &format!("node {node}"), |ev| {
             ev.fields.iter().any(|(k, v)| {
@@ -120,7 +166,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("trace-report: {err}");
     }
-    eprintln!("usage: trace-report TRACE.jsonl [--node N | --block N] [--top K]");
+    eprintln!(
+        "usage: trace-report TRACE.jsonl \
+         [--node N | --block N | --critical-path | --trace ID | --item N] [--top K]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -242,6 +291,185 @@ fn profile(events: &[TraceLine], top_k: usize) {
             mean
         );
     }
+}
+
+/// Renders one span as a tree line: `kind [start → end] (dur) fields`.
+fn render_span_tree(idx: &SpanIndex, s: &SpanRec, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let mut line = format!(
+        "  {indent}{} [{:.3}s \u{2192} {:.3}s] ({} ms)",
+        s.kind,
+        s.t0_ms as f64 / 1000.0,
+        s.t1_ms as f64 / 1000.0,
+        s.dur_ms()
+    );
+    if s.follows != 0 {
+        line.push_str(&format!(" follows=#{}", s.follows));
+    }
+    for (k, v) in &s.fields {
+        line.push_str(&format!(" {k}={v}"));
+    }
+    println!("{line}");
+    for child in idx.children(s.id) {
+        render_span_tree(idx, child, depth + 1);
+    }
+}
+
+/// `--trace ID`: the span tree containing the given span id (walks up to
+/// its root first), plus any spans that follow from a span in the tree.
+fn trace_view(idx: &SpanIndex, id: u64) -> ExitCode {
+    let Some(mut root) = idx.get(id) else {
+        eprintln!("trace-report: no span with id {id}");
+        return ExitCode::FAILURE;
+    };
+    while root.parent != 0 {
+        match idx.get(root.parent) {
+            Some(p) => root = p,
+            None => break,
+        }
+    }
+    println!("span tree containing #{id} (root #{})", root.id);
+    render_span_tree(idx, root, 0);
+    // Follows-from edges into this tree (repairs, fetches riding the item).
+    let mut tree_ids = vec![root.id];
+    let mut stack = vec![root.id];
+    while let Some(cur) = stack.pop() {
+        for child in idx.children(cur) {
+            tree_ids.push(child.id);
+            stack.push(child.id);
+        }
+    }
+    let mut followers = 0;
+    for r in idx.roots() {
+        if r.follows != 0 && tree_ids.contains(&r.follows) {
+            if followers == 0 {
+                println!("  follows-from this tree:");
+            }
+            followers += 1;
+            render_span_tree(idx, r, 1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--item N`: the full span timeline of data item N — its lifecycle tree
+/// plus every fetch and repair that followed from it.
+fn item_view(idx: &SpanIndex, item: u64) -> ExitCode {
+    let want = item.to_string();
+    let lifecycle = idx
+        .roots()
+        .into_iter()
+        .find(|s| s.kind == "item.lifecycle" && s.field("item") == Some(want.as_str()));
+    let Some(root) = lifecycle else {
+        eprintln!("trace-report: no item.lifecycle span for item {item}");
+        return ExitCode::FAILURE;
+    };
+    println!("span timeline for item {item}");
+    render_span_tree(idx, root, 0);
+    let mut extras: Vec<&SpanRec> = idx
+        .roots()
+        .into_iter()
+        .filter(|s| s.id != root.id)
+        .filter(|s| s.follows == root.id || s.field("item") == Some(want.as_str()))
+        .collect();
+    extras.sort_by_key(|s| (s.t0_ms, s.id));
+    if !extras.is_empty() {
+        println!("  causally linked:");
+        for s in extras {
+            render_span_tree(idx, s, 1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--critical-path`: top-K slowest item lifecycles with span trees and
+/// per-phase attribution, then a flamegraph-style aggregate over every
+/// item trace. Integral attribution means each trace's phase durations
+/// sum exactly to its root duration.
+fn critical_path_view(idx: &SpanIndex, top_k: usize) {
+    let mut items: Vec<&SpanRec> = idx
+        .roots()
+        .into_iter()
+        .filter(|s| s.kind == "item.lifecycle")
+        .collect();
+    if items.is_empty() {
+        println!("no item.lifecycle spans in trace");
+        return;
+    }
+    let mut durs: Vec<u64> = items.iter().map(|s| s.dur_ms()).collect();
+    durs.sort_unstable();
+    let pct = |q: f64| {
+        let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
+        durs[rank - 1]
+    };
+    println!(
+        "critical path: {} item inclusion traces, dur p50/p95/p99 = {}/{}/{} ms",
+        items.len(),
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
+    );
+
+    items.sort_by(|a, b| b.dur_ms().cmp(&a.dur_ms()).then(a.id.cmp(&b.id)));
+    println!();
+    println!("top {} slowest traces", top_k.min(items.len()));
+    for root in items.iter().take(top_k) {
+        render_span_tree(idx, root, 0);
+        let phases = idx.attribute(root.id);
+        let total: u64 = phases.iter().map(|(_, d)| d).sum();
+        let mut parts: Vec<String> = phases
+            .iter()
+            .filter(|(_, d)| *d > 0)
+            .map(|(p, d)| {
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * *d as f64 / total as f64
+                };
+                format!("{p} {d} ms ({share:.1}%)")
+            })
+            .collect();
+        if parts.is_empty() {
+            parts.push("instantaneous".to_string());
+        }
+        println!("    attribution: {}", parts.join(", "));
+    }
+
+    // Flamegraph-style aggregate: every item trace's attribution summed,
+    // widest phase first.
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    let mut grand_total = 0u64;
+    for root in &items {
+        for (phase, d) in idx.attribute(root.id) {
+            *agg.entry(phase).or_default() += d;
+            grand_total += d;
+        }
+    }
+    let mut rows: Vec<(String, u64)> = agg.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!();
+    println!("aggregate phase attribution (all item traces)");
+    let widest = rows.first().map_or(1, |(_, d)| (*d).max(1));
+    for (phase, d) in &rows {
+        let bar = "#".repeat(((d * 40) / widest) as usize);
+        let share = if grand_total == 0 {
+            0.0
+        } else {
+            100.0 * *d as f64 / grand_total as f64
+        };
+        println!("  {phase:<16} {bar:<40} {d:>10} ms {share:>5.1}%");
+    }
+    let gap: u64 = rows
+        .iter()
+        .filter(|(p, _)| p == GAP_PHASE)
+        .map(|(_, d)| *d)
+        .sum();
+    let named_pct = if grand_total == 0 {
+        100.0
+    } else {
+        100.0 * (grand_total - gap) as f64 / grand_total as f64
+    };
+    println!("named-phase coverage: {named_pct:.1}%");
 }
 
 fn timeline(events: &[TraceLine], what: &str, keep: impl Fn(&TraceLine) -> bool) {

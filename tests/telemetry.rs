@@ -111,6 +111,162 @@ fn fault_events_appear_in_causal_order() {
     assert_eq!(faults[3].0, 840_000);
 }
 
+/// Runs the chaos scenario with telemetry *and* causal spans armed.
+fn run_traced_spans() -> (telemetry::Session, RunReport) {
+    telemetry::enable();
+    telemetry::enable_spans();
+    let report = EdgeNetwork::new(chaos_config())
+        .expect("valid config")
+        .run();
+    let session = telemetry::finish().expect("telemetry was enabled");
+    (session, report)
+}
+
+#[test]
+fn span_traces_are_byte_identical_across_reruns() {
+    let (sess_a, report_a) = run_traced_spans();
+    let (sess_b, report_b) = run_traced_spans();
+    let spans = telemetry::spans_from_events(sess_a.events());
+    assert!(!spans.is_empty(), "spans-armed chaos run must emit spans");
+    assert_eq!(
+        sess_a.trace_jsonl().as_bytes(),
+        sess_b.trace_jsonl().as_bytes(),
+        "same seed must produce a byte-identical span trace"
+    );
+    assert_eq!(report_a, report_b);
+}
+
+#[test]
+fn spans_do_not_perturb_the_run_or_the_registry() {
+    // Spans only append trace events — they never touch the registry or
+    // the simulation, so the full report (including the registry
+    // snapshot) of a spans-on run equals a metrics-only run's.
+    let (_, with_spans) = run_traced_spans();
+    let (_, metrics_only, _) = run_traced();
+    assert_eq!(
+        with_spans, metrics_only,
+        "arming spans must not change the report or registry"
+    );
+}
+
+#[test]
+fn critical_path_phases_sum_to_root_and_cover_item_latency() {
+    let (session, _) = run_traced_spans();
+    let idx = telemetry::SpanIndex::new(telemetry::spans_from_events(session.events()));
+    let roots = idx.roots();
+    assert!(!roots.is_empty());
+    let mut item_total = 0u64;
+    let mut item_gap = 0u64;
+    let mut item_traces = 0u64;
+    for root in &roots {
+        let phases = idx.attribute(root.id);
+        let sum: u64 = phases.iter().map(|(_, d)| d).sum();
+        assert_eq!(
+            sum,
+            root.dur_ms(),
+            "phase durations must sum exactly to the root span ({})",
+            root.kind
+        );
+        if root.kind == "item.lifecycle" {
+            item_traces += 1;
+            item_total += sum;
+            item_gap += phases
+                .iter()
+                .filter(|(p, _)| p == telemetry::span::GAP_PHASE)
+                .map(|(_, d)| *d)
+                .sum::<u64>();
+        }
+    }
+    assert!(item_traces > 0, "chaos run packs items");
+    // The acceptance bar: at least 95 % of item inclusion latency is
+    // attributed to named phases, not the gap bucket.
+    assert!(
+        item_gap * 20 <= item_total,
+        "named phases must cover \u{2265}95% of item latency (gap {item_gap} of {item_total} ms)"
+    );
+}
+
+#[test]
+fn span_links_survive_drops_retries_and_crashes() {
+    let (session, report) = run_traced_spans();
+    let spans = telemetry::spans_from_events(session.events());
+    let idx = telemetry::SpanIndex::new(spans.clone());
+    for s in &spans {
+        if s.parent != 0 {
+            let p = idx
+                .get(s.parent)
+                .unwrap_or_else(|| panic!("{}: parent #{} missing from trace", s.kind, s.parent));
+            assert!(
+                p.t0_ms <= s.t0_ms && s.t1_ms <= p.t1_ms,
+                "{} [{}, {}] must be contained in parent {} [{}, {}]",
+                s.kind,
+                s.t0_ms,
+                s.t1_ms,
+                p.kind,
+                p.t0_ms,
+                p.t1_ms
+            );
+        }
+        if s.follows != 0 {
+            assert!(
+                idx.get(s.follows).is_some(),
+                "{}: follows-from target #{} missing from trace",
+                s.kind,
+                s.follows
+            );
+        }
+    }
+    // The lossy window forces backoff retries; the fetch lifecycles that
+    // retried must still be single roots with their backoffs as children.
+    assert!(report.retries > 0, "chaos plan must force retries");
+    let backoffs: Vec<_> = spans.iter().filter(|s| s.kind == "fetch.backoff").collect();
+    assert!(
+        !backoffs.is_empty(),
+        "lossy chaos run must produce fetch backoffs"
+    );
+    for b in &backoffs {
+        assert!(
+            idx.get(b.parent)
+                .is_some_and(|p| p.kind == "fetch.lifecycle"),
+            "fetch.backoff must hang under its fetch.lifecycle root"
+        );
+    }
+    // Cross-node containment: block.verify spans land at remote receivers
+    // yet stay linked (verify → broadcast → lifecycle).
+    let verify = spans
+        .iter()
+        .find(|s| s.kind == "block.verify")
+        .expect("broadcasts produce per-receiver verify spans");
+    let bc = idx.get(verify.parent).expect("verify has a parent");
+    assert_eq!(bc.kind, "block.broadcast");
+    assert!(idx
+        .get(bc.parent)
+        .is_some_and(|r| r.kind == "block.lifecycle"));
+}
+
+#[test]
+fn slo_section_is_populated_and_healthy() {
+    // The SLO verdict is computed unconditionally — no telemetry needed.
+    let report = EdgeNetwork::new(chaos_config())
+        .expect("valid config")
+        .run();
+    assert!(report.inclusion_latency.count > 0);
+    assert!(report.inclusion_latency.p99.is_some());
+    assert!(report.fetch_latency.count > 0);
+    assert_eq!(report.slo.inclusion, report.inclusion_latency);
+    assert_eq!(report.slo.fetch, report.fetch_latency);
+    assert_eq!(
+        report.fetch_latency.p95, report.delivery_p95,
+        "the legacy delivery_p95 and the new fetch summary must agree"
+    );
+    assert_eq!(report.slo.availability, report.availability);
+    assert_eq!(
+        report.slo.breaches, 0,
+        "the healthy chaos seed stays within every SLO: {:?}",
+        report.slo.alerts
+    );
+}
+
 #[test]
 fn telemetry_does_not_perturb_the_simulation() {
     // Tracing off: the report must carry no telemetry section.
