@@ -15,14 +15,35 @@
 //! each other's wall-clock phase timings — each under its own telemetry
 //! session, merged in order afterwards.
 //!
+//! A second sweep measures the ISSUE 9 scale path: for n ∈ {400, 1000,
+//! 4000, 10000} a 10-sim-minute constant-density run (field side grows as
+//! `300·sqrt(n/400)`, holding average degree at the n = 400 level) in
+//! *sparse* mode (`sparse_routes` + `region_alloc`) against the *dense*
+//! reference (capped at n = 1000, above which the n² tables stop being
+//! worth building). Each scale point records wall time, blocks,
+//! availability, peak tracking entries, the topology's allocated-bytes
+//! estimate, and the process RSS high-water mark; the table lands in
+//! `BENCH_perf.json` as `scale_points`.
+//!
 //! `cargo run --release -p edgechain-bench --bin perf` (default: n ∈
 //! {50, 100, 200, 400} at 30 simulated minutes; `--small` keeps only the
-//! first point for CI smoke runs; `--minutes N` / `--seeds N` as usual).
+//! first point for CI smoke runs; `--scale-smoke` runs only the n =
+//! 10,000 sparse point plus the n = 400 pair and asserts its health;
+//! `--minutes N` / `--seeds N` as usual).
 
 use edgechain_bench::{parse_options, print_table, FigureOptions};
 use edgechain_core::network::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain_sim::{Field, TopologyConfig};
 use edgechain_telemetry as telemetry;
 use std::time::Instant;
+
+/// Node count at and below which the dense reference column is measured
+/// (and at which `tests/scale_equivalence.rs` pins sparse ≡ dense).
+const DENSE_EQUIVALENCE_THRESHOLD: usize = 1000;
+
+/// Simulated minutes per scale point (the acceptance bar is a completed
+/// ≥ 10-minute n = 10,000 run).
+const SCALE_MINUTES: u64 = 10;
 
 /// One (node count, cache mode) measurement.
 struct PointResult {
@@ -105,11 +126,110 @@ fn run_point(nodes: usize, cached: bool, opts: &FigureOptions, seed_index: u64) 
     }
 }
 
+/// One row of the scale sweep.
+struct ScalePoint {
+    nodes: usize,
+    sparse: bool,
+    wall_secs: f64,
+    report: RunReport,
+    /// Topology adjacency + route-state bytes at the end of the run.
+    topo_bytes: usize,
+    /// Process RSS high-water mark (kB) after the point, from
+    /// `/proc/self/status` `VmHWM`. Monotone across the process, so read
+    /// it off the cheapest-first run order.
+    rss_peak_kb: u64,
+}
+
+/// `VmHWM` from `/proc/self/status` in kB; 0 where unavailable.
+fn rss_peak_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Constant-density scale configuration: the field side grows as
+/// `300·sqrt(n/400)` so average radio degree stays at the n = 400 level
+/// instead of the graph itself becoming the bottleneck.
+fn scale_config(nodes: usize, sparse: bool) -> NetworkConfig {
+    let side = 300.0 * ((nodes as f64) / 400.0).sqrt();
+    NetworkConfig {
+        nodes,
+        data_items_per_min: 3.0,
+        sim_minutes: SCALE_MINUTES,
+        topology: TopologyConfig {
+            field: Field::new(side, side),
+            sparse_routes: sparse,
+            ..TopologyConfig::default()
+        },
+        region_alloc: sparse,
+        seed: 0x5CA1_E000 + nodes as u64,
+        ..NetworkConfig::default()
+    }
+}
+
+fn run_scale_point(nodes: usize, sparse: bool) -> ScalePoint {
+    let cfg = scale_config(nodes, sparse);
+    let start = Instant::now();
+    let (report, topo_bytes) = EdgeNetwork::new(cfg)
+        .expect("connected topology")
+        .run_with_memory();
+    let wall_secs = start.elapsed().as_secs_f64();
+    println!(
+        "scale n={nodes} {}: {:.1}s wall, {} blocks, availability {:.3}, topo {:.1} MB, rss peak {:.0} MB",
+        if sparse { "sparse" } else { "dense" },
+        wall_secs,
+        report.blocks_mined,
+        report.availability,
+        topo_bytes as f64 / 1e6,
+        rss_peak_kb() as f64 / 1e3,
+    );
+    ScalePoint {
+        nodes,
+        sparse,
+        wall_secs,
+        report,
+        topo_bytes,
+        rss_peak_kb: rss_peak_kb(),
+    }
+}
+
+/// The `--scale-smoke` health bar: the shortened n = 10,000 sparse run
+/// must actually behave like a working network.
+fn assert_scale_health(p: &ScalePoint) {
+    assert!(p.report.blocks_mined > 0, "scale smoke: no blocks mined");
+    assert!(
+        p.report.availability >= 0.9,
+        "scale smoke: availability {:.3} < 0.9",
+        p.report.availability
+    );
+    assert_eq!(
+        p.report.invariant_violations, 0,
+        "scale smoke: invariant violations"
+    );
+    assert!(
+        p.report.peak_tracking_entries <= 100_000,
+        "scale smoke: unbounded tracking state ({} entries)",
+        p.report.peak_tracking_entries
+    );
+}
+
 fn main() {
     let mut opts = parse_options(30, 1);
     let small = std::env::args().any(|a| a == "--small");
-    let node_counts: &[usize] = if small { &[50] } else { &[50, 100, 200, 400] };
-    if small {
+    let scale_smoke = std::env::args().any(|a| a == "--scale-smoke");
+    let node_counts: &[usize] = if small || scale_smoke {
+        &[50]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    if small || scale_smoke {
         opts.minutes = opts.minutes.min(10);
     }
     println!(
@@ -186,12 +306,45 @@ fn main() {
         2,
     );
 
+    // Scale sweep (ISSUE 9): sparse scale path vs dense reference,
+    // cheapest first so the RSS high-water column stays meaningful.
+    let scale_counts: &[usize] = if small {
+        &[400]
+    } else if scale_smoke {
+        &[400, 10_000]
+    } else {
+        &[400, 1000, 4000, 10_000]
+    };
+    println!(
+        "\nScale sweep — {SCALE_MINUTES} min simulated, constant density, n ∈ {scale_counts:?}"
+    );
+    let mut scale_points = Vec::new();
+    for &n in scale_counts {
+        if n <= DENSE_EQUIVALENCE_THRESHOLD {
+            scale_points.push(run_scale_point(n, false));
+        }
+        scale_points.push(run_scale_point(n, true));
+    }
+    if scale_smoke {
+        let big = scale_points
+            .iter()
+            .filter(|p| p.sparse)
+            .max_by_key(|p| p.nodes)
+            .expect("sparse point exists");
+        assert_scale_health(big);
+        println!(
+            "scale smoke OK: n={} sparse, {} blocks, availability {:.3}",
+            big.nodes, big.report.blocks_mined, big.report.availability
+        );
+    }
+
     write_perf_json(
         &opts,
         node_counts,
         &results,
         &ufl_speedups,
         &consensus_speedups,
+        &scale_points,
         &mut registry,
     );
 
@@ -204,12 +357,14 @@ fn main() {
 
 /// `BENCH_perf.json`: per-point wall/solver/consensus timings for both
 /// modes plus the merged registry dump.
+#[allow(clippy::too_many_arguments)]
 fn write_perf_json(
     opts: &FigureOptions,
     node_counts: &[usize],
     results: &[PointResult],
     ufl_speedups: &[(usize, f64)],
     consensus_speedups: &[(usize, f64)],
+    scale_points: &[ScalePoint],
     registry: &mut telemetry::Registry,
 ) {
     let mut out = String::from("{\n  \"bench\": \"perf\",\n");
@@ -252,6 +407,28 @@ fn write_perf_json(
         out.push_str(&format!("\"{n}\": {s:.3}"));
     }
     out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"scale_minutes\": {SCALE_MINUTES},\n  \"dense_equivalence_threshold\": {DENSE_EQUIVALENCE_THRESHOLD},\n"
+    ));
+    out.push_str("  \"scale_points\": [");
+    for (i, p) in scale_points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"nodes\": {}, \"mode\": \"{}\", \"wall_secs\": {:.6}, \"blocks\": {}, \"blocks_per_sec\": {:.3}, \"availability\": {:.4}, \"peak_tracking_entries\": {}, \"topo_bytes\": {}, \"rss_peak_kb\": {}}}",
+            p.nodes,
+            if p.sparse { "sparse" } else { "dense" },
+            p.wall_secs,
+            p.report.blocks_mined,
+            p.report.blocks_mined as f64 / p.wall_secs.max(1e-9),
+            p.report.availability,
+            p.report.peak_tracking_entries,
+            p.topo_bytes,
+            p.rss_peak_kb,
+        ));
+    }
+    out.push_str("\n  ],\n");
     let registry_json = registry.to_json();
     out.push_str("  \"registry\": ");
     for (i, line) in registry_json.trim_end().lines().enumerate() {

@@ -11,12 +11,16 @@
 //! and blocks stored is the same as the optimal placement").
 
 use crate::storage::NodeStorage;
-use edgechain_facility::{solve, solve_warm, SolveError, UflInstance, UflSolution};
-use edgechain_sim::{NodeId, Topology};
+use edgechain_facility::{
+    serving_ids, solve, solve_warm, stitch_close_pass, SolveError, StitchFacility, UflInstance,
+    UflSolution,
+};
+use edgechain_sim::{NodeId, Topology, UNREACHABLE};
 use edgechain_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Placement strategy under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -245,6 +249,9 @@ fn storers_from_solution<R: Rng + ?Sized>(
 pub struct AllocationContext {
     fdc_scale: f64,
     warm_start: bool,
+    /// Region-decomposed allocation state (ISSUE 9 tentpole), present when
+    /// the scale path is enabled via [`AllocationContext::with_regions`].
+    regions: Option<RegionEngine>,
     /// Topology epoch the cached instance was built against.
     topo_epoch: Option<u64>,
     /// Live-node universe of the cached instance (solver index → node id).
@@ -272,6 +279,7 @@ impl AllocationContext {
         AllocationContext {
             fdc_scale,
             warm_start: false,
+            regions: None,
             topo_epoch: None,
             live: Vec::new(),
             last_used: Vec::new(),
@@ -291,12 +299,25 @@ impl AllocationContext {
         self
     }
 
+    /// Enables the region-decomposed allocation path with the given
+    /// partition parameters; [`AllocationContext::select_storers_regional`]
+    /// requires it (it falls back to default parameters otherwise).
+    pub fn with_regions(mut self, params: RegionParams) -> Self {
+        self.regions = Some(RegionEngine::new(params));
+        self
+    }
+
     /// Drops all cached state; the next call rebuilds from scratch.
     pub fn invalidate(&mut self) {
         self.topo_epoch = None;
         self.instance = None;
         self.solution = None;
         self.warm_seed = None;
+        if let Some(engine) = &mut self.regions {
+            engine.topo_epoch = None;
+            engine.regions.clear();
+            engine.region_of.clear();
+        }
     }
 
     /// Cached equivalent of [`select_storers_scaled`]: observationally
@@ -386,6 +407,385 @@ impl AllocationContext {
             telemetry::counter_add("ufl.incremental_updates", dirty);
             self.solution = None;
         }
+    }
+
+    /// Region-decomposed storer selection (the scale path): solves a UFL
+    /// instance over the *origin node's radio-connected region* instead of
+    /// the whole network, then stitches the solution against the open
+    /// facilities of adjacent regions (closing local facilities a
+    /// neighbor's replica makes redundant). Work per call is
+    /// O(region² + horizon-bounded BFS), independent of total network
+    /// size.
+    ///
+    /// This path is an approximation of the global solve — replicas
+    /// concentrate around the data's origin — and carries no
+    /// bit-equivalence contract with [`select_storers_scaled`]. It shares
+    /// the cache telemetry (`ufl.cache_hit` / `ufl.cache_miss` /
+    /// `ufl.incremental_updates`) and the same incremental refresh
+    /// triggers: repartition on topology epoch change, per-region
+    /// open-cost patches on occupancy drift, solution reuse otherwise.
+    ///
+    /// When the origin's region is infeasible (every member full), its
+    /// adjacent regions are tried in ascending order, then the remaining
+    /// regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoFeasibleFacility`] when every live node in
+    /// every region is full or no node is live.
+    pub fn select_storers_regional<R: Rng + ?Sized>(
+        &mut self,
+        placement: Placement,
+        origin: NodeId,
+        topology: &Topology,
+        storage: &[NodeStorage],
+        rng: &mut R,
+    ) -> Result<Vec<NodeId>, SolveError> {
+        if placement == Placement::NoProactive {
+            return Ok(Vec::new());
+        }
+        let fdc_scale = self.fdc_scale;
+        let engine = self
+            .regions
+            .get_or_insert_with(|| RegionEngine::new(RegionParams::default()));
+        let horizon = engine.params.horizon;
+        let epoch = topology.epoch();
+        if engine.topo_epoch != Some(epoch) {
+            telemetry::counter_add("ufl.cache_miss", 1);
+            let (regions, region_of) = partition_regions(topology, engine.params);
+            engine.regions = regions;
+            engine.region_of = region_of;
+            engine.topo_epoch = Some(epoch);
+        }
+        if engine.regions.is_empty() {
+            return Err(SolveError::NoFeasibleFacility);
+        }
+        // Feasibility order: the origin's region, its neighbors, everyone
+        // else — all ascending, all deterministic.
+        let start = engine
+            .region_of
+            .get(origin.0)
+            .copied()
+            .flatten()
+            .unwrap_or(0);
+        let mut order = vec![start];
+        order.extend(engine.regions[start].adjacent.iter().copied());
+        let rest: Vec<usize> = (0..engine.regions.len())
+            .filter(|r| !order.contains(r))
+            .collect();
+        order.extend(rest);
+        let mut chosen = None;
+        for r in order {
+            ensure_region_solved(
+                &mut engine.regions[r],
+                topology,
+                storage,
+                fdc_scale,
+                horizon,
+            );
+            if matches!(engine.regions[r].solution, Some(Ok(_))) {
+                chosen = Some(r);
+                break;
+            }
+        }
+        let Some(r) = chosen else {
+            return Err(SolveError::NoFeasibleFacility);
+        };
+
+        // Boundary stitch: local opens (closable, at their opening cost)
+        // against adjacent regions' already-solved opens (free absorbers).
+        let region = &engine.regions[r];
+        let instance = region.instance.as_ref().expect("chosen region was built");
+        let sol = match region.solution.as_ref().expect("chosen region was solved") {
+            Ok(s) => s,
+            Err(e) => return Err(*e),
+        };
+        let k = region.members.len();
+        let local_opens = sol.open_facilities();
+        let mut facilities: Vec<StitchFacility> = local_opens
+            .iter()
+            .map(|&li| StitchFacility {
+                id: region.members[li],
+                open_cost: instance.open_cost(li),
+                external: false,
+            })
+            .collect();
+        let mut connect: Vec<Vec<f64>> = local_opens
+            .iter()
+            .map(|&li| instance.connect_row(li).to_vec())
+            .collect();
+        let mut assignment: Vec<usize> = sol
+            .assignment
+            .iter()
+            .map(|a| {
+                local_opens
+                    .binary_search(a)
+                    .expect("assignment targets an open facility")
+            })
+            .collect();
+        for &a in &region.adjacent {
+            let adj = &engine.regions[a];
+            let Some(Ok(asol)) = &adj.solution else {
+                continue;
+            };
+            for fi in asol.open_facilities() {
+                let g = adj.members[fi];
+                let mut hops_to = vec![UNREACHABLE; k];
+                for (v, h) in topology.bfs_bounded(NodeId(g), horizon, None) {
+                    if let Ok(li) = region.members.binary_search(&v.0) {
+                        hops_to[li] = h;
+                    }
+                }
+                // Beyond-horizon members cannot use this external
+                // facility: infinity (never picked) rather than the
+                // finite in-instance penalty.
+                let row: Vec<f64> = (0..k)
+                    .map(|ci| match hops_to[ci] {
+                        UNREACHABLE => f64::INFINITY,
+                        h => topology.rdc_from_hops(NodeId(g), NodeId(region.members[ci]), h),
+                    })
+                    .collect();
+                facilities.push(StitchFacility {
+                    id: g,
+                    open_cost: 0.0,
+                    external: true,
+                });
+                connect.push(row);
+            }
+        }
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        let optimal: Vec<NodeId> = serving_ids(&facilities, &open, &assignment)
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        match placement {
+            Placement::NoProactive => unreachable!("handled above"),
+            Placement::Optimal => Ok(optimal),
+            Placement::Random => {
+                let candidates: Vec<NodeId> = region
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&i| !storage[i].is_full())
+                    .map(NodeId)
+                    .collect();
+                if candidates.is_empty() {
+                    return Err(SolveError::NoFeasibleFacility);
+                }
+                let count = optimal.len().min(candidates.len());
+                let mut picked = candidates;
+                picked.shuffle(rng);
+                picked.truncate(count);
+                picked.sort();
+                Ok(picked)
+            }
+        }
+    }
+}
+
+/// Parameters of the region decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionParams {
+    /// Coarse partition cell side in meters. Default 140 m — twice the
+    /// paper's radio range, so a region spans a couple of hops.
+    pub cell_m: f64,
+    /// BFS horizon (hops) for connect costs within and across regions;
+    /// peers beyond it take the unreachable penalty.
+    pub horizon: u32,
+}
+
+impl Default for RegionParams {
+    fn default() -> Self {
+        RegionParams {
+            cell_m: 140.0,
+            horizon: 8,
+        }
+    }
+}
+
+/// One radio-connected region: the members of one coarse grid cell that
+/// reach each other through in-cell links, plus its cached UFL state.
+#[derive(Debug, Clone)]
+struct Region {
+    /// Global node indices, ascending.
+    members: Vec<usize>,
+    /// `n`-length membership mask for horizon-bounded BFS.
+    mask: Vec<bool>,
+    /// Indices of regions in the 3×3 coarse-cell neighborhood.
+    adjacent: Vec<usize>,
+    /// Used-slot counts at last refresh (FDC dirty checks).
+    last_used: Vec<u64>,
+    instance: Option<UflInstance>,
+    solution: Option<Result<UflSolution, SolveError>>,
+}
+
+/// Cached region partition plus per-region UFL state; rebuilt when the
+/// topology epoch moves, patched in place when only occupancy drifts.
+#[derive(Debug, Clone)]
+struct RegionEngine {
+    params: RegionParams,
+    topo_epoch: Option<u64>,
+    regions: Vec<Region>,
+    /// Node index → region index (`None` for crashed nodes).
+    region_of: Vec<Option<usize>>,
+}
+
+impl RegionEngine {
+    fn new(params: RegionParams) -> Self {
+        RegionEngine {
+            params,
+            topo_epoch: None,
+            regions: Vec::new(),
+            region_of: Vec::new(),
+        }
+    }
+}
+
+/// Partitions the live nodes into radio-connected regions: bucket by
+/// coarse grid cell, then split each cell's members into connected
+/// components of the radio graph restricted to the cell. Regions are
+/// ordered by (cell row, cell column, smallest member id) and region
+/// adjacency follows the 3×3 cell neighborhood — all deterministic.
+fn partition_regions(
+    topology: &Topology,
+    params: RegionParams,
+) -> (Vec<Region>, Vec<Option<usize>>) {
+    let n = topology.len();
+    let cell = params.cell_m.max(1.0);
+    let mut cells: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let v = NodeId(i);
+        if !topology.is_active(v) {
+            continue;
+        }
+        let p = topology.position(v);
+        let cx = (p.x / cell).floor().max(0.0) as u64;
+        let cy = (p.y / cell).floor().max(0.0) as u64;
+        cells.entry((cy, cx)).or_default().push(i);
+    }
+    let mut regions: Vec<Region> = Vec::new();
+    let mut region_of: Vec<Option<usize>> = vec![None; n];
+    let mut cell_regions: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+    let mut in_cell = vec![false; n];
+    for (&key, members) in &cells {
+        for &m in members {
+            in_cell[m] = true;
+        }
+        for &m in members {
+            if region_of[m].is_some() {
+                continue;
+            }
+            // Connected component of `m` within the cell's members.
+            let idx = regions.len();
+            let mut comp = vec![m];
+            region_of[m] = Some(idx);
+            let mut queue = VecDeque::from([m]);
+            while let Some(u) = queue.pop_front() {
+                for &w in topology.neighbors(NodeId(u)) {
+                    if in_cell[w.0] && region_of[w.0].is_none() {
+                        region_of[w.0] = Some(idx);
+                        comp.push(w.0);
+                        queue.push_back(w.0);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            let mut mask = vec![false; n];
+            for &c in &comp {
+                mask[c] = true;
+            }
+            cell_regions.entry(key).or_default().push(idx);
+            regions.push(Region {
+                members: comp,
+                mask,
+                adjacent: Vec::new(),
+                last_used: Vec::new(),
+                instance: None,
+                solution: None,
+            });
+        }
+        for &m in members {
+            in_cell[m] = false;
+        }
+    }
+    for (&(cy, cx), idxs) in &cell_regions {
+        let mut nbrs: Vec<usize> = Vec::new();
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let ky = cy as i64 + dy;
+                let kx = cx as i64 + dx;
+                if ky < 0 || kx < 0 {
+                    continue;
+                }
+                if let Some(others) = cell_regions.get(&(ky as u64, kx as u64)) {
+                    nbrs.extend(others.iter().copied());
+                }
+            }
+        }
+        nbrs.sort_unstable();
+        for &r in idxs {
+            regions[r].adjacent = nbrs.iter().copied().filter(|&o| o != r).collect();
+        }
+    }
+    (regions, region_of)
+}
+
+/// Brings one region's cached UFL state in sync: builds the instance from
+/// horizon-bounded BFS rows when absent, patches drifted open costs in
+/// place otherwise, and (re-)solves only when needed.
+fn ensure_region_solved(
+    region: &mut Region,
+    topology: &Topology,
+    storage: &[NodeStorage],
+    fdc_scale: f64,
+    horizon: u32,
+) {
+    if let Some(instance) = region.instance.as_mut() {
+        let mut dirty = 0u64;
+        for (li, &i) in region.members.iter().enumerate() {
+            let used = storage[i].used_slots();
+            if used != region.last_used[li] {
+                region.last_used[li] = used;
+                instance.set_open_cost(li, scaled_open_cost(&storage[i], fdc_scale));
+                dirty += 1;
+            }
+        }
+        if dirty > 0 {
+            telemetry::counter_add("ufl.incremental_updates", dirty);
+            region.solution = None;
+        }
+    } else {
+        let members = &region.members;
+        let k = members.len();
+        let instance = telemetry::time_wall("ufl.build_ns", || {
+            let open_cost: Vec<f64> = members
+                .iter()
+                .map(|&i| scaled_open_cost(&storage[i], fdc_scale))
+                .collect();
+            let mut connect = vec![vec![0.0f64; k]; k];
+            for (fi, &f) in members.iter().enumerate() {
+                let mut hops_to = vec![UNREACHABLE; k];
+                for (v, h) in topology.bfs_bounded(NodeId(f), horizon, Some(&region.mask)) {
+                    let li = members
+                        .binary_search(&v.0)
+                        .expect("bounded bfs stays in mask");
+                    hops_to[li] = h;
+                }
+                for ci in 0..k {
+                    connect[fi][ci] =
+                        topology.rdc_from_hops(NodeId(f), NodeId(members[ci]), hops_to[ci]);
+                }
+            }
+            UflInstance::new(open_cost, connect)
+        });
+        region.last_used = members.iter().map(|&i| storage[i].used_slots()).collect();
+        region.instance = Some(instance);
+        region.solution = None;
+    }
+    if region.solution.is_none() {
+        region.solution = Some(solve(region.instance.as_ref().expect("instance present")));
+    } else {
+        telemetry::counter_add("ufl.cache_hit", 1);
     }
 }
 
@@ -643,5 +1043,208 @@ mod tests {
             .select_storers(Placement::Optimal, &topo, &storage, &mut rng)
             .unwrap();
         assert_eq!(first, second);
+    }
+
+    fn regional_ctx() -> AllocationContext {
+        AllocationContext::default().with_regions(RegionParams::default())
+    }
+
+    #[test]
+    fn partition_covers_live_nodes_exactly_once() {
+        let mut topo = line_topology(12); // x spans 0..660 m: several 140 m cells
+        topo.set_active(NodeId(5), false);
+        let (regions, region_of) = partition_regions(&topo, RegionParams::default());
+        assert!(
+            regions.len() >= 3,
+            "expected several regions on a long line"
+        );
+        let mut seen = vec![0usize; 12];
+        for (r, region) in regions.iter().enumerate() {
+            assert!(region.members.windows(2).all(|w| w[0] < w[1]));
+            for &m in &region.members {
+                seen[m] += 1;
+                assert_eq!(region_of[m], Some(r));
+                assert!(region.mask[m]);
+            }
+            assert!(!region.adjacent.contains(&r));
+        }
+        for i in 0..12 {
+            if i == 5 {
+                assert_eq!(seen[i], 0, "crashed node placed in a region");
+                assert_eq!(region_of[i], None);
+            } else {
+                assert_eq!(seen[i], 1, "node {i} in {} regions", seen[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_splits_disconnected_cell_members() {
+        // Two nodes in the same coarse cell but out of radio range of each
+        // other (range 70 m, distance 100 m diagonally separated within a
+        // 140 m cell is impossible on a line, so use y).
+        let topo = Topology::from_positions(vec![Point::new(10.0, 10.0), Point::new(10.0, 130.0)]);
+        let (regions, region_of) = partition_regions(&topo, RegionParams::default());
+        assert_eq!(regions.len(), 2);
+        assert_ne!(region_of[0], region_of[1]);
+        // Same cell ⇒ mutually adjacent regions.
+        assert_eq!(regions[0].adjacent, vec![1]);
+        assert_eq!(regions[1].adjacent, vec![0]);
+    }
+
+    #[test]
+    fn regional_selection_picks_live_non_full_nodes() {
+        let topo = line_topology(12);
+        let mut storage = vec![NodeStorage::new(10); 12];
+        for i in 0..10 {
+            storage[1].store_data(DataId(i));
+        }
+        storage[1].cache_recent(0);
+        assert!(storage[1].is_full());
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ctx = regional_ctx();
+        let nodes = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(0), &topo, &storage, &mut rng)
+            .unwrap();
+        assert!(!nodes.is_empty());
+        assert!(!nodes.contains(&NodeId(1)), "full node selected: {nodes:?}");
+    }
+
+    #[test]
+    fn regional_selection_is_stable_and_tracks_crashes() {
+        let mut topo = line_topology(10);
+        let storage = vec![NodeStorage::paper_default(); 10];
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ctx = regional_ctx();
+        let first = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(4), &topo, &storage, &mut rng)
+            .unwrap();
+        let second = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(4), &topo, &storage, &mut rng)
+            .unwrap();
+        assert_eq!(first, second, "cached regional solve drifted");
+        // Crash every currently selected node: the epoch bump must force a
+        // repartition that routes around them.
+        for n in &first {
+            topo.set_active(*n, false);
+        }
+        let third = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(4), &topo, &storage, &mut rng)
+            .unwrap();
+        assert!(!third.is_empty());
+        for n in &first {
+            assert!(!third.contains(n), "dead node {n:?} selected in {third:?}");
+        }
+    }
+
+    #[test]
+    fn regional_random_draws_from_origin_region() {
+        let topo = line_topology(12);
+        let storage = vec![NodeStorage::paper_default(); 12];
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ctx = regional_ctx();
+        let optimal = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(0), &topo, &storage, &mut rng)
+            .unwrap();
+        let random = ctx
+            .select_storers_regional(Placement::Random, NodeId(0), &topo, &storage, &mut rng)
+            .unwrap();
+        assert_eq!(optimal.len(), random.len());
+        let engine = ctx.regions.as_ref().unwrap();
+        let region = engine.region_of[0].unwrap();
+        for n in &random {
+            assert_eq!(
+                engine.region_of[n.0],
+                Some(region),
+                "random pick {n:?} outside origin region"
+            );
+        }
+    }
+
+    #[test]
+    fn regional_falls_back_when_origin_region_is_full() {
+        // Origin's region (nodes at x=0,60 share cell 0) entirely full;
+        // the adjacent region must take over.
+        let topo = line_topology(6);
+        let mut storage = vec![NodeStorage::new(2); 6];
+        for i in 0..2 {
+            for s in storage.iter_mut().take(3) {
+                s.store_data(DataId(i));
+            }
+        }
+        for s in storage.iter_mut().take(3) {
+            s.cache_recent(0);
+            assert!(s.is_full());
+        }
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut ctx = regional_ctx();
+        let nodes = ctx
+            .select_storers_regional(Placement::Optimal, NodeId(0), &topo, &storage, &mut rng)
+            .unwrap();
+        assert!(!nodes.is_empty());
+        for n in &nodes {
+            assert!(n.0 >= 3, "full-region node selected: {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn regional_all_down_is_infeasible() {
+        let mut topo = line_topology(4);
+        for i in 0..4 {
+            topo.set_active(NodeId(i), false);
+        }
+        let storage = vec![NodeStorage::paper_default(); 4];
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut ctx = regional_ctx();
+        assert_eq!(
+            ctx.select_storers_regional(Placement::Optimal, NodeId(0), &topo, &storage, &mut rng),
+            Err(SolveError::NoFeasibleFacility)
+        );
+    }
+
+    #[test]
+    fn regional_selection_matches_between_sparse_and_dense_routes() {
+        // The regional path reads only neighbor lists, bounded BFS, and
+        // RDC values — all bit-identical across route representations.
+        let mut rng = StdRng::seed_from_u64(0x5CA1E);
+        let positions: Vec<Point> = (0..40)
+            .map(|_| {
+                Point::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..300.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..300.0),
+                )
+            })
+            .collect();
+        let dense =
+            Topology::from_positions_with_config(positions.clone(), TopologyConfig::default());
+        let sparse = Topology::from_positions_with_config(
+            positions,
+            TopologyConfig {
+                sparse_routes: true,
+                ..TopologyConfig::default()
+            },
+        );
+        let storage = vec![NodeStorage::paper_default(); 40];
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut ctx_a = regional_ctx();
+        let mut ctx_b = regional_ctx();
+        for origin in 0..40 {
+            let a = ctx_a.select_storers_regional(
+                Placement::Optimal,
+                NodeId(origin),
+                &dense,
+                &storage,
+                &mut rng_a,
+            );
+            let b = ctx_b.select_storers_regional(
+                Placement::Optimal,
+                NodeId(origin),
+                &sparse,
+                &storage,
+                &mut rng_b,
+            );
+            assert_eq!(a, b, "origin {origin}");
+        }
     }
 }

@@ -462,6 +462,13 @@ impl ByzantineEngine {
         }
     }
 
+    /// Total stashed orphan blocks across every node's pool. Each pool is
+    /// already bounded (8 entries, honest-looking evicted first); this
+    /// accessor feeds the run report's peak tracking-state accounting.
+    pub fn orphan_entries(&self) -> usize {
+        self.orphans.iter().map(VecDeque::len).sum()
+    }
+
     /// Judges node `v`'s stashed orphans against its (freshly synced)
     /// chain: an orphan matching the adopted block at its height was
     /// honest and is dropped; a mismatching one is proof — of forgery or

@@ -62,7 +62,7 @@ pub mod slo;
 pub mod storage;
 
 pub use account::{AccountId, Identity, Ledger};
-pub use alloc::{build_instance, select_storers, AllocationContext, Placement};
+pub use alloc::{build_instance, select_storers, AllocationContext, Placement, RegionParams};
 pub use block::{Block, BlockError};
 pub use byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, SyncResult, WithheldFork};
 pub use chain::verify_wire_block;

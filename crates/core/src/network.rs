@@ -28,7 +28,7 @@
 //!   loses the longest-chain race).
 
 use crate::account::{AccountId, Identity, Ledger};
-use crate::alloc::{select_storers_scaled, AllocationContext, Placement};
+use crate::alloc::{select_storers_scaled, AllocationContext, Placement, RegionParams};
 use crate::block::Block;
 use crate::byzantine::{ByzantineEngine, ByzantineOutcome, OrphanVerdict, WithheldFork};
 use crate::chain::{Blockchain, CheckpointPolicy, Snapshot};
@@ -203,6 +203,28 @@ pub struct NetworkConfig {
     /// per call. Honest validation of foreign blocks is untouched;
     /// output is observationally identical with the flag off.
     pub block_seal_cache: bool,
+    /// Route allocations through the region-decomposed UFL engine (ISSUE 9
+    /// scale path): the field is partitioned into radio-connected regions
+    /// and each allocation solves only the data origin's region, stitched
+    /// against its neighbors' open facilities. Work per allocation becomes
+    /// independent of total network size — the knob that makes n = 10,000
+    /// runs tractable. Unlike the other fast-path toggles this is an
+    /// *approximation* of the global solve (replicas concentrate near the
+    /// origin), so it defaults off and carries no bit-equivalence contract.
+    pub region_alloc: bool,
+    /// Coarse partition cell side in meters for `region_alloc` (default
+    /// 140 m — twice the paper's 70 m radio range).
+    pub region_cell_m: f64,
+    /// BFS hop horizon for regional connect costs; peers beyond it take
+    /// the unreachable penalty.
+    pub region_horizon: u32,
+    /// Retention window, in simulated seconds, for tombstone tracking
+    /// state: swept data ids (`expired_ids`) older than this are forgotten
+    /// and invalidated-storer records are dropped with their item, keeping
+    /// tracking memory O(retention window) instead of O(run history).
+    /// Resurrection detection still covers the window — a block citing an
+    /// id swept longer ago than this is treated as fresh.
+    pub tracking_retention_secs: u64,
     /// Master RNG seed; identical configs+seeds give identical runs.
     pub seed: u64,
 }
@@ -249,6 +271,10 @@ impl Default for NetworkConfig {
             invariant_every_event: false,
             slo: SloThresholds::default(),
             block_seal_cache: true,
+            region_alloc: false,
+            region_cell_m: 140.0,
+            region_horizon: 8,
+            tracking_retention_secs: 7200,
             seed: 0xED6E,
         }
     }
@@ -414,6 +440,11 @@ pub struct RunReport {
     /// nodes, sampled at every mined block). Flat under pruning; grows
     /// with the chain without it.
     pub peak_storage_slots: u64,
+    /// Peak number of tombstone tracking entries held at once (swept ids +
+    /// invalidated-storer pairs + snapshot blacklist pairs + stashed
+    /// Byzantine orphans), sampled at every mined block. Bounded by the
+    /// [`NetworkConfig::tracking_retention_secs`] window, not run length.
+    pub peak_tracking_entries: u64,
     /// Hard safety violations caught by the invariant checker — durable
     /// data loss or a corrupted chain prefix. Must stay 0.
     pub invariant_violations: u64,
@@ -499,6 +530,13 @@ impl fmt::Display for RunReport {
                 self.snapshots_applied,
                 self.snapshots_rejected,
                 self.peak_storage_slots
+            )?;
+        }
+        if self.peak_tracking_entries > 0 {
+            writeln!(
+                f,
+                "  tracking: peak {} tombstone entries",
+                self.peak_tracking_entries
             )?;
         }
         writeln!(f, "  inclusion latency: {}", self.inclusion_latency)?;
@@ -596,8 +634,15 @@ pub struct EdgeNetwork {
     /// scanning every live item.
     expiry_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, DataId)>>,
     /// Ids that have been swept. A swept id reappearing in a later block
-    /// is a finalized-then-resurrected violation.
+    /// is a finalized-then-resurrected violation. Entries older than
+    /// [`NetworkConfig::tracking_retention_secs`] are garbage-collected
+    /// via `expired_log`, bounding the set by the retention window.
     expired_ids: std::collections::HashSet<DataId>,
+    /// Sweep-time FIFO over `expired_ids` (`(sweep_secs, id)`), popped by
+    /// the retention GC.
+    expired_log: std::collections::VecDeque<(u64, DataId)>,
+    /// High-water mark of tombstone tracking entries, sampled per block.
+    peak_tracking_entries: u64,
     /// Resurrections observed since the last invariant observation.
     resurrected_pending: u64,
     /// `(rejoiner, server)` pairs that served a tampered or undecodable
@@ -765,13 +810,25 @@ impl EdgeNetwork {
             checker: InvariantChecker::new(SimTime::ZERO),
             retries: 0,
             repairs_triggered: 0,
-            alloc_ctx: AllocationContext::new(config.fdc_scale),
+            alloc_ctx: {
+                let ctx = AllocationContext::new(config.fdc_scale);
+                if config.region_alloc {
+                    ctx.with_regions(RegionParams {
+                        cell_m: config.region_cell_m,
+                        horizon: config.region_horizon,
+                    })
+                } else {
+                    ctx
+                }
+            },
             pos_hits: HitTable::new(),
             replica_total: 0,
             replica_items: 0,
             block_timestamps: vec![0],
             expiry_heap: std::collections::BinaryHeap::new(),
             expired_ids: std::collections::HashSet::new(),
+            expired_log: std::collections::VecDeque::new(),
+            peak_tracking_entries: 0,
             resurrected_pending: 0,
             snapshot_blacklist: std::collections::HashSet::new(),
             blocks_pruned: 0,
@@ -938,6 +995,24 @@ impl EdgeNetwork {
     /// Executes the run and also hands back the final canonical chain,
     /// letting callers audit it (validation, ledger derivation, …).
     pub fn run_with_chain(mut self) -> (RunReport, Blockchain) {
+        self.drive();
+        let chain = self.chain.clone();
+        (self.into_report(), chain)
+    }
+
+    /// Executes the run and also reports the end-of-run topology memory
+    /// estimate (adjacency plus route-state bytes) — the scale bench's
+    /// allocated-bytes column. Deliberately *not* a [`RunReport`] field:
+    /// the dense and sparse route representations legitimately differ
+    /// here while every simulation outcome stays byte-identical.
+    pub fn run_with_memory(mut self) -> (RunReport, usize) {
+        self.drive();
+        let bytes = self.topo.memory_bytes();
+        (self.into_report(), bytes)
+    }
+
+    /// The event loop shared by every `run*` entry point.
+    fn drive(&mut self) {
         let horizon = SimTime::from_secs(self.config.sim_minutes * 60);
         // Arm the span tracker only when the caller opted in; untraced
         // runs keep `spans: None` and skip every bookkeeping branch.
@@ -994,8 +1069,6 @@ impl EdgeNetwork {
             // block) closes there, in span-id order — deterministic.
             telemetry::span_end_all(horizon.as_millis());
         }
-        let chain = self.chain.clone();
-        (self.into_report(), chain)
     }
 
     /// Feeds the current network state to the [`InvariantChecker`].
@@ -1556,15 +1629,29 @@ impl EdgeNetwork {
     }
 
     /// The single allocation entry point for every call site (item packing,
-    /// block storers, recent-block growth, replica repair): the cached
-    /// [`AllocationContext`] when `config.allocation_cache` is on, the
-    /// one-shot solver otherwise. Both paths are observationally identical;
-    /// the toggle exists for the equivalence tests.
+    /// block storers, recent-block growth, replica repair): the
+    /// region-decomposed engine when `config.region_alloc` is on (solving
+    /// only `origin`'s region — the scale path), otherwise the cached
+    /// [`AllocationContext`] when `config.allocation_cache` is on, or the
+    /// one-shot solver. The latter two are observationally identical; that
+    /// toggle exists for the equivalence tests. `origin` is the node the
+    /// data enters the network at — the item's producer, the miner for
+    /// block/recent-cache replicas, a surviving source for repairs — and
+    /// is only consulted by the regional path.
     fn select_storers_now(
         &mut self,
         placement: Placement,
+        origin: NodeId,
     ) -> Result<Vec<NodeId>, edgechain_facility::SolveError> {
-        if self.config.allocation_cache {
+        if self.config.region_alloc {
+            self.alloc_ctx.select_storers_regional(
+                placement,
+                origin,
+                &self.topo,
+                &self.storage,
+                &mut self.rng,
+            )
+        } else if self.config.allocation_cache {
             self.alloc_ctx
                 .select_storers(placement, &self.topo, &self.storage, &mut self.rng)
         } else {
@@ -1724,7 +1811,12 @@ impl EdgeNetwork {
                 },
                 None => SpanId::NONE,
             };
-            match self.select_storers_now(self.config.placement) {
+            let origin = self
+                .node_of_account
+                .get(&item.producer)
+                .copied()
+                .unwrap_or(miner);
+            match self.select_storers_now(self.config.placement, origin) {
                 Ok(storers) => {
                     trace_event!(
                         "ufl.alloc",
@@ -1752,10 +1844,10 @@ impl EdgeNetwork {
         // placement; block storage always uses the paper's allocation so
         // the chain itself stays retrievable.
         let block_storers = self
-            .select_storers_now(Placement::Optimal)
+            .select_storers_now(Placement::Optimal, miner)
             .unwrap_or_default();
         let recent_growers = if self.config.recent_block_allocation {
-            self.select_storers_now(Placement::Optimal)
+            self.select_storers_now(Placement::Optimal, miner)
                 .unwrap_or_default()
         } else {
             Vec::new()
@@ -2040,6 +2132,12 @@ impl EdgeNetwork {
 
         let used_now: u64 = self.storage.iter().map(NodeStorage::used_slots).sum();
         self.peak_storage_slots = self.peak_storage_slots.max(used_now);
+        let tracking_now = (self.expired_ids.len()
+            + self.invalid_storers.len()
+            + self.snapshot_blacklist.len()
+            + self.byz.as_ref().map_or(0, ByzantineEngine::orphan_entries))
+            as u64;
+        self.peak_tracking_entries = self.peak_tracking_entries.max(tracking_now);
         self.maybe_prune(now);
 
         // SLO health check rides the block cadence, like quarantine
@@ -2277,7 +2375,10 @@ impl EdgeNetwork {
             if sources.is_empty() {
                 continue;
             }
-            let Ok(new_set) = self.select_storers_now(self.config.placement) else {
+            let origin = producer
+                .filter(|&p| self.topo.is_active(p))
+                .unwrap_or(sources[0]);
+            let Ok(new_set) = self.select_storers_now(self.config.placement, origin) else {
                 continue;
             };
             let mut repaired = false;
@@ -2880,6 +2981,7 @@ impl EdgeNetwork {
     /// conservative) is re-queued at its recomputed expiry.
     fn on_expire_sweep(&mut self, now: SimTime) {
         let now_secs = now.as_secs();
+        let mut swept_any = false;
         while let Some(std::cmp::Reverse((expiry, id))) = self.expiry_heap.peek().copied() {
             if expiry > now_secs {
                 break;
@@ -2902,7 +3004,26 @@ impl EdgeNetwork {
                 }
             }
             self.data_registry.remove(&id);
-            self.expired_ids.insert(id);
+            if self.expired_ids.insert(id) {
+                self.expired_log.push_back((now_secs, id));
+            }
+            swept_any = true;
+        }
+        // Tracking-state GC (ISSUE 9): tombstones older than the retention
+        // window are forgotten, and invalidated-storer records die with
+        // their item — both sets stay O(window), not O(run history).
+        let horizon = now_secs.saturating_sub(self.config.tracking_retention_secs);
+        while let Some(&(t, id)) = self.expired_log.front() {
+            if t >= horizon {
+                break;
+            }
+            self.expired_log.pop_front();
+            self.expired_ids.remove(&id);
+        }
+        if swept_any && !self.invalid_storers.is_empty() {
+            let registry = &self.data_registry;
+            self.invalid_storers
+                .retain(|(d, _)| registry.contains_key(d));
         }
         self.queue.schedule(
             now + SimTime::from_secs(self.config.expiration_sweep_secs),
@@ -3176,6 +3297,7 @@ impl EdgeNetwork {
             snapshots_applied: self.snapshots_applied,
             snapshots_rejected: self.snapshots_rejected,
             peak_storage_slots: self.peak_storage_slots,
+            peak_tracking_entries: self.peak_tracking_entries,
             under_replicated_item_seconds: self.checker.under_replicated_item_seconds,
             availability,
             byz_injected,

@@ -34,8 +34,10 @@ pub mod exact;
 pub mod greedy;
 pub mod instance;
 pub mod local_search;
+pub mod region;
 
 pub use exact::{solve_exact, MAX_EXACT_FACILITIES};
 pub use greedy::solve_greedy;
 pub use instance::{fdc, SolutionError, SolveError, UflInstance, UflSolution, FDC_SCALE};
 pub use local_search::{improve, solve, solve_warm};
+pub use region::{serving_ids, stitch_close_pass, StitchFacility};

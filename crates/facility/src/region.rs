@@ -1,0 +1,230 @@
+//! Boundary stitching for region-decomposed facility location.
+//!
+//! At scale the allocation engine partitions the network into
+//! radio-connected regions and solves one small UFL instance per region
+//! (see `edgechain-core`'s allocation context). Independent per-region
+//! optima can be jointly wasteful at region boundaries: a facility opened
+//! just inside region A may be redundant when region B already opened one
+//! a hop away. This module implements the *close pass* that stitches a
+//! region's solution against the open facilities of its neighbors: a
+//! region-local facility is closed when reassigning its clients — to other
+//! local facilities or to an adjacent region's already-paid-for facility —
+//! costs less than keeping it open.
+//!
+//! The pass is deterministic (facilities are considered in ascending `id`
+//! order) and topology-agnostic: callers supply connection costs, so the
+//! same code is exercised by synthetic unit tests and the simulator.
+
+/// One candidate facility in a stitch pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StitchFacility {
+    /// Caller-scoped identifier (the simulator passes global node ids).
+    pub id: usize,
+    /// Cost saved by closing this facility. External facilities carry
+    /// `0.0`: their opening cost is already paid by their home region, so
+    /// absorbing boundary clients is free.
+    pub open_cost: f64,
+    /// Opened by an adjacent region: may absorb clients but is never
+    /// closed by this pass (its home region owns that decision).
+    pub external: bool,
+}
+
+/// One close pass over the local facilities of a region solution.
+///
+/// `connect[f][c]` is the connection cost of client `c` to facility `f`
+/// (facility-major, like [`crate::UflInstance`]); `assignment[c]` indexes
+/// into `facilities`. Local facilities are visited in ascending `id`
+/// order; each is closed when the reassignment delta of its clients minus
+/// its opening cost is strictly negative and every client has a finite
+/// alternative. The last remaining open facility is never closed.
+///
+/// Returns the post-pass open flags (externals always stay `true`);
+/// `assignment` is updated in place for every client that moved.
+///
+/// # Panics
+///
+/// Panics when `connect` is not facility-major over all clients or when an
+/// assignment is out of range.
+pub fn stitch_close_pass(
+    facilities: &[StitchFacility],
+    connect: &[Vec<f64>],
+    assignment: &mut [usize],
+) -> Vec<bool> {
+    assert_eq!(
+        facilities.len(),
+        connect.len(),
+        "one connect row per facility"
+    );
+    let mut open = vec![true; facilities.len()];
+    let mut order: Vec<usize> = (0..facilities.len())
+        .filter(|&f| !facilities[f].external)
+        .collect();
+    order.sort_by_key(|&f| facilities[f].id);
+    for f in order {
+        if open.iter().filter(|&&o| o).count() <= 1 {
+            break;
+        }
+        // Trial: close f, moving each of its clients to the cheapest
+        // other open facility.
+        let mut delta = -facilities[f].open_cost;
+        let mut moves: Vec<(usize, usize)> = Vec::new();
+        let mut feasible = true;
+        for (c, &a) in assignment.iter().enumerate() {
+            if a != f {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (g, _) in facilities.iter().enumerate() {
+                if g == f || !open[g] {
+                    continue;
+                }
+                let cost = connect[g][c];
+                if cost.is_finite() && best.is_none_or(|(_, bc)| cost < bc) {
+                    best = Some((g, cost));
+                }
+            }
+            match best {
+                Some((g, cost)) => {
+                    delta += cost - connect[f][c];
+                    moves.push((c, g));
+                }
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible && delta < 0.0 {
+            open[f] = false;
+            for (c, g) in moves {
+                assignment[c] = g;
+            }
+        }
+    }
+    open
+}
+
+/// The facility `id`s that actually serve a client after a stitch pass,
+/// ascending and deduplicated. This is the replica set handed back to the
+/// allocation engine: open-but-idle facilities (local zero-cost ones the
+/// pass had no reason to close, or external candidates that absorbed
+/// nothing) are excluded.
+pub fn serving_ids(
+    facilities: &[StitchFacility],
+    open: &[bool],
+    assignment: &[usize],
+) -> Vec<usize> {
+    let mut ids: Vec<usize> = assignment
+        .iter()
+        .map(|&f| {
+            debug_assert!(open[f], "client assigned to a closed facility");
+            facilities[f].id
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(id: usize, open_cost: f64) -> StitchFacility {
+        StitchFacility {
+            id,
+            open_cost,
+            external: false,
+        }
+    }
+
+    fn external(id: usize) -> StitchFacility {
+        StitchFacility {
+            id,
+            open_cost: 0.0,
+            external: true,
+        }
+    }
+
+    #[test]
+    fn redundant_local_facility_is_closed() {
+        // Two local facilities; merging them onto one saves an opening
+        // cost of 10 against a 3-unit reassignment. The pass visits
+        // ascending ids, so facility 0 is the one that closes.
+        let facilities = vec![local(0, 10.0), local(1, 10.0)];
+        let connect = vec![vec![0.0, 3.0], vec![3.0, 2.0]];
+        let mut assignment = vec![0, 1];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![false, true]);
+        assert_eq!(assignment, vec![1, 1]);
+        assert_eq!(serving_ids(&facilities, &open, &assignment), vec![1]);
+    }
+
+    #[test]
+    fn costly_move_keeps_facility_open() {
+        // Closing facility 1 would save 1.0 but cost its client 5.0 extra.
+        let facilities = vec![local(0, 1.0), local(1, 1.0)];
+        let connect = vec![vec![0.0, 6.0], vec![6.0, 1.0]];
+        let mut assignment = vec![0, 1];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![true, true]);
+        assert_eq!(assignment, vec![0, 1]);
+    }
+
+    #[test]
+    fn external_neighbor_absorbs_boundary_clients() {
+        // An adjacent region's facility (free to use) sits one hop from
+        // both clients: the local facility's opening cost is pure waste.
+        let facilities = vec![local(5, 8.0), external(9)];
+        let connect = vec![vec![0.0, 1.0], vec![1.0, 1.0]];
+        let mut assignment = vec![0, 0];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![false, true]);
+        assert_eq!(assignment, vec![1, 1]);
+        assert_eq!(serving_ids(&facilities, &open, &assignment), vec![9]);
+    }
+
+    #[test]
+    fn externals_are_never_closed_and_last_facility_survives() {
+        // A lone local facility with a huge opening cost but no
+        // alternative must stay open.
+        let facilities = vec![local(2, 100.0)];
+        let connect = vec![vec![0.0, 1.0]];
+        let mut assignment = vec![0, 0];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![true]);
+        // An unreachable alternative (infinite cost) also blocks closing.
+        let facilities = vec![local(0, 100.0), external(7)];
+        let connect = vec![vec![0.0, 0.0], vec![f64::INFINITY, f64::INFINITY]];
+        let mut assignment = vec![0, 0];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![true, true]);
+        assert_eq!(assignment, vec![0, 0]);
+    }
+
+    #[test]
+    fn close_order_is_by_ascending_id() {
+        // Both locals are individually closable against the external, but
+        // after the lower id closes, the higher one keeps its clients only
+        // if still beneficial — here both drain into the external.
+        let facilities = vec![local(3, 5.0), local(1, 5.0), external(8)];
+        let connect = vec![
+            vec![0.0, 2.0, 2.0],
+            vec![2.0, 0.0, 2.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let mut assignment = vec![0, 1, 1];
+        let open = stitch_close_pass(&facilities, &connect, &mut assignment);
+        assert_eq!(open, vec![false, false, true]);
+        assert_eq!(assignment, vec![2, 2, 2]);
+        assert_eq!(serving_ids(&facilities, &open, &assignment), vec![8]);
+    }
+
+    #[test]
+    fn serving_ids_excludes_idle_facilities() {
+        let facilities = vec![local(4, 0.0), local(6, 1.0), external(2)];
+        let open = vec![true, true, true];
+        let assignment = vec![1, 1];
+        assert_eq!(serving_ids(&facilities, &open, &assignment), vec![6]);
+    }
+}

@@ -88,6 +88,80 @@ impl Default for Field {
     }
 }
 
+/// A uniform-grid spatial hash over a [`Field`].
+///
+/// Buckets points into square cells of side `cell` meters. With
+/// `cell >= radio range`, every point within range of a query point lies
+/// in the query's own cell or one of its 8 neighbors, so range queries
+/// touch O(density · cell²) candidates instead of all `n` points.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl CellGrid {
+    /// Buckets `points` (indexed by position in the slice) into cells of
+    /// side `cell` meters. Points outside the field are clamped into the
+    /// border cells, so out-of-field coordinates still land in a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive.
+    pub fn new(field: &Field, cell: f64, points: &[Point]) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let cols = (field.width / cell).ceil().max(1.0) as usize;
+        let rows = (field.height / cell).ceil().max(1.0) as usize;
+        let mut grid = CellGrid {
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        };
+        for (i, p) in points.iter().enumerate() {
+            let c = grid.cell_of(p);
+            grid.buckets[c].push(i);
+        }
+        grid
+    }
+
+    /// Bucket index containing `p` (clamped to the grid bounds).
+    fn cell_of(&self, p: &Point) -> usize {
+        let cx = ((p.x / self.cell).floor().max(0.0) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell).floor().max(0.0) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Visits every point index in the 3×3 cell neighborhood of `p` —
+    /// a superset of all points within `cell` meters of `p`. Indices are
+    /// visited in bucket order (insertion order within a bucket), so the
+    /// caller must sort if it needs a canonical ordering.
+    pub fn for_each_candidate<F: FnMut(usize)>(&self, p: &Point, mut f: F) {
+        let cx = ((p.x / self.cell).floor().max(0.0) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell).floor().max(0.0) as usize).min(self.rows - 1);
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for &i in &self.buckets[y * self.cols + x] {
+                    f(i);
+                }
+            }
+        }
+    }
+
+    /// Estimated heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let per_bucket = std::mem::size_of::<Vec<usize>>();
+        let entries: usize = self.buckets.iter().map(|b| b.capacity()).sum();
+        self.buckets.capacity() * per_bucket + entries * std::mem::size_of::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +199,46 @@ mod tests {
     #[test]
     fn point_display() {
         assert_eq!(format!("{}", Point::new(1.25, 2.0)), "(1.2, 2.0)");
+    }
+
+    #[test]
+    fn cell_grid_candidates_cover_all_in_range_pairs() {
+        let field = Field::paper_default();
+        // Deterministic pseudo-grid of points, including field corners.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                pts.push(Point::new(
+                    (i as f64 * 27.3) % 300.0,
+                    (j as f64 * 41.7) % 300.0,
+                ));
+            }
+        }
+        let range = 70.0;
+        let grid = CellGrid::new(&field, range, &pts);
+        for (a, pa) in pts.iter().enumerate() {
+            let mut candidates = Vec::new();
+            grid.for_each_candidate(pa, |i| candidates.push(i));
+            // Every in-range point (including `a` itself) is a candidate.
+            for (b, pb) in pts.iter().enumerate() {
+                if pa.distance(pb) <= range {
+                    assert!(candidates.contains(&b), "{a} missing in-range {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_grid_clamps_out_of_field_points() {
+        let field = Field::new(100.0, 100.0);
+        let pts = vec![Point::new(-10.0, 50.0), Point::new(250.0, 250.0)];
+        let grid = CellGrid::new(&field, 70.0, &pts);
+        let mut seen = Vec::new();
+        grid.for_each_candidate(&Point::new(0.0, 50.0), |i| seen.push(i));
+        assert!(seen.contains(&0));
+        let mut far = Vec::new();
+        grid.for_each_candidate(&Point::new(100.0, 100.0), |i| far.push(i));
+        assert!(far.contains(&1));
+        assert!(grid.memory_bytes() > 0);
     }
 }

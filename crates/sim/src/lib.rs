@@ -49,7 +49,7 @@ pub use fault::{
     ByzantineAction, ByzantineSweepConfig, ChurnConfig, FaultAction, FaultEvent, FaultInjector,
     FaultPlan, FaultPlanError, RoleAssignment,
 };
-pub use geometry::{Field, Point};
+pub use geometry::{CellGrid, Field, Point};
 pub use metrics::{gini, gini_counts, RunningStats, SampleSet};
 pub use topology::{NodeId, Topology, TopologyConfig, TopologyError, UNREACHABLE};
 pub use transport::{

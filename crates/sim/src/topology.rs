@@ -6,14 +6,26 @@
 //! its home position (paper §IV-A.2 — the range enters the Range-Distance
 //! Cost; §VI — mobility is "within 30 meters ranges").
 //!
-//! The topology maintains all-pairs hop counts and next-hop routing tables
-//! (BFS) so the transport layer can forward store-and-forward messages.
+//! The topology maintains hop counts and next-hop routing tables (BFS) so
+//! the transport layer can forward store-and-forward messages. Two
+//! interchangeable representations sit behind the same API:
+//!
+//! * **Dense** (default): eager all-pairs tables plus a precomputed n×n
+//!   RDC matrix — the bit-exact reference, fine up to a few thousand
+//!   nodes.
+//! * **Sparse** ([`TopologyConfig::sparse_routes`]): adjacency is built
+//!   with a grid-bucket spatial hash (cell = radio range) and per-source
+//!   routing/RDC rows are materialized lazily on first query, so memory
+//!   is O(n·degree + touched sources·n) instead of Θ(n²). Every query
+//!   runs the identical BFS and Eq. 2 arithmetic, so results are
+//!   bit-identical to the dense tables.
 
-use crate::geometry::{Field, Point};
+use crate::geometry::{CellGrid, Field, Point};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a simulated node (dense, `0..n`).
 #[derive(
@@ -60,6 +72,11 @@ pub struct TopologyConfig {
     /// How many placement attempts to make before giving up on a connected
     /// topology.
     pub max_placement_attempts: usize,
+    /// Use the sparse lazy-row representation instead of the eager dense
+    /// tables. Query results are bit-identical; only memory and rebuild
+    /// cost change. Default `false` (the dense reference path).
+    #[serde(default)]
+    pub sparse_routes: bool,
 }
 
 impl Default for TopologyConfig {
@@ -69,8 +86,55 @@ impl Default for TopologyConfig {
             comm_range: 70.0,
             mobility_range: 30.0,
             max_placement_attempts: 10_000,
+            sparse_routes: false,
         }
     }
+}
+
+/// Sentinel in [`RouteRow::next`] for "no next hop".
+const NO_HOP: u32 = u32::MAX;
+
+/// One source's lazily materialized routing row.
+#[derive(Debug, Clone)]
+struct RouteRow {
+    /// BFS hop count to every destination ([`UNREACHABLE`] when cut off).
+    hops: Vec<u32>,
+    /// First hop toward each destination; [`NO_HOP`] when none.
+    next: Vec<u32>,
+}
+
+/// Routing/RDC storage: eager all-pairs tables or lazy per-source rows.
+#[derive(Debug, Clone)]
+enum Routes {
+    /// The bit-exact reference: Θ(n²) tables rebuilt eagerly.
+    Dense {
+        /// `hops[i][j]` — BFS hop count, [`UNREACHABLE`] when partitioned.
+        hops: Vec<Vec<u32>>,
+        /// `next_hop[i][j]` — first hop on a shortest path from `i` to `j`.
+        next_hop: Vec<Vec<Option<NodeId>>>,
+        /// Dense Range-Distance Cost matrix (`n × n`, row-major).
+        rdc: Vec<f64>,
+    },
+    /// Per-source rows materialized on first query; cleared on rebuild.
+    Sparse {
+        rows: Vec<OnceLock<RouteRow>>,
+        rdc_rows: Vec<OnceLock<Vec<f64>>>,
+    },
+}
+
+/// Eq. 2 with an explicit hop count: `hops + range_i/norm + range_j/norm`,
+/// with the unreachable penalty substituted for the hop term. Kept as one
+/// free function so the dense matrix, the lazy rows, and the in-place
+/// mobility patches all perform the identical float operations.
+fn rdc_formula(i: usize, j: usize, hops: u32, mobility: &[f64], norm: f64, penalty: f64) -> f64 {
+    if i == j {
+        return 0.0;
+    }
+    let hop_cost = match hops {
+        UNREACHABLE => penalty,
+        h => h as f64,
+    };
+    hop_cost + mobility[i] / norm + mobility[j] / norm
 }
 
 /// A snapshot of the multi-hop network: positions, links, and routes.
@@ -87,14 +151,7 @@ pub struct Topology {
     /// top of whatever the geometry allows).
     partition: Option<Vec<bool>>,
     adjacency: Vec<Vec<NodeId>>,
-    /// `hops[i][j]` — BFS hop count, [`UNREACHABLE`] when partitioned.
-    hops: Vec<Vec<u32>>,
-    /// `next_hop[i][j]` — first hop on a shortest path from `i` to `j`.
-    next_hop: Vec<Vec<Option<NodeId>>>,
-    /// Dense Range-Distance Cost matrix (`n × n`, row-major), precomputed
-    /// at rebuild time so the allocation hot path reads instead of
-    /// recomputing Eq. 2 per pair.
-    rdc_cache: Vec<f64>,
+    routes: Routes,
     /// Bumped on every routing/RDC change; lets callers detect staleness
     /// of anything they derived from this topology snapshot.
     epoch: u64,
@@ -163,9 +220,11 @@ impl Topology {
             active: vec![true; n],
             partition: None,
             adjacency: Vec::new(),
-            hops: Vec::new(),
-            next_hop: Vec::new(),
-            rdc_cache: Vec::new(),
+            routes: Routes::Dense {
+                hops: Vec::new(),
+                next_hop: Vec::new(),
+                rdc: Vec::new(),
+            },
             epoch: 0,
         };
         topo.rebuild_routes();
@@ -208,15 +267,42 @@ impl Topology {
     }
 
     /// Overrides the mobility radius of `node`. Refreshes the node's row
-    /// and column of the cached RDC matrix (Eq. 2 depends on both
-    /// endpoints' ranges) and bumps [`Topology::epoch`].
+    /// and column of the cached RDC state (Eq. 2 depends on both
+    /// endpoints' ranges) and bumps [`Topology::epoch`]. In sparse mode
+    /// only already-materialized RDC rows are patched — hop rows are
+    /// unaffected, and lazily computed rows always read fresh mobility.
     pub fn set_mobility_range(&mut self, node: NodeId, range: f64) {
         self.mobility[node.0] = range;
         let n = self.len();
         let i = node.0;
-        for j in 0..n {
-            self.rdc_cache[i * n + j] = self.compute_rdc(i, j);
-            self.rdc_cache[j * n + i] = self.compute_rdc(j, i);
+        let norm = self.config.comm_range;
+        let penalty = n as f64;
+        let mobility = &self.mobility;
+        match &mut self.routes {
+            Routes::Dense { hops, rdc, .. } => {
+                for j in 0..n {
+                    rdc[i * n + j] = rdc_formula(i, j, hops[i][j], mobility, norm, penalty);
+                    rdc[j * n + i] = rdc_formula(j, i, hops[j][i], mobility, norm, penalty);
+                }
+            }
+            Routes::Sparse { rows, rdc_rows } => {
+                for (s, lock) in rdc_rows.iter_mut().enumerate() {
+                    let Some(rdc_row) = lock.get_mut() else {
+                        continue;
+                    };
+                    let hops_row = &rows[s]
+                        .get()
+                        .expect("materialized rdc row implies materialized route row")
+                        .hops;
+                    if s == i {
+                        for j in 0..n {
+                            rdc_row[j] = rdc_formula(s, j, hops_row[j], mobility, norm, penalty);
+                        }
+                    } else {
+                        rdc_row[i] = rdc_formula(s, i, hops_row[i], mobility, norm, penalty);
+                    }
+                }
+            }
         }
         self.epoch += 1;
     }
@@ -280,7 +366,10 @@ impl Topology {
     /// Hop count between two nodes ([`UNREACHABLE`] when partitioned,
     /// `0` for `a == b`).
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
-        self.hops[a.0][b.0]
+        match &self.routes {
+            Routes::Dense { hops, .. } => hops[a.0][b.0],
+            Routes::Sparse { .. } => self.sparse_row(a.0).hops[b.0],
+        }
     }
 
     /// Whether `b` is currently reachable from `a`.
@@ -296,6 +385,18 @@ impl Topology {
         self.active_nodes().all(|v| self.reachable(origin, v))
     }
 
+    /// First hop on a shortest path from `cur` toward `dst`, read from
+    /// `cur`'s own BFS tree (both representations agree bit-for-bit).
+    fn next_hop_of(&self, cur: usize, dst: usize) -> Option<NodeId> {
+        match &self.routes {
+            Routes::Dense { next_hop, .. } => next_hop[cur][dst],
+            Routes::Sparse { .. } => match self.sparse_row(cur).next[dst] {
+                NO_HOP => None,
+                v => Some(NodeId(v as usize)),
+            },
+        }
+    }
+
     /// Shortest path from `a` to `b` (inclusive of both endpoints), or
     /// `None` when unreachable. `a == b` yields a single-element path.
     pub fn path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
@@ -308,7 +409,9 @@ impl Topology {
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
-            let next = self.next_hop[cur.0][b.0].expect("reachable pair must have a next hop");
+            let next = self
+                .next_hop_of(cur.0, b.0)
+                .expect("reachable pair must have a next hop");
             path.push(next);
             cur = next;
         }
@@ -336,25 +439,20 @@ impl Topology {
         self.rebuild_routes();
     }
 
-    /// Recomputes adjacency, hop counts, and next-hop tables from current
-    /// positions.
+    /// Recomputes adjacency and routing state from current positions.
+    /// Dense mode rebuilds the all-pairs tables eagerly (fanned out over
+    /// the worker pool); sparse mode only rebuilds adjacency and clears
+    /// the lazy rows.
     pub fn rebuild_routes(&mut self) {
         let n = self.len();
-        let range = self.config.comm_range;
-        self.adjacency = vec![Vec::new(); n];
-        for i in 0..n {
-            if !self.active[i] {
-                continue;
-            }
-            for j in i + 1..n {
-                if !self.active[j] || self.cut_severs(i, j) {
-                    continue;
-                }
-                if self.position[i].distance(&self.position[j]) <= range {
-                    self.adjacency[i].push(NodeId(j));
-                    self.adjacency[j].push(NodeId(i));
-                }
-            }
+        self.rebuild_adjacency();
+        if self.config.sparse_routes {
+            self.routes = Routes::Sparse {
+                rows: (0..n).map(|_| OnceLock::new()).collect(),
+                rdc_rows: (0..n).map(|_| OnceLock::new()).collect(),
+            };
+            self.epoch += 1;
+            return;
         }
         // Per-source BFS trees are independent; fan them out over the
         // worker pool on larger topologies. The pool returns rows in
@@ -366,45 +464,87 @@ impl Topology {
         } else {
             1
         };
-        let rows = crate::pool::parallel_map_range(n, workers, |src| {
+        let bfs = crate::pool::parallel_map_range(n, workers, |src| {
             if active[src] {
                 bfs_rows(adjacency, n, src)
             } else {
                 (vec![UNREACHABLE; n], vec![None; n])
             }
         });
-        self.hops = Vec::with_capacity(n);
-        self.next_hop = Vec::with_capacity(n);
-        for (hops_row, next_row) in rows {
-            self.hops.push(hops_row);
-            self.next_hop.push(next_row);
+        let mut hops = Vec::with_capacity(n);
+        let mut next_hop = Vec::with_capacity(n);
+        for (hops_row, next_row) in bfs {
+            hops.push(hops_row);
+            next_hop.push(next_row);
         }
-        self.rebuild_rdc();
+        // Dense RDC matrix from the fresh hop tables.
+        let norm = self.config.comm_range;
+        let penalty = n as f64;
+        let mobility = &self.mobility;
+        let mut rdc = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                rdc[i * n + j] = rdc_formula(i, j, hops[i][j], mobility, norm, penalty);
+            }
+        }
+        self.routes = Routes::Dense {
+            hops,
+            next_hop,
+            rdc,
+        };
         self.epoch += 1;
     }
 
-    /// Recomputes the dense RDC matrix from the fresh hop tables.
-    fn rebuild_rdc(&mut self) {
+    /// Rebuilds the adjacency lists with a grid-bucket spatial hash
+    /// (cell = radio range): each node tests only the candidates in its
+    /// 3×3 cell neighborhood — O(degree) work per node instead of the
+    /// O(n) pair scan. Sorting each list ascending reproduces exactly the
+    /// ordering of the classic `i < j` double loop, so BFS tie-breaking
+    /// (and therefore every route) is unchanged.
+    fn rebuild_adjacency(&mut self) {
         let n = self.len();
-        self.rdc_cache = vec![0.0; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                self.rdc_cache[i * n + j] = self.compute_rdc(i, j);
+        let range = self.config.comm_range;
+        let grid = CellGrid::new(&self.config.field, range, &self.position);
+        let mut adjacency = vec![Vec::new(); n];
+        for (i, slot) in adjacency.iter_mut().enumerate() {
+            if !self.active[i] {
+                continue;
             }
+            let mut nbrs: Vec<NodeId> = Vec::new();
+            grid.for_each_candidate(&self.position[i], |j| {
+                if j == i || !self.active[j] || self.cut_severs(i, j) {
+                    return;
+                }
+                if self.position[i].distance(&self.position[j]) <= range {
+                    nbrs.push(NodeId(j));
+                }
+            });
+            nbrs.sort_unstable();
+            *slot = nbrs;
         }
+        self.adjacency = adjacency;
     }
 
-    /// Eq. 2 from current hops and mobility state (uncached form).
-    fn compute_rdc(&self, i: usize, j: usize) -> f64 {
-        if i == j {
-            return 0.0;
-        }
-        let hop_cost = match self.hops[i][j] {
-            UNREACHABLE => self.len() as f64,
-            h => h as f64,
+    /// The lazily materialized routing row for `src` (sparse mode only).
+    fn sparse_row(&self, src: usize) -> &RouteRow {
+        let Routes::Sparse { rows, .. } = &self.routes else {
+            unreachable!("sparse_row called on a dense topology");
         };
-        let norm = self.config.comm_range;
-        hop_cost + self.mobility[i] / norm + self.mobility[j] / norm
+        rows[src].get_or_init(|| {
+            let n = self.len();
+            let (hops, next) = if self.active[src] {
+                bfs_rows(&self.adjacency, n, src)
+            } else {
+                (vec![UNREACHABLE; n], vec![None; n])
+            };
+            RouteRow {
+                hops,
+                next: next
+                    .into_iter()
+                    .map(|o| o.map_or(NO_HOP, |v| v.0 as u32))
+                    .collect(),
+            }
+        })
     }
 
     /// Whether the imposed partition cut severs the `i`–`j` link.
@@ -422,17 +562,137 @@ impl Topology {
     /// large finite penalty (`n` hops) so the facility-location solver can
     /// still run on temporarily partitioned snapshots.
     ///
-    /// Served from the dense matrix precomputed at rebuild time.
+    /// Dense mode serves the value from the matrix precomputed at rebuild
+    /// time; sparse mode evaluates the identical formula from the lazily
+    /// materialized hop row.
     pub fn rdc(&self, i: NodeId, j: NodeId) -> f64 {
-        self.rdc_cache[i.0 * self.len() + j.0]
+        match &self.routes {
+            Routes::Dense { rdc, .. } => rdc[i.0 * self.len() + j.0],
+            Routes::Sparse { .. } => self.rdc_from_hops(i, j, self.sparse_row(i.0).hops[j.0]),
+        }
     }
 
-    /// Row `i` of the cached RDC matrix: `row[j] == rdc(i, j)` for every
-    /// `j`. Lets instance builders copy or gather whole rows instead of
-    /// issuing `n` individual lookups.
+    /// Eq. 2 evaluated with an explicit hop count (with [`UNREACHABLE`]
+    /// mapping to the `n`-hop penalty), bit-identical to what [`rdc`]
+    /// returns for a pair at that distance. Lets horizon-bounded callers
+    /// (e.g. the region-decomposed allocator) price compressed rows
+    /// without materializing full RDC rows.
+    ///
+    /// [`rdc`]: Topology::rdc
+    pub fn rdc_from_hops(&self, i: NodeId, j: NodeId, hops: u32) -> f64 {
+        rdc_formula(
+            i.0,
+            j.0,
+            hops,
+            &self.mobility,
+            self.config.comm_range,
+            self.len() as f64,
+        )
+    }
+
+    /// Row `i` of the RDC state: `row[j] == rdc(i, j)` for every `j`.
+    /// Lets instance builders copy or gather whole rows instead of issuing
+    /// `n` individual lookups. In sparse mode the row is materialized on
+    /// first access and cached until the next route rebuild.
     pub fn rdc_row(&self, i: NodeId) -> &[f64] {
         let n = self.len();
-        &self.rdc_cache[i.0 * n..(i.0 + 1) * n]
+        match &self.routes {
+            Routes::Dense { rdc, .. } => &rdc[i.0 * n..(i.0 + 1) * n],
+            Routes::Sparse { rdc_rows, .. } => rdc_rows[i.0].get_or_init(|| {
+                let hops = &self.sparse_row(i.0).hops;
+                (0..n)
+                    .map(|j| self.rdc_from_hops(i, NodeId(j), hops[j]))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Breadth-first search from `src` truncated at `max_hops`, returning
+    /// `(node, hops)` pairs in discovery order (starting with `(src, 0)`).
+    /// With `within: Some(mask)`, expansion is confined to nodes whose
+    /// mask entry is `true` (`src` must be inside). This is the compressed
+    /// row the RDC formula needs at scale: peers beyond the horizon simply
+    /// do not appear and take the unreachable penalty via
+    /// [`Topology::rdc_from_hops`].
+    pub fn bfs_bounded(
+        &self,
+        src: NodeId,
+        max_hops: u32,
+        within: Option<&[bool]>,
+    ) -> Vec<(NodeId, u32)> {
+        if !self.active[src.0] {
+            return Vec::new();
+        }
+        let n = self.len();
+        let mut dist: Vec<u32> = vec![UNREACHABLE; n];
+        dist[src.0] = 0;
+        let mut order = vec![(src, 0)];
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.0];
+            if du >= max_hops {
+                continue;
+            }
+            for &v in &self.adjacency[u.0] {
+                if dist[v.0] != UNREACHABLE {
+                    continue;
+                }
+                if let Some(mask) = within {
+                    if !mask[v.0] {
+                        continue;
+                    }
+                }
+                dist[v.0] = du + 1;
+                order.push((v, du + 1));
+                queue.push_back(v);
+            }
+        }
+        order
+    }
+
+    /// Estimated heap bytes held by the topology's derived structures
+    /// (adjacency plus routing/RDC state). Sparse mode counts only the
+    /// rows actually materialized, which is the point of the comparison.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vec_hdr = size_of::<Vec<u8>>();
+        let adj: usize = self
+            .adjacency
+            .iter()
+            .map(|v| vec_hdr + v.capacity() * size_of::<NodeId>())
+            .sum();
+        let routes = match &self.routes {
+            Routes::Dense {
+                hops,
+                next_hop,
+                rdc,
+            } => {
+                let h: usize = hops
+                    .iter()
+                    .map(|r| vec_hdr + r.capacity() * size_of::<u32>())
+                    .sum();
+                let nh: usize = next_hop
+                    .iter()
+                    .map(|r| vec_hdr + r.capacity() * size_of::<Option<NodeId>>())
+                    .sum();
+                h + nh + rdc.capacity() * size_of::<f64>()
+            }
+            Routes::Sparse { rows, rdc_rows } => {
+                let r: usize = rows
+                    .iter()
+                    .filter_map(|l| l.get())
+                    .map(|row| 2 * vec_hdr + (row.hops.capacity() + row.next.capacity()) * 4)
+                    .sum();
+                let rr: usize = rdc_rows
+                    .iter()
+                    .filter_map(|l| l.get())
+                    .map(|row| vec_hdr + row.capacity() * size_of::<f64>())
+                    .sum();
+                r + rr + (rows.len() + rdc_rows.len()) * size_of::<OnceLock<RouteRow>>()
+            }
+        };
+        adj + routes
     }
 }
 
@@ -734,8 +994,164 @@ mod tests {
             let (hops_row, next_row) = super::bfs_rows(&t.adjacency, n, src);
             for dst in 0..n {
                 assert_eq!(t.hops(NodeId(src), NodeId(dst)), hops_row[dst]);
-                assert_eq!(t.next_hop[src][dst], next_row[dst]);
+                assert_eq!(t.next_hop_of(src, dst), next_row[dst]);
             }
         }
+    }
+
+    /// Runs the same mutation workload on a dense and a sparse topology
+    /// (same positions, same twin RNG streams) and asserts every public
+    /// query agrees bit-for-bit after each step.
+    #[test]
+    fn sparse_mode_is_bit_identical_to_dense() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let dense = Topology::random_connected(40, TopologyConfig::default(), &mut rng).unwrap();
+        let positions: Vec<Point> = dense.nodes().map(|v| dense.position(v)).collect();
+        let sparse_cfg = TopologyConfig {
+            sparse_routes: true,
+            ..TopologyConfig::default()
+        };
+        let mut sparse = Topology::from_positions_with_config(positions.clone(), sparse_cfg);
+        let mut dense = Topology::from_positions_with_config(positions, TopologyConfig::default());
+
+        let assert_equal = |d: &Topology, s: &Topology, step: &str| {
+            for a in d.nodes() {
+                assert_eq!(d.neighbors(a), s.neighbors(a), "{step}: neighbors {a}");
+                let srow = s.rdc_row(a);
+                let drow = d.rdc_row(a);
+                for b in d.nodes() {
+                    assert_eq!(d.hops(a, b), s.hops(a, b), "{step}: hops {a}->{b}");
+                    assert_eq!(d.path(a, b), s.path(a, b), "{step}: path {a}->{b}");
+                    assert_eq!(
+                        d.rdc(a, b).to_bits(),
+                        s.rdc(a, b).to_bits(),
+                        "{step}: rdc {a}->{b}"
+                    );
+                    assert_eq!(
+                        drow[b.0].to_bits(),
+                        srow[b.0].to_bits(),
+                        "{step}: rdc_row {a}->{b}"
+                    );
+                }
+            }
+            assert_eq!(d.is_connected(), s.is_connected(), "{step}: connectivity");
+        };
+
+        assert_equal(&dense, &sparse, "initial");
+        let mut rng_d = StdRng::seed_from_u64(101);
+        let mut rng_s = StdRng::seed_from_u64(101);
+        dense.set_active(NodeId(7), false);
+        sparse.set_active(NodeId(7), false);
+        assert_equal(&dense, &sparse, "crash");
+        dense.set_mobility_range(NodeId(3), 55.0);
+        sparse.set_mobility_range(NodeId(3), 55.0);
+        assert_equal(&dense, &sparse, "range");
+        dense.mobility_step(&mut rng_d);
+        sparse.mobility_step(&mut rng_s);
+        assert_equal(&dense, &sparse, "mobility");
+        let cut: Vec<NodeId> = (0..12).map(NodeId).collect();
+        dense.set_partition(Some(&cut));
+        sparse.set_partition(Some(&cut));
+        assert_equal(&dense, &sparse, "partition");
+        dense.set_partition(None);
+        sparse.set_partition(None);
+        dense.set_active(NodeId(7), true);
+        sparse.set_active(NodeId(7), true);
+        assert_equal(&dense, &sparse, "restore");
+    }
+
+    /// RDC rows materialized *before* a mobility-range override must be
+    /// patched in place, matching fresh computation afterwards.
+    #[test]
+    fn sparse_rdc_rows_are_patched_on_range_override() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let cfg = TopologyConfig {
+            sparse_routes: true,
+            ..TopologyConfig::default()
+        };
+        let mut t = Topology::random_connected(20, cfg, &mut rng).unwrap();
+        // Materialize a few rows, including the overridden node's own.
+        for i in [0usize, 5, 9] {
+            let _ = t.rdc_row(NodeId(i));
+        }
+        t.set_mobility_range(NodeId(5), 62.0);
+        let norm = t.config().comm_range;
+        for i in [0usize, 5, 9, 13] {
+            let row = t.rdc_row(NodeId(i)).to_vec();
+            for j in t.nodes() {
+                let expect = if i == j.0 {
+                    0.0
+                } else {
+                    let hop_cost = match t.hops(NodeId(i), j) {
+                        UNREACHABLE => t.len() as f64,
+                        h => h as f64,
+                    };
+                    hop_cost + t.mobility_range(NodeId(i)) / norm + t.mobility_range(j) / norm
+                };
+                assert_eq!(row[j.0].to_bits(), expect.to_bits(), "row {i} entry {j}");
+            }
+        }
+    }
+
+    /// The horizon-bounded BFS agrees with full hop counts inside the
+    /// horizon and omits everything beyond it.
+    #[test]
+    fn bounded_bfs_matches_full_bfs_within_horizon() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let t = Topology::random_connected(35, TopologyConfig::default(), &mut rng).unwrap();
+        let horizon = 2;
+        for src in t.nodes() {
+            let rows = t.bfs_bounded(src, horizon, None);
+            let by_node: std::collections::HashMap<NodeId, u32> = rows.into_iter().collect();
+            for dst in t.nodes() {
+                let full = t.hops(src, dst);
+                match by_node.get(&dst) {
+                    Some(&h) => assert_eq!(h, full, "{src}->{dst}"),
+                    None => assert!(full > horizon, "{src}->{dst} missing but {full} hops"),
+                }
+            }
+        }
+    }
+
+    /// A membership mask confines expansion: everything reported is in the
+    /// mask and reachable through mask-internal paths only.
+    #[test]
+    fn bounded_bfs_respects_mask() {
+        let t = line_topology(6, 60.0);
+        let mut mask = vec![false; 6];
+        for i in 0..3 {
+            mask[i] = true;
+        }
+        let rows = t.bfs_bounded(NodeId(0), 10, Some(&mask));
+        let ids: Vec<usize> = rows.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Severing the mask interior cuts reachability even within range.
+        let mut gap = vec![false; 6];
+        gap[0] = true;
+        gap[2] = true;
+        let rows = t.bfs_bounded(NodeId(0), 10, Some(&gap));
+        assert_eq!(rows.len(), 1, "node 2 is not adjacent to node 0");
+    }
+
+    /// The sparse representation must hold an order of magnitude less
+    /// derived state than the dense tables until rows are touched.
+    #[test]
+    fn sparse_memory_is_far_below_dense() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let dense = Topology::random_connected(80, TopologyConfig::default(), &mut rng).unwrap();
+        let positions: Vec<Point> = dense.nodes().map(|v| dense.position(v)).collect();
+        let sparse = Topology::from_positions_with_config(
+            positions,
+            TopologyConfig {
+                sparse_routes: true,
+                ..TopologyConfig::default()
+            },
+        );
+        assert!(
+            sparse.memory_bytes() * 4 < dense.memory_bytes(),
+            "sparse {} vs dense {}",
+            sparse.memory_bytes(),
+            dense.memory_bytes()
+        );
     }
 }

@@ -2,8 +2,8 @@
 //! transport conservation laws, and metric bounds.
 
 use edgechain_sim::{
-    gini, EventQueue, NodeId, Point, SampleSet, SimTime, Topology, Transport, TransportConfig,
-    UNREACHABLE,
+    gini, EventQueue, NodeId, Point, SampleSet, SimTime, Topology, TopologyConfig, Transport,
+    TransportConfig, UNREACHABLE,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -211,6 +211,43 @@ proptest! {
             let p = topo.position(v);
             prop_assert!(topo.config().field.contains(&p));
             prop_assert!(topo.home(v).distance(&p) <= topo.mobility_range(v) + 1e-9);
+        }
+    }
+
+    /// The grid-bucket adjacency build (cell side = radio range, 3×3
+    /// candidate neighborhoods) must produce exactly the neighbor lists of
+    /// the brute-force all-pairs distance scan, for arbitrary placements
+    /// and radio ranges — including ranges larger than the paper's, where
+    /// the grid clamps cells to the field boundary.
+    #[test]
+    fn grid_bucket_adjacency_matches_brute_force(
+        points in arb_points(40),
+        comm_range in 5.0f64..150.0,
+        steps in 0usize..3,
+    ) {
+        let config = TopologyConfig {
+            comm_range,
+            ..TopologyConfig::default()
+        };
+        let mut topo = Topology::from_positions_with_config(points, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..steps {
+            topo.mobility_step(&mut rng); // re-runs the grid build at new positions
+        }
+        for a in topo.nodes() {
+            let mut brute: Vec<NodeId> = topo
+                .nodes()
+                .filter(|&b| {
+                    b != a && topo.position(a).distance(&topo.position(b)) <= comm_range
+                })
+                .collect();
+            brute.sort();
+            prop_assert_eq!(
+                topo.neighbors(a),
+                &brute[..],
+                "grid adjacency diverged from brute force at {:?}",
+                a
+            );
         }
     }
 }

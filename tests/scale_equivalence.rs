@@ -1,0 +1,263 @@
+//! Scale-path equivalence (ISSUE 9): the sparse lazy-route topology
+//! (`sparse_routes: true`) must be *bit-identical* to the dense reference
+//! below the equivalence threshold — same `RunReport`, byte-identical
+//! telemetry traces — across a figure-sized run, a chaos run (crashes,
+//! repair, link loss), and a Byzantine run. The region-decomposed
+//! allocation engine (`region_alloc`) is an approximation, so it is held
+//! to health bars (availability, invariants, determinism) rather than
+//! bit-equivalence.
+
+use edgechain::core::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain::sim::{ByzantineAction, FaultEvent, FaultPlan, NodeId, SimTime, TopologyConfig};
+use edgechain::telemetry;
+
+fn run(cfg: NetworkConfig) -> RunReport {
+    EdgeNetwork::new(cfg).expect("valid config").run()
+}
+
+fn with_sparse(mut cfg: NetworkConfig, sparse: bool) -> NetworkConfig {
+    cfg.topology = TopologyConfig {
+        sparse_routes: sparse,
+        ..cfg.topology
+    };
+    cfg
+}
+
+/// Fig. 4-sized cell (same seed as `tests/allocation_fastpath.rs`).
+fn fig4_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 30,
+        data_items_per_min: 2.0,
+        sim_minutes: 40,
+        seed: 0xFA57_0004,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Chaos run: crashes (triggering UFL repair sweeps), a restart, and a
+/// lossy window — every topology change rebuilds the route state, so the
+/// sparse lazy rows are re-materialized across many epochs.
+fn chaos_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 2.0,
+        sim_minutes: 25,
+        request_interval_secs: 60,
+        fault_plan: FaultPlan::new(vec![
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: SimTime::from_secs(500),
+            },
+            FaultEvent::Restart {
+                node: NodeId(3),
+                at: SimTime::from_secs(900),
+            },
+            FaultEvent::Crash {
+                node: NodeId(11),
+                at: SimTime::from_secs(650),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.05,
+                from: SimTime::from_secs(200),
+                until: SimTime::from_secs(1_000),
+            },
+        ]),
+        seed: 0xFA57_C405,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Byzantine run: equivocation, forged block, tampered signature — the
+/// adversary engine consults hop counts and reachability everywhere, so a
+/// single off-by-one in the sparse BFS would cascade into the verdicts.
+fn byzantine_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 20,
+        sim_minutes: 40,
+        data_items_per_min: 2.0,
+        request_interval_secs: 60,
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        fault_plan: FaultPlan::new(vec![
+            FaultEvent::Byzantine {
+                node: NodeId(6),
+                action: ByzantineAction::Equivocate,
+                at: SimTime::from_secs(300),
+            },
+            FaultEvent::Byzantine {
+                node: NodeId(15),
+                action: ByzantineAction::TamperSignature,
+                at: SimTime::from_secs(600),
+            },
+            FaultEvent::Byzantine {
+                node: NodeId(19),
+                action: ByzantineAction::ForgeBlock,
+                at: SimTime::from_secs(900),
+            },
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: SimTime::from_secs(800),
+            },
+            FaultEvent::LinkLoss {
+                prob: 0.05,
+                from: SimTime::from_secs(120),
+                until: SimTime::from_secs(1_800),
+            },
+        ]),
+        seed: 0xFA57_B12A,
+        ..NetworkConfig::default()
+    }
+}
+
+/// Same config, sparse vs dense routes: the full reports must be equal —
+/// every route, RDC value, rng draw, and transport byte included.
+fn assert_sparse_dense_equivalent(label: &str, cfg: NetworkConfig) {
+    let sparse = run(with_sparse(cfg.clone(), true));
+    let dense = run(with_sparse(cfg, false));
+    assert!(sparse.telemetry.is_none() && dense.telemetry.is_none());
+    assert_eq!(sparse, dense, "{label}: sparse topology diverged");
+}
+
+#[test]
+fn fig4_sized_run_is_equivalent() {
+    assert_sparse_dense_equivalent("fig4", fig4_config());
+}
+
+#[test]
+fn chaos_run_is_equivalent() {
+    assert_sparse_dense_equivalent("chaos", chaos_config());
+}
+
+#[test]
+fn byzantine_run_is_equivalent() {
+    assert_sparse_dense_equivalent("byzantine", byzantine_config());
+}
+
+/// Runs with telemetry armed; returns the JSONL trace and the report.
+fn run_traced(cfg: NetworkConfig) -> (String, RunReport) {
+    telemetry::enable();
+    let report = run(cfg);
+    let session = telemetry::finish().expect("telemetry was enabled");
+    (session.trace_jsonl(), report)
+}
+
+/// The sim-clock trace must be byte-identical between route
+/// representations — the topology emits no trace events of its own, so a
+/// hop-count or path divergence would surface as shifted timestamps.
+#[test]
+fn traces_are_byte_identical_across_route_representations() {
+    let (trace_sparse, mut report_sparse) = run_traced(with_sparse(chaos_config(), true));
+    let (trace_dense, mut report_dense) = run_traced(with_sparse(chaos_config(), false));
+    assert!(
+        trace_sparse.contains("ufl.alloc"),
+        "the run must allocate storers"
+    );
+    assert_eq!(
+        trace_sparse.as_bytes(),
+        trace_dense.as_bytes(),
+        "traces must match byte for byte"
+    );
+    // Counter snapshots legitimately differ (the dense path counts its
+    // eager parallel BFS fan-out); everything observable must not.
+    report_sparse.telemetry = None;
+    report_dense.telemetry = None;
+    assert_eq!(report_sparse, report_dense);
+}
+
+/// A scale-shaped cell: paper field at n = 200 (average radio degree in
+/// the thirties, like the constant-density bench points), full scale path
+/// on. This is the regime the regional engine is built for — at toy sizes
+/// (n ≈ 20, two or three regions) its origin-local replicas are more
+/// exposed to transient mobility disconnections than the global solve.
+fn regional_scale_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 200,
+        data_items_per_min: 3.0,
+        sim_minutes: 15,
+        region_alloc: true,
+        topology: TopologyConfig {
+            sparse_routes: true,
+            ..TopologyConfig::default()
+        },
+        seed: 0xFA57_9E01,
+        ..NetworkConfig::default()
+    }
+}
+
+/// The regional allocation engine is an approximation, not a replica of
+/// the global solve — its bar is a healthy network: blocks mined, high
+/// availability, no invariant violations, and replicas actually placed.
+#[test]
+fn regional_allocation_run_is_healthy() {
+    let report = run(regional_scale_config());
+    assert!(report.blocks_mined > 0);
+    assert!(
+        report.availability >= 0.9,
+        "regional availability {:.3} < 0.9",
+        report.availability
+    );
+    assert_eq!(report.invariant_violations, 0);
+    assert!(
+        report.mean_replicas >= 1.0,
+        "regional path stored no replicas"
+    );
+}
+
+/// The regional path under churn: crashes, a restart, and link loss must
+/// not corrupt anything the invariant checker watches, and the run must
+/// keep producing blocks.
+#[test]
+fn regional_chaos_run_keeps_invariants() {
+    let report = run(NetworkConfig {
+        region_alloc: true,
+        ..chaos_config()
+    });
+    assert!(report.blocks_mined > 0);
+    assert_eq!(report.invariant_violations, 0);
+    assert!(report.completed_requests > 0);
+}
+
+/// Seeded regional reruns are deterministic: byte-identical traces and
+/// equal reports.
+#[test]
+fn regional_reruns_are_byte_identical() {
+    let cfg = || NetworkConfig {
+        region_alloc: true,
+        ..fig4_config()
+    };
+    let (trace_a, report_a) = run_traced(cfg());
+    let (trace_b, report_b) = run_traced(cfg());
+    assert_eq!(trace_a.as_bytes(), trace_b.as_bytes());
+    assert_eq!(report_a, report_b);
+}
+
+/// Tracking-state GC: with a retention window shorter than the run, the
+/// tombstone peak must stay bounded by the window, not the item history.
+#[test]
+fn tracking_state_is_bounded_by_retention_window() {
+    let cfg = |retention: u64| NetworkConfig {
+        nodes: 20,
+        data_items_per_min: 6.0,
+        data_valid_minutes: 5,
+        expiration_sweep_secs: 60,
+        sim_minutes: 120,
+        tracking_retention_secs: retention,
+        seed: 0xFA57_6C01,
+        ..NetworkConfig::default()
+    };
+    let windowed = run(cfg(900));
+    let unbounded = run(cfg(u64::MAX / 2));
+    assert!(windowed.data_expired > 0, "run must expire items");
+    assert!(
+        windowed.peak_tracking_entries < unbounded.peak_tracking_entries,
+        "GC did not shrink tracking state: {} vs {}",
+        windowed.peak_tracking_entries,
+        unbounded.peak_tracking_entries
+    );
+    // ~15 min of items at 6/min is the window's worth plus sweep slack.
+    assert!(
+        windowed.peak_tracking_entries <= 200,
+        "windowed peak {} not O(window)",
+        windowed.peak_tracking_entries
+    );
+}
