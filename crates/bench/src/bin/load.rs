@@ -1,0 +1,303 @@
+//! Offered-load sweep: the open-workload engine driving item arrivals at a
+//! ladder of rates — from well under to several times over a fixed,
+//! protected capacity — measuring what overload does to tail latency.
+//!
+//! Every point keeps the same 20-node network and the same protection
+//! stack (admission bucket at 30 items/min, 30-item mempool bound, fetch
+//! bucket, retry budget); only the offered rate climbs. Each point records
+//! offered/admitted/shed rates, p50/p95/p99 inclusion and fetch latency of
+//! the *admitted* traffic, availability, peak queue depth, and the deepest
+//! degradation rung, all landing in `BENCH_load.json`.
+//!
+//! The shape under test: below capacity nothing sheds and latency is flat;
+//! past capacity shedding engages and climbs with load, while the admitted
+//! p99 inclusion latency stays bounded by the mempool cap (the queue can
+//! never hold more than one block interval of work) instead of growing
+//! without bound as an unprotected open queue would.
+//!
+//! `cargo run --release -p edgechain-bench --bin load` (default 30
+//! simulated minutes per point; `--small` drops to 10 for CI smoke runs;
+//! `--minutes N` as usual). The final health line asserts the overload
+//! point: shedding engaged, admitted p99 inclusion within the SLO bar,
+//! availability ≥ 0.9.
+
+use edgechain_bench::{parse_options, print_table, FigureOptions};
+use edgechain_core::network::{EdgeNetwork, NetworkConfig, RunReport};
+use edgechain_core::{ArrivalProcess, OpenArrivals, OverloadConfig, SloThresholds, WorkloadConfig};
+use edgechain_telemetry as telemetry;
+use std::time::Instant;
+
+/// The protected capacity every ladder point runs against (items/min).
+const CAPACITY_ITEMS_PER_MIN: f64 = 30.0;
+
+/// Offered item rates, per minute: 1/6× to ~2.7× capacity.
+const OFFERED_ITEMS_PER_MIN: &[f64] = &[5.0, 10.0, 20.0, 40.0, 80.0];
+
+/// Nodes per point (small enough that the sweep costs seconds).
+const NODES: usize = 20;
+
+/// One ladder point.
+struct LoadPoint {
+    offered_per_min: f64,
+    wall_secs: f64,
+    report: RunReport,
+    registry: telemetry::Registry,
+}
+
+fn load_config(offered_per_min: f64, minutes: u64) -> NetworkConfig {
+    NetworkConfig {
+        nodes: NODES,
+        sim_minutes: minutes,
+        request_interval_secs: 60,
+        // Ride out mobility disconnections (chaos-suite tuning): 4 s …
+        // 64 s of backoff spans over two minutes.
+        fetch_retries: 5,
+        retry_backoff_ms: 4_000,
+        retry_backoff_max_ms: 64_000,
+        seed: 0x10AD_0000 + (offered_per_min * 10.0) as u64,
+        workload: WorkloadConfig {
+            enabled: true,
+            arrivals: OpenArrivals {
+                process: ArrivalProcess::Poisson {
+                    rate_per_min: offered_per_min,
+                },
+                burst: None,
+            },
+            // Open fetch pressure scales with the item rate (readers chase
+            // writers), Zipf-skewed toward fresh content.
+            fetches: Some(OpenArrivals {
+                process: ArrivalProcess::Poisson {
+                    rate_per_min: offered_per_min * 2.5,
+                },
+                burst: None,
+            }),
+            zipf_exponent: 0.9,
+        },
+        overload: OverloadConfig {
+            admission_items_per_min: Some(CAPACITY_ITEMS_PER_MIN),
+            admission_fetches_per_min: Some(CAPACITY_ITEMS_PER_MIN * 2.0),
+            max_pending_items: Some(30),
+            max_inflight_per_node: Some(8),
+            retry_budget_per_min: Some(240.0),
+            ..OverloadConfig::default()
+        },
+        ..NetworkConfig::default()
+    }
+}
+
+fn run_point(offered_per_min: f64, minutes: u64) -> LoadPoint {
+    telemetry::enable();
+    let start = Instant::now();
+    let report = EdgeNetwork::new(load_config(offered_per_min, minutes))
+        .expect("connected topology")
+        .run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let session = telemetry::finish().unwrap_or_default();
+    let o = &report.overload;
+    println!(
+        "offered {offered_per_min:>5.1}/min: {:.1}s wall, {} blocks, items {}/{} admitted, \
+         fetches {}/{} admitted, p99 incl {}, availability {:.3}, degrade L{}",
+        wall_secs,
+        report.blocks_mined,
+        o.admitted_items,
+        o.offered_items,
+        o.admitted_fetches,
+        o.offered_fetches,
+        fmt_opt_secs(report.inclusion_latency.p99),
+        report.availability,
+        o.max_degrade_level,
+    );
+    LoadPoint {
+        offered_per_min,
+        wall_secs,
+        report,
+        registry: session.registry,
+    }
+}
+
+fn fmt_opt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.1}s"),
+        None => "-".into(),
+    }
+}
+
+/// JSON value for an optional latency percentile.
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.3}"),
+        None => "null".into(),
+    }
+}
+
+/// The health bar for the overload end of the ladder: shedding must have
+/// engaged, and the *admitted* traffic must still be healthy.
+fn assert_overload_health(p: &LoadPoint) {
+    let o = &p.report.overload;
+    assert!(
+        o.engaged() && o.shed_items > 0,
+        "load smoke: top of the ladder never shed (offered {}/min)",
+        p.offered_per_min
+    );
+    let slo_bar = SloThresholds::default().inclusion_p99_max_secs;
+    let p99 = p
+        .report
+        .inclusion_latency
+        .p99
+        .expect("overload point packed enough items for a p99");
+    assert!(
+        p99 <= slo_bar,
+        "load smoke: admitted p99 inclusion {p99:.1}s breaches the {slo_bar:.0}s SLO"
+    );
+    assert!(
+        p.report.availability >= 0.9,
+        "load smoke: availability {:.3} < 0.9 under overload",
+        p.report.availability
+    );
+    assert!(p.report.blocks_mined > 0, "load smoke: mining stalled");
+}
+
+fn main() {
+    let mut opts = parse_options(30, 1);
+    let small = std::env::args().any(|a| a == "--small");
+    if small {
+        opts.minutes = opts.minutes.min(10);
+    }
+    println!(
+        "Offered-load sweep — {} min simulated per point, {NODES} nodes, \
+         capacity {CAPACITY_ITEMS_PER_MIN}/min, offered ∈ {OFFERED_ITEMS_PER_MIN:?}",
+        opts.minutes
+    );
+
+    let points: Vec<LoadPoint> = OFFERED_ITEMS_PER_MIN
+        .iter()
+        .map(|&r| run_point(r, opts.minutes))
+        .collect();
+
+    let mut registry = telemetry::Registry::new();
+    for p in &points {
+        registry.merge(&p.registry);
+    }
+
+    let minutes = opts.minutes.max(1) as f64;
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            let o = &p.report.overload;
+            vec![
+                o.admitted_items as f64 / minutes,
+                o.shed_items as f64 / minutes,
+                p.report.inclusion_latency.p50.unwrap_or(f64::NAN),
+                p.report.inclusion_latency.p99.unwrap_or(f64::NAN),
+                p.report.fetch_latency.p99.unwrap_or(f64::NAN),
+                p.report.availability,
+                o.peak_pending_items as f64,
+                o.max_degrade_level as f64,
+            ]
+        })
+        .collect();
+    print_table(
+        "Offered load vs admitted tail latency",
+        "offered/min",
+        OFFERED_ITEMS_PER_MIN,
+        &[
+            "adm/min",
+            "shed/min",
+            "incl p50 s",
+            "incl p99 s",
+            "fetch p99 s",
+            "avail",
+            "peak queue",
+            "max rung",
+        ],
+        &rows,
+        2,
+    );
+
+    write_load_json(&opts, &points, &mut registry);
+
+    let top = points.last().expect("ladder is non-empty");
+    assert_overload_health(top);
+    let o = &top.report.overload;
+    println!(
+        "load smoke OK: offered {}/min vs capacity {CAPACITY_ITEMS_PER_MIN}/min, \
+         {} shed, p99 inclusion {}, availability {:.3}",
+        top.offered_per_min,
+        o.shed_items,
+        fmt_opt_secs(top.report.inclusion_latency.p99),
+        top.report.availability,
+    );
+}
+
+/// `BENCH_load.json`: the full ladder with latency percentiles and
+/// admitted/shed accounting per point, plus the merged registry dump.
+fn write_load_json(opts: &FigureOptions, points: &[LoadPoint], registry: &mut telemetry::Registry) {
+    let minutes = opts.minutes.max(1) as f64;
+    let mut out = String::from("{\n  \"bench\": \"load\",\n");
+    out.push_str(&format!("  \"minutes\": {},\n", opts.minutes));
+    out.push_str(&format!("  \"nodes\": {NODES},\n"));
+    out.push_str(&format!(
+        "  \"capacity_items_per_min\": {CAPACITY_ITEMS_PER_MIN},\n"
+    ));
+    out.push_str("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let r = &p.report;
+        let o = &r.overload;
+        out.push_str(&format!(
+            "\n    {{\"offered_items_per_min\": {}, \"wall_secs\": {:.6}, \"blocks\": {}, \
+             \"offered_items\": {}, \"admitted_items\": {}, \"shed_items\": {}, \
+             \"alloc_rejected\": {}, \"admitted_items_per_min\": {:.3}, \"shed_items_per_min\": {:.3}, \
+             \"offered_fetches\": {}, \"admitted_fetches\": {}, \"shed_fetches\": {}, \
+             \"fetch_exhausted\": {}, \"retries_denied\": {}, \
+             \"deferred_replications\": {}, \"deferred_repairs\": {}, \
+             \"peak_pending_items\": {}, \"max_degrade_level\": {}, \
+             \"availability\": {:.4}, \
+             \"inclusion_p50_secs\": {}, \"inclusion_p95_secs\": {}, \"inclusion_p99_secs\": {}, \
+             \"fetch_p50_secs\": {}, \"fetch_p95_secs\": {}, \"fetch_p99_secs\": {}}}",
+            p.offered_per_min,
+            p.wall_secs,
+            r.blocks_mined,
+            o.offered_items,
+            o.admitted_items,
+            o.shed_items,
+            o.alloc_rejected,
+            o.admitted_items as f64 / minutes,
+            o.shed_items as f64 / minutes,
+            o.offered_fetches,
+            o.admitted_fetches,
+            o.shed_fetches,
+            o.fetch_exhausted,
+            o.retries_denied,
+            o.deferred_replications,
+            o.deferred_repairs,
+            o.peak_pending_items,
+            o.max_degrade_level,
+            r.availability,
+            json_opt(r.inclusion_latency.p50),
+            json_opt(r.inclusion_latency.p95),
+            json_opt(r.inclusion_latency.p99),
+            json_opt(r.fetch_latency.p50),
+            json_opt(r.fetch_latency.p95),
+            json_opt(r.fetch_latency.p99),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    let registry_json = registry.to_json();
+    out.push_str("  \"registry\": ");
+    for (i, line) in registry_json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    let path = "BENCH_load.json";
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+    }
+}

@@ -187,6 +187,19 @@ impl Ledger {
         taken
     }
 
+    /// Debits tokens all-or-nothing: succeeds (and takes `amount`) only
+    /// when the balance covers it. Admission pricing uses this so a shed
+    /// request never partially drains an account.
+    pub fn try_debit(&mut self, account: AccountId, amount: u64) -> bool {
+        let bal = self.balances.entry(account).or_insert(self.initial_tokens);
+        if *bal >= amount {
+            *bal -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Halves every balance (rounding up, minimum 1). This is the paper's
     /// §V-B token rescaling: "decrease S_i for all nodes simultaneously (by
     /// ratio) after a certain number of blocks, and increase B by the same
@@ -251,6 +264,18 @@ mod tests {
         assert_eq!(ledger.debit(acct, 10), 1); // saturates
         assert_eq!(ledger.balance(&acct), 0);
         assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn try_debit_is_all_or_nothing() {
+        let mut ledger = Ledger::new();
+        let acct = Identity::from_seed(4).account();
+        ledger.credit(acct, 2); // balance 3
+        assert!(!ledger.try_debit(acct, 5), "insufficient: must not drain");
+        assert_eq!(ledger.balance(&acct), 3);
+        assert!(ledger.try_debit(acct, 3));
+        assert_eq!(ledger.balance(&acct), 0);
+        assert!(ledger.try_debit(acct, 0), "zero price always admits");
     }
 
     #[test]

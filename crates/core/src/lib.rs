@@ -77,5 +77,11 @@ pub use pos::{
     hit, next_pos_hash, run_round, verify_claim, Amendment, Candidate, MiningOutcome, HIT_MODULUS,
 };
 pub use pow::{mine, verify, Difficulty, PowSolution};
-pub use slo::{LatencySummary, SloAlert, SloMonitor, SloReport, SloThresholds};
+pub use slo::{LatencySummary, OverloadReport, SloAlert, SloMonitor, SloReport, SloThresholds};
 pub use storage::NodeStorage;
+
+// Open-workload configuration types, re-exported so downstream crates can
+// build a `NetworkConfig` without depending on the workload crate directly.
+pub use edgechain_workload::{
+    ArrivalProcess, Burst, OpenArrivals, OverloadConfig, TokenBucket, WorkloadConfig, ZipfSampler,
+};

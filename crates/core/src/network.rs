@@ -35,7 +35,7 @@ use crate::chain::{Blockchain, CheckpointPolicy, Snapshot};
 use crate::invariant::{ForkView, InvariantChecker, InvariantView};
 use crate::metadata::{DataId, DataType, Location, MetadataItem};
 use crate::pos::{run_round, run_round_cached, Candidate, HitTable};
-use crate::slo::{LatencySummary, SloMonitor, SloReport, SloThresholds};
+use crate::slo::{LatencySummary, OverloadReport, SloMonitor, SloReport, SloThresholds};
 use crate::storage::NodeStorage;
 use edgechain_energy::{Battery, DeviceProfile, EnergyCategory, EnergyMeter};
 use edgechain_sim::{
@@ -43,6 +43,7 @@ use edgechain_sim::{
     SimTime, Topology, TopologyConfig, TopologyError, Transport, TransportConfig,
 };
 use edgechain_telemetry::{self as telemetry, trace_event, RegistrySnapshot, SpanId};
+use edgechain_workload::{OverloadConfig, TokenBucket, WorkloadConfig, ZipfSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -225,6 +226,28 @@ pub struct NetworkConfig {
     /// Resurrection detection still covers the window — a block citing an
     /// id swept longer ago than this is treated as fresh.
     pub tracking_retention_secs: u64,
+    /// Open-workload section (ISSUE 10): seeded arrival processes for
+    /// item generation and (optionally) demand-skewed fetches. Disabled
+    /// by default, which keeps the original closed-loop generator and
+    /// leaves every existing seed bit-identical — the workload RNG is a
+    /// dedicated stream (`seed ^ WORKLOAD_STREAM`), never the master.
+    pub workload: WorkloadConfig,
+    /// Overload-protection section (ISSUE 10): admission token buckets at
+    /// item generation and fetch entry (priced against the token ledger),
+    /// a bounded pending queue with shed accounting, per-node in-flight
+    /// fetch caps, a global retry budget, and the degradation ladder.
+    /// Every limit defaults to `None`/inert.
+    pub overload: OverloadConfig,
+    /// Ceiling on the exponential retry backoff, milliseconds. Without it
+    /// `retry_backoff_ms << attempt` reaches ~9 h by attempt 16; the
+    /// default (10 min) is far above what any shipped configuration can
+    /// produce, so existing runs schedule identically.
+    pub retry_backoff_max_ms: u64,
+    /// Uniform jitter in `[0, retry_jitter_ms]` added to every backoff,
+    /// drawn from a dedicated seeded stream (`seed ^ BACKOFF_STREAM`) so
+    /// enabling it never perturbs the master RNG. 0 (the default)
+    /// consumes no draws and reproduces the original schedule exactly.
+    pub retry_jitter_ms: u64,
     /// Master RNG seed; identical configs+seeds give identical runs.
     pub seed: u64,
 }
@@ -275,6 +298,10 @@ impl Default for NetworkConfig {
             region_cell_m: 140.0,
             region_horizon: 8,
             tracking_retention_secs: 7200,
+            workload: WorkloadConfig::default(),
+            overload: OverloadConfig::default(),
+            retry_backoff_max_ms: 600_000,
+            retry_jitter_ms: 0,
             seed: 0xED6E,
         }
     }
@@ -308,6 +335,9 @@ enum Event {
         node: NodeId,
         attempt: u32,
     },
+    /// One open-workload fetch arrival is due (requester and target item
+    /// drawn from the dedicated workload RNG stream).
+    WorkloadFetch,
 }
 
 /// A "general information" record replicated through raft when
@@ -460,6 +490,12 @@ pub struct RunReport {
     /// unconditionally — it never consults the RNG — so it is identical
     /// whether or not telemetry or spans were armed.
     pub slo: SloReport,
+    /// Overload accounting: offered vs admitted vs shed load, retry-budget
+    /// denials, degradation-ladder activity, and queue high-water marks
+    /// (see [`crate::slo::OverloadReport`]). Offered/admitted counters and
+    /// queue peaks are maintained on every run; the protection counters
+    /// stay zero unless [`NetworkConfig::overload`] sets limits.
+    pub overload: OverloadReport,
     /// Deterministic summary of the telemetry registry, when a session was
     /// armed ([`edgechain_telemetry::enable`]) for the run; `None`
     /// otherwise, so reports from un-instrumented runs stay bit-identical
@@ -542,6 +578,9 @@ impl fmt::Display for RunReport {
         writeln!(f, "  inclusion latency: {}", self.inclusion_latency)?;
         writeln!(f, "  fetch latency: {}", self.fetch_latency)?;
         writeln!(f, "  slo: {}", self.slo)?;
+        if self.overload.engaged() {
+            writeln!(f, "  overload: {}", self.overload)?;
+        }
         if let Some(snap) = &self.telemetry {
             writeln!(f, "  telemetry: {} metrics captured", snap.entries.len())?;
         }
@@ -653,6 +692,33 @@ pub struct EdgeNetwork {
     snapshots_applied: u64,
     snapshots_rejected: u64,
     peak_storage_slots: u64,
+
+    // open workload & overload protection (ISSUE 10)
+    /// Dedicated RNG stream for arrival sampling and popularity draws;
+    /// disabled workloads never touch it, so the master stream is
+    /// unaffected either way.
+    workload_rng: StdRng,
+    /// Dedicated RNG stream for retry-backoff jitter; consulted only when
+    /// `retry_jitter_ms > 0`.
+    backoff_rng: StdRng,
+    /// Popularity sampler for open-workload fetches.
+    zipf: ZipfSampler,
+    /// Admission bucket at item generation (`None` = unlimited).
+    item_bucket: Option<TokenBucket>,
+    /// Admission bucket at fetch entry (`None` = unlimited).
+    fetch_bucket: Option<TokenBucket>,
+    /// Global retry budget (`None` = unlimited).
+    retry_bucket: Option<TokenBucket>,
+    /// Run-wide overload accounting (folds into the report).
+    overload: OverloadReport,
+    /// Current degradation-ladder rung, recomputed at each mined block.
+    degrade_level: u8,
+    /// Scheduled-but-unresolved `RetryFetch` events per `(requester,
+    /// data_id)` key — the fetch backlog. Entries stranded past the sim
+    /// horizon are explicit `exhausted` failures, never silent.
+    fetch_backlog: HashMap<(usize, u64), u32>,
+    /// Per-node count of backlogged fetches (mirror of `fetch_backlog`).
+    inflight_fetches: Vec<u32>,
 }
 
 /// Open-span bookkeeping for the causal trace layer.
@@ -767,6 +833,25 @@ impl EdgeNetwork {
             None
         };
 
+        // Overload machinery. Buckets are `None` (unlimited) unless the
+        // config prices them; the dedicated RNG streams keep the master
+        // stream untouched whether or not the workload engine is on.
+        let workload_rng = StdRng::seed_from_u64(config.seed ^ edgechain_workload::WORKLOAD_STREAM);
+        let backoff_rng = StdRng::seed_from_u64(config.seed ^ edgechain_workload::BACKOFF_STREAM);
+        let zipf = ZipfSampler::new(config.workload.zipf_exponent);
+        let item_bucket = config
+            .overload
+            .admission_items_per_min
+            .map(|r| TokenBucket::per_minute(r, config.overload.admission_items_burst));
+        let fetch_bucket = config
+            .overload
+            .admission_fetches_per_min
+            .map(|r| TokenBucket::per_minute(r, config.overload.admission_fetches_burst));
+        let retry_bucket = config
+            .overload
+            .retry_budget_per_min
+            .map(|r| TokenBucket::per_minute(r, config.overload.retry_budget_burst));
+
         let mut network = EdgeNetwork {
             topo,
             transport,
@@ -836,6 +921,16 @@ impl EdgeNetwork {
             snapshots_applied: 0,
             snapshots_rejected: 0,
             peak_storage_slots: 0,
+            workload_rng,
+            backoff_rng,
+            zipf,
+            item_bucket,
+            fetch_bucket,
+            retry_bucket,
+            overload: OverloadReport::default(),
+            degrade_level: 0,
+            fetch_backlog: HashMap::new(),
+            inflight_fetches: vec![0; config.nodes],
             rng,
             config,
         };
@@ -850,6 +945,9 @@ impl EdgeNetwork {
         }
         let first_gen = self.sample_generation_gap();
         self.queue.schedule(first_gen, Event::GenerateData);
+        if self.config.workload.enabled && self.config.workload.fetches.is_some() {
+            self.schedule_workload_fetch();
+        }
         self.schedule_next_block();
         for r in self.requesters.clone() {
             let jitter = SimTime::from_secs(
@@ -917,7 +1015,24 @@ impl EdgeNetwork {
     }
 
     fn sample_generation_gap(&mut self) -> SimTime {
-        // Exponential inter-arrivals with mean 60/rate seconds.
+        if self.config.workload.enabled {
+            // Open workload: the arrival process dictates absolute arrival
+            // times on its own seeded stream (Lewis–Shedler thinning for
+            // the time-varying shapes). A silent process parks the next
+            // event past the horizon so the queue still drains cleanly.
+            let now_secs = self.queue.now().as_millis() as f64 / 1000.0;
+            let t = self
+                .config
+                .workload
+                .arrivals
+                .next_arrival_secs(now_secs, &mut self.workload_rng);
+            if !t.is_finite() {
+                return SimTime::from_secs(self.config.sim_minutes * 60 + 3600);
+            }
+            return SimTime::from_millis((t * 1000.0).ceil() as u64)
+                .max(self.queue.now() + SimTime::from_millis(1));
+        }
+        // Closed loop: exponential inter-arrivals with mean 60/rate seconds.
         let rate_per_sec = self.config.data_items_per_min / 60.0;
         let u: f64 = self.rng.gen_range(1e-9..1.0);
         let gap = -u.ln() / rate_per_sec;
@@ -1054,6 +1169,7 @@ impl EdgeNetwork {
                     attempt,
                 } => self.on_retry_fetch(requester, data_id, attempt, now),
                 Event::RetryRecover { node, attempt } => self.on_retry_recover(node, attempt, now),
+                Event::WorkloadFetch => self.on_workload_fetch(now),
             }
             if meter {
                 self.observe_invariants(now);
@@ -1063,6 +1179,26 @@ impl EdgeNetwork {
             // Close the under-replication meter at the horizon.
             self.observe_invariants(horizon);
         }
+        // Fetches still waiting on a scheduled retry when the horizon hits
+        // never resolved: count each as an explicit exhausted failure
+        // instead of leaving it silently in flight forever. Keys are
+        // drained in sorted order so the trace is deterministic.
+        let mut stranded: Vec<(usize, u64)> = self.fetch_backlog.keys().copied().collect();
+        stranded.sort_unstable();
+        for (req, id) in stranded {
+            self.failed_requests += 1;
+            self.overload.fetch_exhausted += 1;
+            self.slo.record_failure(horizon.as_millis());
+            telemetry::counter_add("request.exhausted", 1);
+            trace_event!(
+                "request.exhausted",
+                horizon.as_millis(),
+                requester = req as u64,
+                id = id
+            );
+            self.close_fetch_span(NodeId(req), DataId(id), horizon.as_millis(), "exhausted");
+        }
+        self.fetch_backlog.clear();
         if self.spans.is_some() {
             // Whatever is still in flight at the horizon (unpacked items,
             // pending fetch backoffs, open quarantines, the scheduled next
@@ -1581,12 +1717,24 @@ impl EdgeNetwork {
             return;
         }
         let producer = live[self.rng.gen_range(0..live.len())];
+        // Admission control sits between "the world offered an item" and
+        // "the network accepted it". All gates are inert by default, so a
+        // default config admits everything and the counters are the only
+        // observable difference.
+        self.overload.offered_items += 1;
+        self.slo.record_offered(now.as_millis());
+        if !self.admit_item(producer, now) {
+            let next = self.sample_generation_gap();
+            self.queue.schedule(next, Event::GenerateData);
+            return;
+        }
+        self.overload.admitted_items += 1;
         let id = DataId(self.next_data_id);
         self.next_data_id += 1;
         let pos = self.topo.position(producer);
         let kinds = ["PM2.5", "Traffic", "Noise", "Temperature"];
         let kind = kinds[self.rng.gen_range(0..kinds.len())];
-        let item = MetadataItem::new_signed(
+        let mut item = MetadataItem::new_signed(
             self.identities[producer.0].keys(),
             id,
             DataType::Sensing(kind.into()),
@@ -1620,12 +1768,198 @@ impl EdgeNetwork {
             let pend = telemetry::span_start("item.pend", t, root);
             sp.items.insert(id.0, (root, pend));
         }
+        // Open-workload runs allocate storers *per item at admission*
+        // (streaming UFL over the cached context) instead of batching the
+        // solve at block-pack time; an unsatisfiable solve rejects the item
+        // here, before any bytes move.
+        if self.config.workload.enabled {
+            match self.select_storers_now(self.config.placement, producer) {
+                Ok(storers) => {
+                    trace_event!(
+                        "ufl.stream_alloc",
+                        now.as_millis(),
+                        item = id.0,
+                        replicas = storers.len() as u64
+                    );
+                    item.storing_nodes = storers;
+                }
+                Err(_) => {
+                    self.overload.alloc_rejected += 1;
+                    telemetry::counter_add("alloc.rejected", 1);
+                    trace_event!("alloc.rejected", now.as_millis(), item = id.0);
+                    if let Some(sp) = self.spans.as_mut() {
+                        if let Some((root, pend)) = sp.items.remove(&id.0) {
+                            telemetry::span_end(pend, now.as_millis());
+                            telemetry::span_field(root, "outcome", "alloc_rejected");
+                            telemetry::span_end(root, now.as_millis());
+                        }
+                    }
+                    let next = self.sample_generation_gap();
+                    self.queue.schedule(next, Event::GenerateData);
+                    return;
+                }
+            }
+        }
         let announce_bytes = item.wire_size();
         self.transport
             .broadcast(&self.topo, producer, announce_bytes, now);
         self.pending_metadata.push(item);
+        self.overload.peak_pending_items = self
+            .overload
+            .peak_pending_items
+            .max(self.pending_metadata.len() as u64);
         let next = self.sample_generation_gap();
         self.queue.schedule(next, Event::GenerateData);
+    }
+
+    /// Admission gate for a newly offered data item. Checks, in order: the
+    /// pending-queue bound, the item token bucket, and the token-ledger
+    /// price. Every gate defaults off, so the default config admits
+    /// unconditionally. Returns `false` (and accounts the shed) on reject.
+    fn admit_item(&mut self, producer: NodeId, now: SimTime) -> bool {
+        if let Some(cap) = self.config.overload.max_pending_items {
+            if cap > 0 && self.pending_metadata.len() >= cap {
+                self.shed_item(now, "queue_full");
+                return false;
+            }
+        }
+        if let Some(bucket) = self.item_bucket.as_mut() {
+            if !bucket.try_take(now.as_millis(), 1.0) {
+                self.shed_item(now, "bucket");
+                return false;
+            }
+        }
+        let price = self.config.overload.admission_price_tokens;
+        if price > 0 {
+            let account = self.account_of[producer.0];
+            if !self.ledger.try_debit(account, price) {
+                self.shed_item(now, "price");
+                return false;
+            }
+            self.overload.admission_tokens_charged += price;
+        }
+        true
+    }
+
+    fn shed_item(&mut self, now: SimTime, reason: &'static str) {
+        self.overload.shed_items += 1;
+        self.slo.record_shed(now.as_millis());
+        telemetry::counter_add("overload.shed_items", 1);
+        trace_event!(
+            "overload.shed",
+            now.as_millis(),
+            op = "item",
+            reason = reason
+        );
+    }
+
+    /// Admission gate at fetch entry. `low_priority` marks open-workload
+    /// reads, the first rung of the degradation ladder; requester-loop
+    /// fetches pass `false` and are only throttled by the explicit knobs.
+    fn admit_fetch(&mut self, requester: NodeId, now: SimTime, low_priority: bool) -> bool {
+        self.overload.offered_fetches += 1;
+        if low_priority && self.degrade_level >= 1 {
+            self.shed_fetch(now, "degraded");
+            return false;
+        }
+        if let Some(cap) = self.config.overload.max_inflight_per_node {
+            if cap > 0 && self.inflight_fetches[requester.0] as usize >= cap {
+                self.shed_fetch(now, "inflight");
+                return false;
+            }
+        }
+        if let Some(bucket) = self.fetch_bucket.as_mut() {
+            if !bucket.try_take(now.as_millis(), 1.0) {
+                self.shed_fetch(now, "bucket");
+                return false;
+            }
+        }
+        let price = self.config.overload.admission_price_tokens;
+        if price > 0 {
+            let account = self.account_of[requester.0];
+            if !self.ledger.try_debit(account, price) {
+                self.shed_fetch(now, "price");
+                return false;
+            }
+            self.overload.admission_tokens_charged += price;
+        }
+        self.overload.admitted_fetches += 1;
+        true
+    }
+
+    fn shed_fetch(&mut self, now: SimTime, reason: &'static str) {
+        self.overload.shed_fetches += 1;
+        self.slo.record_shed(now.as_millis());
+        telemetry::counter_add("overload.shed_fetches", 1);
+        trace_event!(
+            "overload.shed",
+            now.as_millis(),
+            op = "fetch",
+            reason = reason
+        );
+    }
+
+    /// Charges the global retry budget. Unlimited (`None`) by default; a
+    /// denied retry is accounted and the caller treats the request as
+    /// terminally failed instead of backing off again.
+    fn retry_allowed(&mut self, now: SimTime) -> bool {
+        match self.retry_bucket.as_mut() {
+            None => true,
+            Some(bucket) => {
+                if bucket.try_take(now.as_millis(), 1.0) {
+                    true
+                } else {
+                    self.overload.retries_denied += 1;
+                    telemetry::counter_add("overload.retries_denied", 1);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Exponential retry backoff: `retry_backoff_ms << attempt`, capped at
+    /// `retry_backoff_max_ms`, plus uniform jitter from the dedicated
+    /// backoff stream when `retry_jitter_ms > 0`. With the default cap the
+    /// uncapped curve of every pre-existing config is reproduced exactly.
+    fn retry_backoff(&mut self, attempt: u32) -> SimTime {
+        let base = self
+            .config
+            .retry_backoff_ms
+            .max(1)
+            .checked_shl(attempt.min(16))
+            .unwrap_or(u64::MAX);
+        let capped = base.min(self.config.retry_backoff_max_ms.max(1));
+        let jitter = match self.config.retry_jitter_ms {
+            0 => 0,
+            j => self.backoff_rng.gen_range(0..=j),
+        };
+        SimTime::from_millis(capped.saturating_add(jitter))
+    }
+
+    /// Tracks one scheduled `RetryFetch` in the backlog (the bounded set
+    /// of fetches waiting on a backoff timer).
+    fn backlog_push(&mut self, requester: NodeId, data_id: DataId) {
+        *self
+            .fetch_backlog
+            .entry((requester.0, data_id.0))
+            .or_insert(0) += 1;
+        self.inflight_fetches[requester.0] += 1;
+        self.overload.peak_inflight_fetches = self
+            .overload
+            .peak_inflight_fetches
+            .max(self.fetch_backlog.values().map(|&c| c as u64).sum());
+    }
+
+    /// Clears one backlog entry when its `RetryFetch` fires.
+    fn backlog_pop(&mut self, requester: NodeId, data_id: DataId) {
+        if let Some(c) = self.fetch_backlog.get_mut(&(requester.0, data_id.0)) {
+            *c -= 1;
+            if *c == 0 {
+                self.fetch_backlog.remove(&(requester.0, data_id.0));
+            }
+            self.inflight_fetches[requester.0] =
+                self.inflight_fetches[requester.0].saturating_sub(1);
+        }
     }
 
     /// The single allocation entry point for every call site (item packing,
@@ -1788,6 +2122,27 @@ impl EdgeNetwork {
             Some(_) | None => {}
         }
 
+        // Degradation ladder: the mempool depth relative to the configured
+        // bound picks the rung for this block interval. L1 sheds
+        // low-priority fetches, L2 also trims dissemination to the first
+        // replica, L3 also parks repair sweeps. Consensus itself (this
+        // function) is never throttled. With no bound configured the
+        // ladder stays at level 0 forever.
+        let depth = self.pending_metadata.len();
+        self.slo.note_queue_depth(depth as u64);
+        let level = self.config.overload.degrade_level(depth);
+        if level != self.degrade_level {
+            trace_event!(
+                "overload.degrade",
+                now.as_millis(),
+                from = self.degrade_level as u64,
+                to = level as u64,
+                depth = depth as u64
+            );
+            self.degrade_level = level;
+        }
+        self.overload.max_degrade_level = self.overload.max_degrade_level.max(level);
+
         // The miner packs pending metadata and allocates storers per item.
         let mut packed = std::mem::take(&mut self.pending_metadata);
         for item in &mut packed {
@@ -1811,6 +2166,12 @@ impl EdgeNetwork {
                 },
                 None => SpanId::NONE,
             };
+            // Items admitted through the streaming path carry their storers
+            // already (allocated per item at generation); only batch-path
+            // items solve here.
+            if !item.storing_nodes.is_empty() {
+                continue;
+            }
             let origin = self
                 .node_of_account
                 .get(&item.producer)
@@ -2083,6 +2444,13 @@ impl EdgeNetwork {
                 if storer != producer && self.storage[storer.0].is_full() {
                     continue;
                 }
+                // Ladder L2+: defer proactive replication past the first
+                // landed copy — the repair sweep restores full replication
+                // once the mempool drains back below the rung.
+                if self.degrade_level >= 2 && stored >= 1 {
+                    self.overload.deferred_replications += 1;
+                    continue;
+                }
                 // An unreachable storer simply stays unstored for now.
                 if let Ok(d) =
                     self.transport
@@ -2127,8 +2495,13 @@ impl EdgeNetwork {
         self.byz_release_withheld(now);
 
         // The miner also audits replica health and repairs what churn
-        // broke since the last block.
-        self.repair_replicas(now);
+        // broke since the last block — unless the ladder's top rung has
+        // parked repair to shed load (the next sub-L3 block catches up).
+        if self.degrade_level >= 3 {
+            self.overload.deferred_repairs += 1;
+        } else {
+            self.repair_replicas(now);
+        }
 
         let used_now: u64 = self.storage.iter().map(NodeStorage::used_slots).sum();
         self.peak_storage_slots = self.peak_storage_slots.max(used_now);
@@ -2328,7 +2701,13 @@ impl EdgeNetwork {
     /// The copies ride the transport like any other traffic, so repair
     /// cost lands in the overhead and energy metrics.
     fn repair_replicas(&mut self, now: SimTime) {
-        if !self.config.replica_repair || self.config.fault_plan.is_empty() {
+        // Fault-free closed-loop runs never under-replicate, so the sweep
+        // is skipped unless faults are in play — or the open workload is
+        // on, where deferred dissemination (ladder L2) leaves gaps the
+        // sweep must close once load subsides.
+        if !self.config.replica_repair
+            || (self.config.fault_plan.is_empty() && !self.config.workload.enabled)
+        {
             return;
         }
         let mut ids: Vec<DataId> = self.data_registry.keys().copied().collect();
@@ -2465,7 +2844,7 @@ impl EdgeNetwork {
             if self.config.snapshot_bootstrap && self.try_snapshot_bootstrap(v, now) {
                 return;
             }
-            if attempt < self.config.fetch_retries {
+            if attempt < self.config.fetch_retries && self.retry_allowed(now) {
                 self.retries += 1;
                 telemetry::counter_add("transport.retries", 1);
                 trace_event!(
@@ -2475,8 +2854,7 @@ impl EdgeNetwork {
                     attempt = attempt + 1,
                     op = "snapshot"
                 );
-                let backoff =
-                    SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
+                let backoff = self.retry_backoff(attempt);
                 self.queue.schedule(
                     now + backoff,
                     Event::RetryRecover {
@@ -2551,9 +2929,9 @@ impl EdgeNetwork {
         // away — an un-advanced height would make the node re-request
         // blocks it already holds and mis-detect gaps on the next receipt.
         self.advance_height(v);
-        if unserved && attempt < self.config.fetch_retries {
+        if unserved && attempt < self.config.fetch_retries && self.retry_allowed(now) {
             // Lossy links or a partition starved this pass; back off
-            // exponentially and try again.
+            // exponentially (capped, optionally jittered) and try again.
             self.retries += 1;
             telemetry::counter_add("transport.retries", 1);
             trace_event!(
@@ -2563,8 +2941,7 @@ impl EdgeNetwork {
                 attempt = attempt + 1,
                 op = "recover"
             );
-            let backoff =
-                SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
+            let backoff = self.retry_backoff(attempt);
             self.queue.schedule(
                 now + backoff,
                 Event::RetryRecover {
@@ -2743,13 +3120,69 @@ impl EdgeNetwork {
         known.sort_by_key(|m| m.data_id);
         if !known.is_empty() {
             let pick = known[self.rng.gen_range(0..known.len())].clone();
-            self.fetch_data(requester, &pick, now, 0);
+            if self.admit_fetch(requester, now, false) {
+                self.fetch_data(requester, &pick, now, 0);
+            }
         }
         let next = now + SimTime::from_secs(self.config.request_interval_secs.max(1));
         self.queue.schedule(next, Event::IssueRequest { requester });
     }
 
+    /// Arms the next open-workload fetch from the configured arrival
+    /// process. A silent process (burst over, rate zero) simply stops
+    /// re-arming; the closed-loop requester schedule is untouched.
+    fn schedule_workload_fetch(&mut self) {
+        let Some(arrivals) = self.config.workload.fetches.as_ref() else {
+            return;
+        };
+        let now_secs = self.queue.now().as_millis() as f64 / 1000.0;
+        let t = arrivals.next_arrival_secs(now_secs, &mut self.workload_rng);
+        if !t.is_finite() {
+            return;
+        }
+        let at = SimTime::from_millis((t * 1000.0).ceil() as u64)
+            .max(self.queue.now() + SimTime::from_millis(1));
+        self.queue.schedule(at, Event::WorkloadFetch);
+    }
+
+    /// One open-workload fetch: a uniformly drawn live requester asks for
+    /// an item drawn Zipf-by-recency from its visible catalogue (rank 0 =
+    /// newest). These are the low-priority reads — first to shed when the
+    /// degradation ladder engages. All draws come from the dedicated
+    /// workload stream, so the closed-loop trajectory is untouched.
+    fn on_workload_fetch(&mut self, now: SimTime) {
+        // Re-arm first: an empty catalogue or a shed fetch must not
+        // silence the arrival stream.
+        self.schedule_workload_fetch();
+        let live: Vec<NodeId> = self.topo.active_nodes().collect();
+        if live.is_empty() {
+            return;
+        }
+        let requester = live[self.workload_rng.gen_range(0..live.len())];
+        let mut known: Vec<&MetadataItem> = self
+            .data_registry
+            .values()
+            .filter(|(m, _)| m.is_valid_at(now.as_secs()))
+            .filter(|(_, idx)| {
+                *idx < self.chain.base_index() || self.node_known[requester.0].contains(idx)
+            })
+            .map(|(m, _)| m)
+            .collect();
+        if known.is_empty() {
+            return;
+        }
+        known.sort_by_key(|m| std::cmp::Reverse(m.data_id));
+        let rank = self.zipf.sample(known.len(), &mut self.workload_rng);
+        let pick = known[rank.min(known.len() - 1)].clone();
+        if self.admit_fetch(requester, now, true) {
+            self.fetch_data(requester, &pick, now, 0);
+        }
+    }
+
     fn on_retry_fetch(&mut self, requester: NodeId, data_id: DataId, attempt: u32, now: SimTime) {
+        // The scheduled retry either resolves below or re-enters the
+        // backlog with a fresh timer; either way this entry is consumed.
+        self.backlog_pop(requester, data_id);
         if !self.topo.is_active(requester) {
             // nobody is waiting for the answer anymore
             self.close_fetch_span(requester, data_id, now.as_millis(), "requester_down");
@@ -2933,7 +3366,11 @@ impl EdgeNetwork {
                 }
             }
         }
-        if attempt < self.config.fetch_retries {
+        // The budget check is short-circuited behind the attempt check so
+        // terminal failures never drain the budget; a budget-denied retry
+        // goes down the failed path like an exhausted one.
+        let may_retry = attempt < self.config.fetch_retries && self.retry_allowed(now);
+        if may_retry {
             self.retries += 1;
             telemetry::counter_add("transport.retries", 1);
             trace_event!(
@@ -2943,8 +3380,7 @@ impl EdgeNetwork {
                 attempt = attempt + 1,
                 op = "fetch"
             );
-            let backoff =
-                SimTime::from_millis(self.config.retry_backoff_ms.max(1) << attempt.min(16));
+            let backoff = self.retry_backoff(attempt);
             self.queue.schedule(
                 now + backoff,
                 Event::RetryFetch {
@@ -2953,6 +3389,7 @@ impl EdgeNetwork {
                     attempt: attempt + 1,
                 },
             );
+            self.backlog_push(requester, item.data_id);
             if let Some(sp) = self.spans.as_mut() {
                 let b = telemetry::span_start("fetch.backoff", now.as_millis(), froot);
                 telemetry::span_field(b, "attempt", attempt + 1);
@@ -3310,6 +3747,7 @@ impl EdgeNetwork {
             inclusion_latency,
             fetch_latency,
             slo,
+            overload: self.overload,
             telemetry: telemetry::registry_snapshot(),
         }
     }

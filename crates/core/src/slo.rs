@@ -32,6 +32,10 @@ pub mod objective {
     pub const REORG_DEPTH: &str = "reorg_depth";
     /// Cumulative quarantine count exceeded the bound.
     pub const QUARANTINES: &str = "quarantines";
+    /// Windowed shed fraction of offered operations too high.
+    pub const SHED_RATE: &str = "shed_rate";
+    /// Pending-queue depth exceeded the bound.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
 }
 
 /// Thresholds and window geometry for the health monitor. The defaults
@@ -57,6 +61,14 @@ pub struct SloThresholds {
     pub max_reorg_depth: u64,
     /// Maximum acceptable cumulative quarantine count.
     pub max_quarantines: u64,
+    /// Maximum acceptable windowed shed fraction (shed / offered) across
+    /// item and fetch admission. `None` (the default) disables the
+    /// objective — load-aware SLOs are opt-in, so existing configurations
+    /// evaluate exactly as before.
+    pub shed_rate_max: Option<f64>,
+    /// Maximum acceptable pending-queue depth at evaluation time.
+    /// `None` (the default) disables the objective.
+    pub queue_depth_max: Option<u64>,
 }
 
 impl Default for SloThresholds {
@@ -69,7 +81,91 @@ impl Default for SloThresholds {
             availability_min: 0.75,
             max_reorg_depth: 8,
             max_quarantines: 20,
+            shed_rate_max: None,
+            queue_depth_max: None,
         }
+    }
+}
+
+/// Overload accounting for one run, carried in
+/// [`crate::network::RunReport::overload`]. Offered/admitted tallies and
+/// queue high-water marks are maintained on every run; the *protection*
+/// counters (sheds, denials, deferrals, ladder level) stay zero unless a
+/// gate actually fired — [`OverloadReport::engaged`] — so a
+/// default-configured run reports `offered == admitted` and nothing shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadReport {
+    /// Data items offered by the generator (open or closed loop).
+    pub offered_items: u64,
+    /// Items that passed admission and entered the pending queue.
+    pub admitted_items: u64,
+    /// Items shed at admission (bucket empty, queue full, or unpayable).
+    pub shed_items: u64,
+    /// Admitted items the streaming UFL solver could not place
+    /// (`alloc.rejected` outcome).
+    pub alloc_rejected: u64,
+    /// Fetches offered (closed-loop requests plus open workload fetches).
+    pub offered_fetches: u64,
+    /// Fetches that passed admission and entered the retry pipeline.
+    pub admitted_fetches: u64,
+    /// Fetches shed at entry (bucket empty, inflight cap, degradation
+    /// ladder, or unpayable).
+    pub shed_fetches: u64,
+    /// Fetches that exhausted every retry (explicit terminal failures).
+    pub fetch_exhausted: u64,
+    /// Retries denied by the global retry budget.
+    pub retries_denied: u64,
+    /// Proactive replications deferred by the degradation ladder (L2+).
+    pub deferred_replications: u64,
+    /// Repair sweeps deferred by the degradation ladder (L3).
+    pub deferred_repairs: u64,
+    /// High-water mark of the pending-metadata queue.
+    pub peak_pending_items: u64,
+    /// High-water mark of any node's in-flight fetch count.
+    pub peak_inflight_fetches: u64,
+    /// Deepest degradation-ladder rung reached (0–3).
+    pub max_degrade_level: u8,
+    /// Ledger tokens collected as admission fees.
+    pub admission_tokens_charged: u64,
+}
+
+impl OverloadReport {
+    /// Whether any overload-protection mechanism actually fired.
+    pub fn engaged(&self) -> bool {
+        self.shed_items > 0
+            || self.shed_fetches > 0
+            || self.alloc_rejected > 0
+            || self.retries_denied > 0
+            || self.deferred_replications > 0
+            || self.deferred_repairs > 0
+            || self.max_degrade_level > 0
+    }
+}
+
+impl fmt::Display for OverloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "items {}/{} admitted ({} shed, {} alloc-rejected); fetches {}/{} \
+             admitted ({} shed, {} exhausted); {} retries denied; deferred \
+             {} replications / {} repairs; peak queue {} pending / {} \
+             inflight; max degrade L{}; {} tokens charged",
+            self.admitted_items,
+            self.offered_items,
+            self.shed_items,
+            self.alloc_rejected,
+            self.admitted_fetches,
+            self.offered_fetches,
+            self.shed_fetches,
+            self.fetch_exhausted,
+            self.retries_denied,
+            self.deferred_replications,
+            self.deferred_repairs,
+            self.peak_pending_items,
+            self.peak_inflight_fetches,
+            self.max_degrade_level,
+            self.admission_tokens_charged
+        )
     }
 }
 
@@ -213,11 +309,18 @@ pub struct SloMonitor {
     fetch_win: VecDeque<(u64, f64)>,
     completed_win: VecDeque<u64>,
     failed_win: VecDeque<u64>,
+    // Load-aware windows: offered/shed admission decisions (items and
+    // fetches pooled) and the queue depth last seen at evaluation.
+    offered_win: VecDeque<u64>,
+    shed_win: VecDeque<u64>,
+    queue_depth: u64,
     inclusion_state: BreachState,
     fetch_state: BreachState,
     availability_state: BreachState,
     reorg_state: BreachState,
     quarantine_state: BreachState,
+    shed_state: BreachState,
+    queue_state: BreachState,
     alerts: Vec<SloAlert>,
 }
 
@@ -230,11 +333,16 @@ impl SloMonitor {
             fetch_win: VecDeque::new(),
             completed_win: VecDeque::new(),
             failed_win: VecDeque::new(),
+            offered_win: VecDeque::new(),
+            shed_win: VecDeque::new(),
+            queue_depth: 0,
             inclusion_state: BreachState::default(),
             fetch_state: BreachState::default(),
             availability_state: BreachState::default(),
             reorg_state: BreachState::default(),
             quarantine_state: BreachState::default(),
+            shed_state: BreachState::default(),
+            queue_state: BreachState::default(),
             alerts: Vec::new(),
         }
     }
@@ -255,6 +363,22 @@ impl SloMonitor {
         self.failed_win.push_back(t_ms);
     }
 
+    /// Records one offered operation (item generation or fetch entry).
+    pub fn record_offered(&mut self, t_ms: u64) {
+        self.offered_win.push_back(t_ms);
+    }
+
+    /// Records one shed operation (failed admission).
+    pub fn record_shed(&mut self, t_ms: u64) {
+        self.shed_win.push_back(t_ms);
+    }
+
+    /// Notes the current pending-queue depth; the latest value is what
+    /// the queue-depth objective evaluates against.
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
+    }
+
     /// Evaluates every objective over the rolling window ending at
     /// `t_ms`, given the run-wide deepest reorg and quarantine count.
     /// Returns the alerts raised by *this* evaluation (objectives that
@@ -272,6 +396,12 @@ impl SloMonitor {
         }
         while self.failed_win.front().is_some_and(|t| *t < cutoff) {
             self.failed_win.pop_front();
+        }
+        while self.offered_win.front().is_some_and(|t| *t < cutoff) {
+            self.offered_win.pop_front();
+        }
+        while self.shed_win.front().is_some_and(|t| *t < cutoff) {
+            self.shed_win.pop_front();
         }
 
         let mut raised = Vec::new();
@@ -325,6 +455,28 @@ impl SloMonitor {
             quarantines as f64,
             self.thresholds.max_quarantines as f64,
         ));
+        if let Some(max_shed) = self.thresholds.shed_rate_max {
+            let offered = self.offered_win.len();
+            if offered >= self.thresholds.min_window_samples {
+                let rate = self.shed_win.len() as f64 / offered as f64;
+                raised.extend(self.shed_state.update(
+                    rate > max_shed,
+                    t_ms,
+                    objective::SHED_RATE,
+                    rate,
+                    max_shed,
+                ));
+            }
+        }
+        if let Some(max_depth) = self.thresholds.queue_depth_max {
+            raised.extend(self.queue_state.update(
+                self.queue_depth > max_depth,
+                t_ms,
+                objective::QUEUE_DEPTH,
+                self.queue_depth as f64,
+                max_depth as f64,
+            ));
+        }
         self.alerts.extend(raised.iter().cloned());
         raised
     }
@@ -482,6 +634,71 @@ mod tests {
         let text = format!("{report}");
         assert!(text.contains("1 breaches"));
         assert!(text.contains("quarantines = 3")); // alert detail line
+    }
+
+    #[test]
+    fn load_objectives_are_off_by_default() {
+        let mut m = monitor(SloThresholds::default());
+        for i in 0..100 {
+            m.record_offered(i * 10);
+            m.record_shed(i * 10); // 100% shed
+        }
+        m.note_queue_depth(1_000_000);
+        assert!(
+            m.evaluate(2_000, 0, 0).is_empty(),
+            "load objectives must be opt-in"
+        );
+    }
+
+    #[test]
+    fn shed_rate_and_queue_depth_objectives() {
+        let t = SloThresholds {
+            min_window_samples: 4,
+            shed_rate_max: Some(0.25),
+            queue_depth_max: Some(10),
+            ..SloThresholds::default()
+        };
+        let mut m = monitor(t);
+        for i in 0..8 {
+            m.record_offered(i * 10);
+            if i % 2 == 0 {
+                m.record_shed(i * 10); // 50% shed
+            }
+        }
+        m.note_queue_depth(50);
+        let raised = m.evaluate(1_000, 0, 0);
+        let names: Vec<&str> = raised.iter().map(|a| a.slo).collect();
+        assert!(names.contains(&objective::SHED_RATE));
+        assert!(names.contains(&objective::QUEUE_DEPTH));
+        // Recovery: sheds age out, queue drains → objectives re-arm.
+        for i in 0..8 {
+            m.record_offered(2_000_000 + i * 10);
+        }
+        m.note_queue_depth(2);
+        assert!(m.evaluate(2_000_500, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn overload_report_default_is_zero_and_disengaged() {
+        let r = OverloadReport::default();
+        assert!(!r.engaged());
+        assert_eq!(r.offered_items, 0);
+        let text = format!("{r}");
+        assert!(text.contains("items 0/0 admitted"));
+    }
+
+    #[test]
+    fn overload_report_engages_on_any_protection() {
+        let shed = OverloadReport {
+            shed_fetches: 1,
+            ..OverloadReport::default()
+        };
+        assert!(shed.engaged());
+        let deferred = OverloadReport {
+            deferred_repairs: 2,
+            ..OverloadReport::default()
+        };
+        assert!(deferred.engaged());
     }
 
     #[test]

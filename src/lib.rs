@@ -49,8 +49,10 @@ pub use edgechain_telemetry as telemetry;
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
     pub use edgechain_core::{
-        Amendment, Block, Blockchain, Candidate, DataId, DataType, Difficulty, EdgeNetwork,
-        Identity, Ledger, Location, MetadataItem, NetworkConfig, NodeStorage, Placement, RunReport,
+        Amendment, ArrivalProcess, Block, Blockchain, Burst, Candidate, DataId, DataType,
+        Difficulty, EdgeNetwork, Identity, Ledger, Location, MetadataItem, NetworkConfig,
+        NodeStorage, OpenArrivals, OverloadConfig, OverloadReport, Placement, RunReport,
+        WorkloadConfig,
     };
     pub use edgechain_crypto::{sha256, Digest, KeyPair, MerkleTree};
     pub use edgechain_energy::{Battery, DeviceProfile, EnergyMeter};
